@@ -1,0 +1,516 @@
+package bgpworms
+
+// The benchmark harness: one benchmark per table and figure in the
+// paper's evaluation, plus ablations for the design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates the corresponding rows/series; pass -v to
+// see them via b.Logf on the first iteration.
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"bgpworms/internal/attack"
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/core"
+	"bgpworms/internal/gen"
+	"bgpworms/internal/netx"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/router"
+	"bgpworms/internal/simnet"
+	"bgpworms/internal/topo"
+)
+
+func simnetNew(g *topo.Graph) *simnet.Network { return simnet.New(g, nil) }
+
+var (
+	fixOnce sync.Once
+	fixLab  *attack.Lab
+	fixDS   *core.Dataset
+	fixErr  error
+)
+
+// fixture builds the benchmark world once: a Small-scale Internet with a
+// month of churn, both injection platforms, and a dataset snapshot taken
+// before any attack runs.
+func fixture(b *testing.B) (*attack.Lab, *core.Dataset) {
+	fixOnce.Do(func() {
+		lab, err := attack.NewLab(gen.Small(), 48)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		if _, err := lab.W.RunChurn(); err != nil {
+			fixErr = err
+			return
+		}
+		fixLab = lab
+		fixDS = core.FromCollectors(lab.W.Collectors)
+	})
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	return fixLab, fixDS
+}
+
+func logOnce(b *testing.B, i int, s string) {
+	if i == 0 {
+		b.Logf("\n%s", s)
+	}
+}
+
+// BenchmarkTable1DatasetOverview regenerates Table 1: the per-platform
+// dataset overview (messages, prefixes, collectors, peers, communities,
+// AS roles).
+func BenchmarkTable1DatasetOverview(b *testing.B) {
+	_, ds := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := core.Table1(ds)
+		if len(rows) != 5 {
+			b.Fatalf("rows=%d", len(rows))
+		}
+		logOnce(b, i, core.RenderTable1(rows))
+	}
+}
+
+// BenchmarkTable2CommunityASes regenerates Table 2: ASes observed in
+// communities, split into on-path / off-path / private.
+func BenchmarkTable2CommunityASes(b *testing.B) {
+	_, ds := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := core.Table2(ds)
+		if rows[len(rows)-1].Total == 0 {
+			b.Fatal("empty table 2")
+		}
+		logOnce(b, i, core.RenderTable2(rows))
+	}
+}
+
+// BenchmarkFigure3UseOverTime regenerates the Figure 3 time series:
+// community use 2010–2018 (unique ASes, unique communities, absolute
+// communities, table entries), one synthetic Internet per year.
+func BenchmarkFigure3UseOverTime(b *testing.B) {
+	years := []int{2010, 2012, 2014, 2016, 2018}
+	for i := 0; i < b.N; i++ {
+		pts, err := gen.Evolution(gen.Tiny(), years, func(w *gen.Internet) (int, int, int, int) {
+			return core.EvolutionMetrics(core.FromCollectors(w.Collectors))
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[len(pts)-1].UniqueCommunities <= pts[0].UniqueCommunities {
+			b.Fatal("community use must grow over time")
+		}
+		if i == 0 {
+			for _, p := range pts {
+				b.Logf("year=%d uniqueASes=%d uniqueComms=%d absolute=%d tableEntries=%d",
+					p.Year, p.UniqueASes, p.UniqueCommunities, p.AbsoluteCommunities, p.TableEntries)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4aUpdatesWithCommunities regenerates Figure 4a: the
+// per-collector fraction of updates carrying communities, per platform.
+func BenchmarkFigure4aUpdatesWithCommunities(b *testing.B) {
+	_, ds := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr := core.Figure4a(ds)
+		if len(fr) == 0 {
+			b.Fatal("no collectors")
+		}
+		share := core.OverallCommunityShare(ds)
+		b.ReportMetric(share*100, "%updates_w_comm")
+		logOnce(b, i, core.RenderFigure4a(fr))
+	}
+}
+
+// BenchmarkFigure4bCommunitiesPerUpdate regenerates Figure 4b: ECDFs of
+// communities per update and associated ASes per update.
+func BenchmarkFigure4bCommunitiesPerUpdate(b *testing.B) {
+	_, ds := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := core.ComputeFigure4b(ds)
+		if f.CommunitiesPerUpdate.Len() == 0 {
+			b.Fatal("empty distribution")
+		}
+		logOnce(b, i, core.RenderFigure4b(f))
+	}
+}
+
+// BenchmarkFigure5aPropagationDistance regenerates Figure 5a: ECDF of
+// community propagation hop counts, all vs blackholing communities.
+func BenchmarkFigure5aPropagationDistance(b *testing.B) {
+	lab, ds := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa := core.AnalyzePropagation(ds, lab.W.Registry.All())
+		all, bh := pa.Figure5a()
+		if all.Len() == 0 {
+			b.Fatal("no distances")
+		}
+		b.ReportMetric(all.Mean(), "mean_hops_all")
+		if bh.Len() > 0 {
+			b.ReportMetric(bh.Mean(), "mean_hops_blackhole")
+		}
+		logOnce(b, i, core.RenderFigure5a(all, bh))
+	}
+}
+
+// BenchmarkFigure5bRelativeDistance regenerates Figure 5b: relative
+// propagation distance by AS-path length.
+func BenchmarkFigure5bRelativeDistance(b *testing.B) {
+	lab, ds := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa := core.AnalyzePropagation(ds, lab.W.Registry.All())
+		m := pa.Figure5b(3, 10)
+		if len(m) == 0 {
+			b.Fatal("no groups")
+		}
+		logOnce(b, i, core.RenderFigure5b(m))
+	}
+}
+
+// BenchmarkFigure5cTopValues regenerates Figure 5c: top-10 community
+// values off-path vs on-path.
+func BenchmarkFigure5cTopValues(b *testing.B) {
+	lab, ds := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa := core.AnalyzePropagation(ds, lab.W.Registry.All())
+		off, on := pa.Figure5c(10)
+		if len(on) == 0 {
+			b.Fatal("no on-path values")
+		}
+		logOnce(b, i, core.RenderFigure5c(off, on))
+	}
+}
+
+// BenchmarkTransitPropagators regenerates the §4.3 headline: the count
+// and share of transit ASes relaying foreign communities.
+func BenchmarkTransitPropagators(b *testing.B) {
+	_, ds := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := core.TransitPropagators(ds)
+		if rep.Propagators == 0 {
+			b.Fatal("no propagators")
+		}
+		b.ReportMetric(rep.Fraction()*100, "%transit_propagating")
+	}
+}
+
+// BenchmarkFigure6FilterInference regenerates Figure 6: per-edge
+// forwarding/filtering indication counts, the summary percentages, and
+// the log-log bins of Figure 6b.
+func BenchmarkFigure6FilterInference(b *testing.B) {
+	lab, ds := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fi := core.InferFiltering(ds)
+		s := fi.Summarize(10)
+		if s.TotalEdges == 0 {
+			b.Fatal("no edges")
+		}
+		bins := fi.Hexbin(1, 4)
+		if len(bins) == 0 {
+			b.Fatal("no bins")
+		}
+		_ = fi.ByRelationship(lab.W.Graph)
+		logOnce(b, i, core.RenderFilterSummary(s))
+	}
+}
+
+// BenchmarkLabVendorMatrix reproduces the §6.1 lab findings: JunOS
+// forwards communities by default, IOS only with send-community, and IOS
+// caps configuration-added communities at 32.
+func BenchmarkLabVendorMatrix(b *testing.B) {
+	pfx := netx.MustPrefix("203.0.113.0/24")
+	for i := 0; i < b.N; i++ {
+		for _, vendor := range []router.Vendor{router.VendorJuniper, router.VendorCisco} {
+			for _, send := range []bool{false, true} {
+				cfg := router.Config{ASN: 65001, Vendor: vendor}
+				if send {
+					cfg.SendCommunity = map[topo.ASN]bool{64501: true}
+				}
+				r := router.New(cfg)
+				r.AddNeighbor(64500, topo.RelCustomer)
+				r.AddNeighbor(64501, topo.RelCustomer)
+				in := policy.NewLocalRoute(pfx)
+				in.ASPath = bgp.Path(64500, 1)
+				in.Communities = bgp.NewCommunitySet(bgp.C(7, 7))
+				r.ReceiveUpdate(64500, in)
+				out, d := r.ExportTo(64501, pfx)
+				if d != router.ExportSent {
+					b.Fatal(d)
+				}
+				kept := out.Communities.Has(bgp.C(7, 7))
+				wantKept := vendor == router.VendorJuniper || send
+				if kept != wantKept {
+					b.Fatalf("vendor=%v send=%v kept=%v", vendor, send, kept)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSec72PropagationCheck reproduces §7.2: benign-community
+// propagation from both injection platforms.
+func BenchmarkSec72PropagationCheck(b *testing.B) {
+	lab, _ := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1, err := lab.PropagationCheck(lab.Research)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := lab.PropagationCheck(lab.Peering)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r1.ForwardingTransits), "research_transits")
+		b.ReportMetric(float64(r2.ForwardingTransits), "peering_transits")
+		logOnce(b, i, attack.RenderPropagation([]*attack.PropagationReport{r1, r2}))
+	}
+}
+
+// BenchmarkSec73RTBH reproduces §7.3: remote blackholing without and with
+// hijack.
+func BenchmarkSec73RTBH(b *testing.B) {
+	lab, _ := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, hijack := range []bool{false, true} {
+			res, err := lab.RunRTBH(hijack)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Success {
+				b.Fatalf("RTBH hijack=%v failed: %v", hijack, res.Evidence)
+			}
+		}
+	}
+}
+
+// BenchmarkSec74Steering reproduces §7.4: local-pref and prepending
+// steering attacks (graded hard; success depends on customer-chain
+// targets existing).
+func BenchmarkSec74Steering(b *testing.B) {
+	lab, _ := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lp, err := lab.RunSteeringLocalPref(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pp, err := lab.RunSteeringPrepend(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("local-pref success=%v; prepend success=%v", lp.Success, pp.Success)
+		}
+	}
+}
+
+// BenchmarkSec75RouteManipulation reproduces §7.5: conflicting
+// announce/suppress communities at the IXP route server.
+func BenchmarkSec75RouteManipulation(b *testing.B) {
+	lab, _ := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lab.RunRouteManipulation(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Success {
+			b.Fatalf("manipulation failed: %v", res.Evidence)
+		}
+	}
+}
+
+// BenchmarkTable3AttackMatrix regenerates Table 3: the full scenario ×
+// hijack matrix with difficulty grades.
+func BenchmarkTable3AttackMatrix(b *testing.B) {
+	lab, _ := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := lab.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 8 {
+			b.Fatalf("rows=%d", len(results))
+		}
+		logOnce(b, i, attack.RenderTable3(results))
+	}
+}
+
+// BenchmarkSec76BlackholeSweep reproduces §7.6: the automated sweep over
+// candidate blackhole communities with per-VP diffing and stability
+// re-run.
+func BenchmarkSec76BlackholeSweep(b *testing.B) {
+	lab, _ := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := lab.BlackholeSweep(lab.W.Registry.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ind := rep.InducingCommunities()
+		b.ReportMetric(float64(len(ind)), "inducing_communities")
+		b.ReportMetric(float64(len(rep.AffectedVPs())), "affected_vps")
+		logOnce(b, i, attack.RenderSweep(rep))
+	}
+}
+
+// --- Ablation benches (design choices from DESIGN.md) ---
+
+// BenchmarkAblationTrieVsLinear compares the FIB's longest-prefix-match
+// trie with a naive linear scan.
+func BenchmarkAblationTrieVsLinear(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var prefixes []netip.Prefix
+	tr := netx.NewTrie[int]()
+	for i := 0; i < 5000; i++ {
+		p := netip.PrefixFrom(netx.V4(byte(rng.Intn(224)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0), 8+rng.Intn(17)).Masked()
+		if tr.Insert(p, i) {
+			prefixes = append(prefixes, p)
+		}
+	}
+	addrs := make([]netip.Addr, 512)
+	for i := range addrs {
+		addrs[i] = netx.V4(byte(rng.Intn(224)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+	}
+	b.Run("trie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Lookup(addrs[i%len(addrs)])
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := addrs[i%len(addrs)]
+			best := netip.Prefix{}
+			for _, p := range prefixes {
+				if p.Contains(a) && p.Bits() > best.Bits() {
+					best = p
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationTaggerInference compares the paper's conservative
+// nearest-observer tagger attribution with naive origin attribution:
+// origin attribution systematically inflates distances.
+func BenchmarkAblationTaggerInference(b *testing.B) {
+	lab, ds := fixture(b)
+	b.Run("conservative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pa := core.AnalyzePropagation(ds, lab.W.Registry.All())
+			all, _ := pa.Figure5a()
+			b.ReportMetric(all.Mean(), "mean_hops")
+		}
+	})
+	b.Run("origin-attribution", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sum, n float64
+			for _, u := range ds.Announcements() {
+				if len(u.Communities) == 0 {
+					continue
+				}
+				path := u.StrippedPath()
+				for range u.Communities {
+					// Attribute every community to the origin.
+					sum += float64(len(path))
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(sum/n, "mean_hops")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCommunitySet compares the sorted-slice CommunitySet
+// with a map-based set for the typical small community counts.
+func BenchmarkAblationCommunitySet(b *testing.B) {
+	vals := make([]bgp.Community, 12)
+	for i := range vals {
+		vals[i] = bgp.C(uint16(i*37), uint16(i))
+	}
+	b.Run("sorted-slice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var s bgp.CommunitySet
+			for _, v := range vals {
+				s = s.Add(v)
+			}
+			for _, v := range vals {
+				if !s.Has(v) {
+					b.Fatal("missing")
+				}
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := make(map[bgp.Community]bool, len(vals))
+			for _, v := range vals {
+				m[v] = true
+			}
+			for _, v := range vals {
+				if !m[v] {
+					b.Fatal("missing")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationConvergence compares deduplicated work-queue
+// scheduling against naive re-enqueueing during convergence.
+func BenchmarkAblationConvergence(b *testing.B) {
+	pfx := netx.MustPrefix("203.0.113.0/24")
+	build := func() *topo.Graph {
+		g := topo.NewGraph()
+		// A 3-tier, 40-AS topology with multihoming.
+		for i := topo.ASN(1); i <= 4; i++ {
+			for j := i + 1; j <= 4; j++ {
+				g.AddPeering(i, j)
+			}
+		}
+		for i := topo.ASN(10); i < 22; i++ {
+			g.AddCustomerProvider(i, 1+(i%4))
+			g.AddCustomerProvider(i, 1+((i+1)%4))
+		}
+		for i := topo.ASN(100); i < 124; i++ {
+			g.AddCustomerProvider(i, 10+(i%12))
+		}
+		return g
+	}
+	for _, mode := range []struct {
+		name  string
+		dedup bool
+	}{{"dedup", true}, {"naive", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := simnetNew(build())
+				n.SetSchedulingDedup(mode.dedup)
+				if _, err := n.Announce(100, pfx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+// Command attacklab runs the paper's active experiments (§6–§7) against a
+// synthetic Internet: the vendor lab matrix, benign-community propagation
+// checks, the Table 3 scenario × hijack matrix, and the §7.6 automated
+// blackhole-community sweep.
+//
+// Usage:
+//
+//	attacklab -scale small -vps 48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bgpworms/internal/attack"
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/gen"
+	"bgpworms/internal/netx"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/router"
+	"bgpworms/internal/stats"
+	"bgpworms/internal/topo"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "internet scale: tiny|small|medium")
+	seed := flag.Int64("seed", 1, "generator seed")
+	vps := flag.Int("vps", 48, "atlas vantage points")
+	verbose := flag.Bool("v", false, "print per-scenario evidence")
+	flag.Parse()
+
+	var p gen.Params
+	switch *scale {
+	case "tiny":
+		p = gen.Tiny()
+	case "small":
+		p = gen.Small()
+	case "medium":
+		p = gen.Medium()
+	default:
+		fail(fmt.Errorf("unknown scale %q", *scale))
+	}
+	p.Seed = *seed
+
+	fmt.Println("== §6.1: vendor lab matrix ==")
+	fmt.Println(vendorMatrix())
+
+	fmt.Printf("building lab (%s internet, %d VPs)...\n\n", *scale, *vps)
+	lab, err := attack.NewLab(p, *vps)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println("== §7.2: benign community propagation ==")
+	var reps []*attack.PropagationReport
+	for _, inj := range []*attack.Injector{lab.Research, lab.Peering} {
+		r, err := lab.PropagationCheck(inj)
+		if err != nil {
+			fail(err)
+		}
+		reps = append(reps, r)
+	}
+	fmt.Println(attack.RenderPropagation(reps))
+
+	fmt.Println("== Table 3: attack matrix ==")
+	results, err := lab.Table3()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(attack.RenderTable3(results))
+	if *verbose {
+		for _, r := range results {
+			fmt.Printf("-- %s (hijack=%v, success=%v)\n", r.Scenario, r.Hijack, r.Success)
+			for _, e := range r.Evidence {
+				fmt.Println("   ", e)
+			}
+			for _, i := range r.Insights {
+				fmt.Println("    insight:", i)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("== §7.6: automated blackhole community sweep ==")
+	sweep, err := lab.BlackholeSweep(lab.W.Registry.All())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(attack.RenderSweep(sweep))
+	if *verbose {
+		for _, e := range sweep.InducingCommunities() {
+			fmt.Printf("  %s: %d VPs lost, target on %d traces, hop distances %v\n",
+				e.Community, len(e.LostVPs), e.TargetOnPath, e.HopDistances)
+		}
+	}
+}
+
+// vendorMatrix reproduces the §6.1 default-behaviour findings as a table.
+func vendorMatrix() string {
+	pfx := netx.MustPrefix("203.0.113.0/24")
+	t := stats.NewTable("Vendor", "send-community", "communities forwarded")
+	for _, vendor := range []router.Vendor{router.VendorJuniper, router.VendorCisco} {
+		for _, send := range []bool{false, true} {
+			cfg := router.Config{ASN: 65001, Vendor: vendor}
+			if send {
+				cfg.SendCommunity = map[topo.ASN]bool{64501: true}
+			}
+			r := router.New(cfg)
+			r.AddNeighbor(64500, topo.RelCustomer)
+			r.AddNeighbor(64501, topo.RelCustomer)
+			in := policy.NewLocalRoute(pfx)
+			in.ASPath = bgp.Path(64500, 1)
+			in.Communities = bgp.NewCommunitySet(bgp.C(7, 7))
+			r.ReceiveUpdate(64500, in)
+			out, _ := r.ExportTo(64501, pfx)
+			name := "Juniper"
+			if vendor == router.VendorCisco {
+				name = "Cisco"
+			}
+			t.Row(name, send, out != nil && out.Communities.Has(bgp.C(7, 7)))
+		}
+	}
+	return t.String()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "attacklab:", err)
+	os.Exit(1)
+}

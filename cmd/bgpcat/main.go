@@ -1,0 +1,98 @@
+// Command bgpcat decodes MRT files (BGP4MP update streams and
+// TABLE_DUMP_V2 RIB snapshots) to human-readable text, in the spirit of
+// bgpdump.
+//
+// Usage:
+//
+//	bgpcat file.mrt [file2.mrt ...]
+//	genesis -out dir && bgpcat dir/updates.RIS-00.mrt
+//
+// With no arguments it reads one stream from stdin.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/mrt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := dump(os.Stdin, "stdin"); err != nil {
+			fail(err)
+		}
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		err = dump(f, path)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bgpcat:", err)
+	os.Exit(1)
+}
+
+func dump(r io.Reader, name string) error {
+	mr := mrt.NewReader(r)
+	n := 0
+	for {
+		rec, err := mr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%s: record %d: %w", name, n, err)
+		}
+		n++
+		printRecord(rec, mr.PeerTable())
+	}
+	fmt.Printf("# %s: %d records\n", name, n)
+	return nil
+}
+
+func printRecord(rec mrt.Record, peers []mrt.PeerEntry) {
+	ts := rec.Time().Format("2006-01-02 15:04:05")
+	switch m := rec.(type) {
+	case *mrt.BGP4MPMessage:
+		u, ok := m.Message.(*bgp.Update)
+		if !ok {
+			fmt.Printf("%s|BGP4MP|AS%d|%s|type=%d\n", ts, m.PeerAS, m.PeerIP, m.Message.Type())
+			return
+		}
+		for _, p := range u.AllAnnounced() {
+			fmt.Printf("%s|A|%s|AS%d|%s|%s|%s|%s\n",
+				ts, m.PeerIP, m.PeerAS, p, u.Attrs.ASPath, u.Attrs.Origin, u.Attrs.Communities)
+		}
+		for _, p := range u.AllWithdrawn() {
+			fmt.Printf("%s|W|%s|AS%d|%s\n", ts, m.PeerIP, m.PeerAS, p)
+		}
+	case *mrt.StateChange:
+		fmt.Printf("%s|STATE|AS%d|%s|%d->%d\n", ts, m.PeerAS, m.PeerIP, m.OldState, m.NewState)
+	case *mrt.PeerIndexTable:
+		fmt.Printf("%s|PEER_INDEX_TABLE|%s|%q|%d peers\n", ts, m.CollectorID, m.ViewName, len(m.Peers))
+	case *mrt.RIB:
+		for _, e := range m.Entries {
+			peer := fmt.Sprintf("idx%d", e.PeerIndex)
+			if int(e.PeerIndex) < len(peers) {
+				peer = fmt.Sprintf("AS%d", peers[e.PeerIndex].AS)
+			}
+			fmt.Printf("%s|TABLE_DUMP_V2|%s|%s|%s|%s\n",
+				ts, m.Prefix, peer, e.Attrs.ASPath, e.Attrs.Communities)
+		}
+	default:
+		fmt.Printf("%s|UNKNOWN|type=%d subtype=%d\n", ts, rec.RecordType(), rec.RecordSubtype())
+	}
+}

@@ -1,0 +1,102 @@
+// Command genesis builds a synthetic Internet (topology, policies, IXPs,
+// collectors), simulates a month of routing churn, and writes the
+// resulting measurement artifacts:
+//
+//	<out>/as-rel.txt            CAIDA serial-1 relationships
+//	<out>/updates.<name>.mrt    per-collector BGP4MP update archives
+//	<out>/rib.<name>.mrt        per-collector TABLE_DUMP_V2 snapshots
+//
+// Usage:
+//
+//	genesis -scale small -seed 1 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bgpworms/internal/gen"
+	"bgpworms/internal/topo"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "internet scale: tiny|small|medium")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "data", "output directory")
+	flag.Parse()
+
+	var p gen.Params
+	switch *scale {
+	case "tiny":
+		p = gen.Tiny()
+	case "small":
+		p = gen.Small()
+	case "medium":
+		p = gen.Medium()
+	default:
+		fail(fmt.Errorf("unknown scale %q", *scale))
+	}
+	p.Seed = *seed
+
+	fmt.Printf("building %s internet (seed %d)...\n", *scale, *seed)
+	w, err := gen.Build(p)
+	if err != nil {
+		fail(err)
+	}
+	rep, err := w.RunChurn()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("topology: %d ASes, %d links, %d prefixes\n",
+		w.Graph.NumASes(), w.Graph.NumLinks(), len(w.AllPrefixes()))
+	fmt.Printf("churn: %d re-announcements, %d retags, %d RTBH episodes, %d IXP-tagged\n",
+		rep.Reannouncements, rep.Retagged, len(rep.RTBH), rep.IXPTagged)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	relPath := filepath.Join(*out, "as-rel.txt")
+	rf, err := os.Create(relPath)
+	if err != nil {
+		fail(err)
+	}
+	if err := topo.WriteCAIDA(rf, w.Graph); err != nil {
+		fail(err)
+	}
+	rf.Close()
+	fmt.Println("wrote", relPath)
+
+	for _, c := range w.Collectors {
+		upath := filepath.Join(*out, fmt.Sprintf("updates.%s.mrt", c.Name))
+		uf, err := os.Create(upath)
+		if err != nil {
+			fail(err)
+		}
+		n, err := c.WriteUpdatesMRT(uf)
+		uf.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d records)\n", upath, n)
+
+		rpath := filepath.Join(*out, fmt.Sprintf("rib.%s.mrt", c.Name))
+		rff, err := os.Create(rpath)
+		if err != nil {
+			fail(err)
+		}
+		n, err = c.WriteRIBSnapshotMRT(rff, gen.BaseTime.AddDate(0, 1, 0))
+		rff.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d records)\n", rpath, n)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "genesis:", err)
+	os.Exit(1)
+}

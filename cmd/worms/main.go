@@ -1,0 +1,169 @@
+// Command worms runs the paper's §4 measurement pipeline and prints every
+// table and figure of the passive analysis: Table 1, Table 2, Figure 3,
+// Figures 4a/4b, Figures 5a/5b/5c, the §4.3 transit-propagator count, and
+// the Figure 6 filter inference.
+//
+// By default it generates a synthetic Internet in memory. With -mrt it
+// instead consumes the MRT archives written by genesis, exercising the
+// same wire-format path the paper's pipeline used.
+//
+// Usage:
+//
+//	worms -scale small
+//	genesis -scale small -out data && worms -mrt data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/core"
+	"bgpworms/internal/gen"
+	"bgpworms/internal/stats"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "internet scale: tiny|small|medium")
+	seed := flag.Int64("seed", 1, "generator seed")
+	mrtDir := flag.String("mrt", "", "read updates.*.mrt archives from this directory instead of simulating")
+	years := flag.Bool("evolution", true, "compute the Figure 3 time series (builds one Internet per year)")
+	flag.Parse()
+
+	var (
+		ds        *core.Dataset
+		blackhole []bgp.Community
+	)
+	if *mrtDir != "" {
+		var err error
+		ds, err = loadMRT(*mrtDir)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		w, err := buildWorld(*scale, *seed)
+		if err != nil {
+			fail(err)
+		}
+		ds = core.FromCollectors(w.Collectors)
+		blackhole = w.Registry.All()
+	}
+
+	fmt.Println("== Table 1: dataset overview ==")
+	fmt.Println(core.RenderTable1(core.Table1(ds)))
+
+	fmt.Println("== Table 2: ASes with observed communities ==")
+	fmt.Println(core.RenderTable2(core.Table2(ds)))
+
+	fmt.Println("== Figure 4a: updates with communities, per collector ==")
+	fmt.Println(core.RenderFigure4a(core.Figure4a(ds)))
+	fmt.Printf("overall share of announcements with >=1 community: %.1f%%\n\n",
+		core.OverallCommunityShare(ds)*100)
+
+	fmt.Println("== Figure 4b: communities and associated ASes per update ==")
+	fmt.Println(core.RenderFigure4b(core.ComputeFigure4b(ds)))
+
+	pa := core.AnalyzePropagation(ds, blackhole)
+	all, bh := pa.Figure5a()
+	fmt.Println("== Figure 5a: propagation distance ECDF (all vs blackholing) ==")
+	fmt.Println(core.RenderFigure5a(all, bh))
+	fmt.Printf("mean distance: all=%.2f blackholing=%.2f hops\n\n", all.Mean(), bh.Mean())
+
+	fmt.Println("== Figure 5b: relative propagation distance by path length ==")
+	fmt.Println(core.RenderFigure5b(pa.Figure5b(3, 10)))
+
+	off, on := pa.Figure5c(10)
+	fmt.Println("== Figure 5c: top-10 community values off-path vs on-path ==")
+	fmt.Println(core.RenderFigure5c(off, on))
+
+	rep := core.TransitPropagators(ds)
+	fmt.Println("== §4.3: transit ASes relaying foreign communities ==")
+	fmt.Printf("%d of %d transit ASes (%s) forward received communities onward\n\n",
+		rep.Propagators, rep.TransitASes, stats.Pct(rep.Propagators, rep.TransitASes))
+
+	fmt.Println("== Figure 6: community forwarding vs filtering ==")
+	fi := core.InferFiltering(ds)
+	fmt.Println(core.RenderFilterSummary(fi.Summarize(10)))
+	fmt.Println("Figure 6b log-log bins (x=filtered, y=forwarded, count):")
+	for _, b := range fi.Hexbin(1, 2) {
+		fmt.Printf("  (%.1f, %.1f) -> %d\n", b.X, b.Y, b.Count)
+	}
+	fmt.Println()
+
+	if *years && *mrtDir == "" {
+		fmt.Println("== Figure 3: community use over time ==")
+		base := gen.Tiny()
+		base.Seed = *seed
+		pts, err := gen.Evolution(base, []int{2010, 2012, 2014, 2016, 2018}, func(w *gen.Internet) (int, int, int, int) {
+			return core.EvolutionMetrics(core.FromCollectors(w.Collectors))
+		})
+		if err != nil {
+			fail(err)
+		}
+		t := stats.NewTable("Year", "UniqueASes", "UniqueCommunities", "AbsoluteCommunities", "TableEntries")
+		for _, p := range pts {
+			t.Row(p.Year, p.UniqueASes, p.UniqueCommunities, p.AbsoluteCommunities, p.TableEntries)
+		}
+		fmt.Println(t.String())
+	}
+}
+
+func buildWorld(scale string, seed int64) (*gen.Internet, error) {
+	var p gen.Params
+	switch scale {
+	case "tiny":
+		p = gen.Tiny()
+	case "small":
+		p = gen.Small()
+	case "medium":
+		p = gen.Medium()
+	default:
+		return nil, fmt.Errorf("unknown scale %q", scale)
+	}
+	p.Seed = seed
+	w, err := gen.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.RunChurn(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func loadMRT(dir string) (*core.Dataset, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "updates.*.mrt"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no updates.*.mrt files in %s", dir)
+	}
+	ds := &core.Dataset{}
+	for _, path := range matches {
+		name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "updates."), ".mrt")
+		platform := name
+		if i := strings.Index(name, "-"); i > 0 {
+			platform = name[:i]
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		part, err := core.ReadMRTUpdates(platform, name, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		ds.Merge(part)
+	}
+	return ds, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "worms:", err)
+	os.Exit(1)
+}

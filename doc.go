@@ -1,0 +1,11 @@
+// Package bgpworms reproduces "BGP Communities: Even more Worms in the
+// Routing Can" (Streibelt et al., ACM IMC 2018) as a self-contained Go
+// system: a BGP/MRT codec, an AS-level routing simulator with per-AS
+// community policy, route-collector platforms, the paper's measurement
+// pipeline (internal/core), and the attack-scenario framework
+// (internal/attack).
+//
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation; see DESIGN.md for the per-experiment
+// index and EXPERIMENTS.md for paper-vs-measured values.
+package bgpworms

@@ -1,0 +1,71 @@
+// IXP route manipulation: the Figure 9 scenario — conflicting
+// announce-to / don't-announce-to communities at a route server whose
+// published evaluation order handles suppression first, so an attacker
+// can veto another member's route.
+//
+//	go run ./examples/ixp-manipulation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bgpworms/internal/ixp"
+	"bgpworms/internal/netx"
+	"bgpworms/internal/simnet"
+	"bgpworms/internal/topo"
+)
+
+func main() {
+	// Three IXP members (AS100 announces, AS400 is the attackee) and a
+	// transparent route server AS900.
+	g := topo.NewGraph()
+	for _, m := range []topo.ASN{100, 200, 400} {
+		g.AddAS(m)
+	}
+	n := simnet.New(g, nil)
+	rs := ixp.NewRouteServer(900, ixp.SuppressFirst)
+	for _, m := range []topo.ASN{100, 200, 400} {
+		check(rs.AddMember(m))
+	}
+	check(rs.Attach(n))
+
+	p := netx.MustPrefix("203.0.113.0/24")
+
+	fmt.Println("== step 1: AS100 selectively announces p to AS400 (community 900:400) ==")
+	_, err := n.Announce(100, p, rs.AnnounceToCommunity(400))
+	check(err)
+	fmt.Println(n.LookingGlass(400).Show(p))
+	if rt, ok := n.LookingGlass(400).Route(p); ok && !rt.ASPath.Contains(900) {
+		fmt.Println("note: the route server stays off the AS path (its communities are 'off-path')")
+	}
+
+	fmt.Println("\n== step 2: the conflicting 0:400 ('do not announce to AS400') is added ==")
+	_, err = n.Withdraw(100, p)
+	check(err)
+	_, err = n.Announce(100, p, rs.AnnounceToCommunity(400), rs.SuppressToCommunity(400))
+	check(err)
+	fmt.Println(n.LookingGlass(400).Show(p))
+	fmt.Printf("route server evaluation order: %s -> suppression wins the conflict\n", rs.Order())
+
+	fmt.Println("\n== counterfactual: an announce-first route server ==")
+	g2 := topo.NewGraph()
+	for _, m := range []topo.ASN{100, 200, 400} {
+		g2.AddAS(m)
+	}
+	n2 := simnet.New(g2, nil)
+	rs2 := ixp.NewRouteServer(900, ixp.AnnounceFirst)
+	for _, m := range []topo.ASN{100, 200, 400} {
+		check(rs2.AddMember(m))
+	}
+	check(rs2.Attach(n2))
+	_, err = n2.Announce(100, p, rs2.AnnounceToCommunity(400), rs2.SuppressToCommunity(400))
+	check(err)
+	fmt.Println(n2.LookingGlass(400).Show(p))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a five-AS topology, announce a tagged prefix, watch
+// the community propagate, and inspect routing from looking glasses and
+// the data plane.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/netx"
+	"bgpworms/internal/simnet"
+	"bgpworms/internal/topo"
+)
+
+func main() {
+	// Topology (Figure 1 style): AS1 is a stub customer of AS2; AS2 buys
+	// from tier-1s AS10 and AS20, which peer; AS30 is another stub under
+	// AS20.
+	g := topo.NewGraph()
+	check(g.AddCustomerProvider(1, 2))
+	check(g.AddCustomerProvider(2, 10))
+	check(g.AddCustomerProvider(2, 20))
+	check(g.AddPeering(10, 20))
+	check(g.AddCustomerProvider(30, 20))
+
+	// Default config: JunOS-style forward-all community handling.
+	net := simnet.New(g, nil)
+
+	// AS1 announces its prefix, tagged "customer prefix" (AS1:200).
+	prefix := netx.MustPrefix("203.0.113.0/24")
+	steps, err := net.Announce(1, prefix, bgp.C(1, 200))
+	check(err)
+	fmt.Printf("converged after %d update deliveries\n\n", steps)
+
+	// Every AS now has a route; the origin community traveled the whole
+	// way because nobody filters.
+	for _, asn := range net.ASes() {
+		fmt.Println(net.LookingGlass(asn).Show(prefix))
+	}
+
+	// Data plane: AS30 reaches AS1 through AS20 -> AS2 -> AS1.
+	dst := netx.NthAddr(prefix, 1)
+	tr := net.Forward(30, dst)
+	fmt.Printf("\ntraceroute from AS30 to %s: %s\n", dst, tr)
+	fmt.Printf("ping: %v\n", net.Ping(30, dst))
+
+	// Withdraw and confirm the network converges back.
+	_, err = net.Withdraw(1, prefix)
+	check(err)
+	if _, ok := net.LookingGlass(30).Route(prefix); !ok {
+		fmt.Println("\nafter withdrawal: route gone everywhere")
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,283 @@
+package attack
+
+import (
+	"testing"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/gen"
+	"bgpworms/internal/netx"
+	"bgpworms/internal/policy"
+)
+
+func newLab(t *testing.T) *Lab {
+	t.Helper()
+	l, err := NewLab(gen.Tiny(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLabSetup(t *testing.T) {
+	l := newLab(t)
+	if l.Research == nil || l.Peering == nil {
+		t.Fatal("injectors missing")
+	}
+	if len(l.Research.Upstreams) != 2 {
+		t.Fatalf("research upstreams=%v", l.Research.Upstreams)
+	}
+	// The first research upstream forwards communities, per §7.2.
+	mode := l.W.Net.Router(l.Research.Upstreams[0]).Config().Propagation
+	if mode != policy.PropForwardAll {
+		t.Fatalf("first upstream mode=%v", mode)
+	}
+	if len(l.Peering.Upstreams) < 2 {
+		t.Fatalf("peering upstreams=%v", l.Peering.Upstreams)
+	}
+	if !l.Peering.HijackForbidden || l.Research.HijackForbidden {
+		t.Fatal("AUP flags wrong")
+	}
+	if len(l.Atlas.VPs()) != 12 {
+		t.Fatalf("vps=%d", len(l.Atlas.VPs()))
+	}
+}
+
+func TestAUPForbidsPeeringHijack(t *testing.T) {
+	l := newLab(t)
+	victim := l.W.Origins[l.W.StubASes()[0]][0]
+	if err := l.Announce(l.Peering, victim); err == nil {
+		t.Fatal("PEERING hijack must be rejected by AUP")
+	}
+	// Own prefix is fine.
+	if err := l.Announce(l.Peering, netx.MustPrefix("198.18.64.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	l.Withdraw(l.Peering, netx.MustPrefix("198.18.64.0/24"))
+}
+
+func TestPropagationCheck(t *testing.T) {
+	l := newLab(t)
+	repR, err := l.PropagationCheck(l.Research)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repR.TotalTransits == 0 {
+		t.Fatal("probe reached no transit AS")
+	}
+	if repR.ForwardingTransits == 0 {
+		t.Fatal("no transit forwarded the benign community")
+	}
+	repP, err := l.PropagationCheck(l.Peering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The multi-PoP platform reaches at least as many forwarding
+	// transits as the single-homed research net (§7.2's contrast).
+	if repP.ForwardingTransits < repR.ForwardingTransits {
+		t.Fatalf("peering=%d < research=%d forwarding transits",
+			repP.ForwardingTransits, repR.ForwardingTransits)
+	}
+	if RenderPropagation([]*PropagationReport{repR, repP}) == "" {
+		t.Fatal("render empty")
+	}
+}
+
+func TestFindRTBHTargets(t *testing.T) {
+	l := newLab(t)
+	targets, err := l.FindRTBHTargets(l.Research, netx.MustPrefix("198.18.0.0/24"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) == 0 {
+		t.Fatal("no RTBH targets")
+	}
+	for i := 1; i < len(targets); i++ {
+		if targets[i].HopsAway < targets[i-1].HopsAway {
+			t.Fatal("targets not sorted by distance")
+		}
+	}
+	for _, tg := range targets {
+		if !tg.Community.IsBlackhole() && tg.Community.Value() != 999 {
+			t.Fatalf("target community %s not blackhole-like", tg.Community)
+		}
+	}
+}
+
+func TestRunRTBHNoHijack(t *testing.T) {
+	l := newLab(t)
+	res, err := l.RunRTBH(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("RTBH no-hijack failed: %v", res.Evidence)
+	}
+	if res.Difficulty != Easy {
+		t.Fatal("RTBH graded easy in Table 3")
+	}
+	// Cleanup happened: no leftover route at first upstream.
+	if _, ok := l.W.Net.Router(l.Research.Upstreams[0]).BestRoute(netx.MustPrefix("198.18.0.0/24")); ok {
+		t.Fatal("leftover announcement after scenario")
+	}
+}
+
+func TestRunRTBHHijackNeedsIRR(t *testing.T) {
+	l := newLab(t)
+	res, err := l.RunRTBH(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("RTBH hijack failed: %v", res.Evidence)
+	}
+	if !res.Hijack {
+		t.Fatal("hijack flag lost")
+	}
+}
+
+func TestRunSteeringLocalPref(t *testing.T) {
+	l := newLab(t)
+	res, err := l.RunSteeringLocalPref(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Difficulty != Hard {
+		t.Fatal("steering graded hard")
+	}
+	// Success depends on the generated topology offering a customer-chain
+	// target; either way the result must carry evidence.
+	if len(res.Evidence) == 0 {
+		t.Fatal("no evidence recorded")
+	}
+}
+
+func TestRunSteeringPrepend(t *testing.T) {
+	l := newLab(t)
+	res, err := l.RunSteeringPrepend(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evidence) == 0 {
+		t.Fatal("no evidence recorded")
+	}
+}
+
+func TestRunRouteManipulation(t *testing.T) {
+	l := newLab(t)
+	res, err := l.RunRouteManipulation(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("route manipulation failed: %v", res.Evidence)
+	}
+	if res.Difficulty != Medium {
+		t.Fatal("manipulation graded medium")
+	}
+}
+
+func TestTable3FullMatrix(t *testing.T) {
+	l := newLab(t)
+	results, err := l.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("results=%d", len(results))
+	}
+	// Paper shape: blackholing succeeds (easy); manipulation succeeds
+	// (medium).
+	if !results[0].Success || !results[1].Success {
+		t.Fatal("blackholing rows must succeed")
+	}
+	if !results[6].Success || !results[7].Success {
+		t.Fatal("manipulation rows must succeed")
+	}
+	if RenderTable3(results) == "" {
+		t.Fatal("render empty")
+	}
+}
+
+func TestBlackholeSweep(t *testing.T) {
+	l := newLab(t)
+	cands := l.W.Registry.All()
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	rep, err := l.BlackholeSweep(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != len(cands) {
+		t.Fatalf("entries=%d", len(rep.Entries))
+	}
+	ind := rep.InducingCommunities()
+	if len(ind) == 0 {
+		t.Fatal("no community induced blackholing")
+	}
+	// Only a subset of candidates induce loss (8.1% in the paper; here it
+	// depends on which targets sit on VP paths).
+	if len(ind) == len(rep.Entries) {
+		t.Fatal("every candidate inducing loss is implausible")
+	}
+	if len(rep.AffectedVPs()) == 0 {
+		t.Fatal("no affected VPs")
+	}
+	if !rep.Stable {
+		t.Fatal("re-run did not match (§7.6 stability)")
+	}
+	// Ground-truth scoring: precision must be perfect (decoys trigger
+	// nothing), recall positive but possibly partial (targets off-path).
+	p, r := rep.PrecisionRecall()
+	if p != 1.0 {
+		t.Fatalf("precision=%v (a decoy induced loss)", p)
+	}
+	if r == 0 {
+		t.Fatal("recall zero")
+	}
+	if RenderSweep(rep) == "" {
+		t.Fatal("render empty")
+	}
+}
+
+func TestSweepHopAnalysis(t *testing.T) {
+	l := newLab(t)
+	rep, err := l.BlackholeSweep(l.W.Registry.Verified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one inducing entry should have hop distances when the
+	// target appears on the (pre-blackhole) forwarding path.
+	for _, e := range rep.InducingCommunities() {
+		for _, d := range e.HopDistances {
+			if d <= 0 {
+				t.Fatalf("bad hop distance %d", d)
+			}
+		}
+	}
+}
+
+func TestDifficultyStrings(t *testing.T) {
+	for _, d := range []Difficulty{Easy, Medium, Hard, Difficulty(99)} {
+		if d.String() == "" {
+			t.Fatal("empty difficulty")
+		}
+	}
+}
+
+func TestUpdateIRR(t *testing.T) {
+	l := newLab(t)
+	p := netx.MustPrefix("203.0.113.0/24")
+	if l.Research.AllowedPrefixes.Matches(p) {
+		t.Fatal("prefix should not be pre-allowed")
+	}
+	l.UpdateIRR(l.Research, p)
+	if !l.Research.AllowedPrefixes.Matches(p) {
+		t.Fatal("IRR update did not register")
+	}
+	// More specifics also covered.
+	if !l.Research.AllowedPrefixes.Matches(netx.MustPrefix("203.0.113.0/25")) {
+		t.Fatal("more-specific not covered")
+	}
+	_ = bgp.CommunityBlackhole
+}

@@ -1,0 +1,78 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: DecodeMessage never panics on arbitrary input — it either
+// errors or returns a message.
+func TestProperty_DecodeMessageNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %x: %v", data, r)
+			}
+		}()
+		_, _ = DecodeMessage(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DecodeAttributes never panics on arbitrary input.
+func TestProperty_DecodeAttributesNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %x: %v", data, r)
+			}
+		}()
+		_, _ = DecodeAttributes(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mutation robustness: flip bytes in valid messages; decoding must never
+// panic, and successful decodes must re-encode without panicking.
+func TestMutatedMessageRobustness(t *testing.T) {
+	wire, err := sampleUpdate().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		mut := append([]byte(nil), wire...)
+		flips := 1 + rng.Intn(4)
+		for f := 0; f < flips; f++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		msg, err := DecodeMessage(mut)
+		if err != nil {
+			continue
+		}
+		if u, ok := msg.(*Update); ok {
+			_, _ = u.Encode()
+		}
+	}
+}
+
+// Truncation robustness: every prefix of a valid message either errors or
+// decodes (short prefixes must error).
+func TestTruncatedMessageRobustness(t *testing.T) {
+	wire, err := sampleUpdate().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(wire); n++ {
+		if _, err := DecodeMessage(wire[:n]); err == nil {
+			t.Fatalf("truncated message of %d bytes decoded successfully", n)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package collector models the public route-collector platforms of §4.1
+// (RIPE RIS, RouteViews, Isolario, PCH): collectors peer with production
+// ASes, receive full / partial / customer-only feeds, record every update,
+// and export the streams and RIB snapshots in MRT so the measurement
+// pipeline consumes exactly the wire format the paper's pipeline did.
+package collector
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/mrt"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/router"
+	"bgpworms/internal/simnet"
+	"bgpworms/internal/topo"
+)
+
+// Platform identifies a collector platform.
+type Platform string
+
+// The four platforms of Table 1.
+const (
+	PlatformRIS Platform = "RIS"
+	PlatformRV  Platform = "RV"
+	PlatformIS  Platform = "IS"
+	PlatformPCH Platform = "PCH"
+)
+
+// Platforms lists all platforms in Table 1 row order.
+var Platforms = []Platform{PlatformRIS, PlatformRV, PlatformIS, PlatformPCH}
+
+// FeedType describes what a peer sends the collector (§4.1: "Some BGP
+// peers send full routing tables, others partial views, and even others
+// only their customer routes").
+type FeedType int
+
+// Feed types.
+const (
+	FullFeed FeedType = iota
+	PartialFeed
+	CustomerFeed
+)
+
+// String names the feed type.
+func (f FeedType) String() string {
+	switch f {
+	case FullFeed:
+		return "full"
+	case PartialFeed:
+		return "partial"
+	case CustomerFeed:
+		return "customer"
+	default:
+		return "unknown"
+	}
+}
+
+// Peer is one collector peering session.
+type Peer struct {
+	AS   topo.ASN
+	Feed FeedType
+	// IP is the session address, synthesized deterministically if unset.
+	IP netip.Addr
+}
+
+// Observation is one recorded routing event at a collector.
+type Observation struct {
+	Seq    int
+	Time   time.Time
+	PeerAS topo.ASN
+	Prefix netip.Prefix
+	// Route is nil for withdrawals.
+	Route *policy.Route
+}
+
+// Collector is a passive measurement node attached to the network.
+type Collector struct {
+	Platform Platform
+	Name     string
+	ASN      topo.ASN
+
+	peers map[topo.ASN]Peer
+	node  *router.Router
+	obs   []Observation
+	clock time.Time
+	seq   int
+}
+
+// New creates a collector. asn must be unused by the production network.
+func New(platform Platform, name string, asn topo.ASN, start time.Time) *Collector {
+	return &Collector{
+		Platform: platform,
+		Name:     name,
+		ASN:      asn,
+		peers:    make(map[topo.ASN]Peer),
+		node: router.New(router.Config{
+			ASN:    asn,
+			Vendor: router.VendorJuniper,
+			// Collector sessions are special: no policy, keep everything.
+			Propagation: policy.PropForwardAll,
+		}),
+		clock: start,
+	}
+}
+
+// AddPeer registers a peering session to be wired at attach time.
+func (c *Collector) AddPeer(p Peer) {
+	if !p.IP.IsValid() {
+		p.IP = peerIP(c.ASN, p.AS)
+	}
+	c.peers[p.AS] = p
+}
+
+// Peers returns sessions in ascending peer-AS order.
+func (c *Collector) Peers() []Peer {
+	out := make([]Peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AS < out[j].AS })
+	return out
+}
+
+// Attach inserts the collector into the network: a router node, one
+// session per peer (full feeds ride a customer relationship so the peer
+// exports its entire table; customer feeds ride a peer relationship), and
+// a tap recording every delivery to the collector.
+func (c *Collector) Attach(n *simnet.Network) error {
+	n.AddRouter(c.node)
+	for _, p := range c.Peers() {
+		switch p.Feed {
+		case FullFeed, PartialFeed:
+			// Peer treats collector as customer => exports everything.
+			if err := n.Connect(p.AS, c.ASN, topo.RelCustomer); err != nil {
+				return err
+			}
+		case CustomerFeed:
+			// Peer treats collector as peer => exports customer routes.
+			if err := n.Connect(p.AS, c.ASN, topo.RelPeer); err != nil {
+				return err
+			}
+		}
+		// Collector peerings are community-transparent (§4.3 footnote:
+		// their configuration differs from the AS's regular policy).
+		if pr := n.Router(p.AS); pr != nil {
+			pr.EnableFullCommunityExport(c.ASN)
+		}
+	}
+	n.Tap(func(from, to topo.ASN, prefix netip.Prefix, rt *policy.Route) {
+		if to != c.ASN {
+			return
+		}
+		p, ok := c.peers[from]
+		if !ok {
+			return
+		}
+		if p.Feed == PartialFeed && !partialKeeps(c.ASN, from, prefix) {
+			return
+		}
+		c.seq++
+		c.clock = c.clock.Add(37 * time.Millisecond) // logical session clock
+		var cp *policy.Route
+		if rt != nil {
+			cp = rt.Clone()
+		}
+		c.obs = append(c.obs, Observation{
+			Seq: c.seq, Time: c.clock, PeerAS: from, Prefix: prefix, Route: cp,
+		})
+	})
+	return nil
+}
+
+// partialKeeps deterministically keeps ~half the prefixes of a partial
+// feed.
+func partialKeeps(collector, peer topo.ASN, p netip.Prefix) bool {
+	h := fnv.New32a()
+	var b [20]byte
+	b[0] = byte(collector)
+	b[1] = byte(peer)
+	b[2] = byte(peer >> 8)
+	a := p.Addr().As16()
+	copy(b[3:], a[:])
+	b[19] = byte(p.Bits())
+	h.Write(b[:])
+	return h.Sum32()%2 == 0
+}
+
+// Observations returns everything recorded so far.
+func (c *Collector) Observations() []Observation { return c.obs }
+
+// Node exposes the collector's router (its Adj-RIB-In is the RIB snapshot
+// source).
+func (c *Collector) Node() *router.Router { return c.node }
+
+// peerIP derives a deterministic session address.
+func peerIP(collector, peer topo.ASN) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(collector), byte(peer >> 8), byte(peer)})
+}
+
+// collectorIP is the local session address.
+func collectorIP(collector topo.ASN) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(collector), 0, 1})
+}
+
+// WriteUpdatesMRT serializes all observations as BGP4MP_MESSAGE_AS4
+// records, announcements and withdrawals alike.
+func (c *Collector) WriteUpdatesMRT(w io.Writer) (int, error) {
+	mw := mrt.NewWriter(w)
+	for _, ob := range c.obs {
+		msg, err := observationToUpdate(ob)
+		if err != nil {
+			return mw.Count(), err
+		}
+		rec := &mrt.BGP4MPMessage{
+			Timestamp: ob.Time,
+			PeerAS:    ob.PeerAS,
+			LocalAS:   c.ASN,
+			PeerIP:    peerIP(c.ASN, ob.PeerAS),
+			LocalIP:   collectorIP(c.ASN),
+			Message:   msg,
+		}
+		if err := mw.Write(rec); err != nil {
+			return mw.Count(), err
+		}
+	}
+	return mw.Count(), nil
+}
+
+// observationToUpdate converts a recorded route into a wire UPDATE.
+func observationToUpdate(ob Observation) (*bgp.Update, error) {
+	if ob.Route == nil {
+		if ob.Prefix.Addr().Is4() {
+			return &bgp.Update{Withdrawn: []netip.Prefix{ob.Prefix}}, nil
+		}
+		return &bgp.Update{Attrs: bgp.PathAttributes{MPUnreachNLRI: []netip.Prefix{ob.Prefix}}}, nil
+	}
+	rt := ob.Route
+	attrs := bgp.PathAttributes{
+		Origin:      rt.Origin,
+		ASPath:      rt.ASPath.Clone(),
+		Communities: rt.Communities.Clone(),
+	}
+	if ob.Prefix.Addr().Is4() {
+		attrs.NextHop = peerIP(0, ob.PeerAS)
+		return &bgp.Update{Attrs: attrs, NLRI: []netip.Prefix{ob.Prefix}}, nil
+	}
+	attrs.MPReachNextHop = netip.MustParseAddr("2001:db8::1")
+	attrs.MPReachNLRI = []netip.Prefix{ob.Prefix}
+	return &bgp.Update{Attrs: attrs}, nil
+}
+
+// WriteRIBSnapshotMRT emits a TABLE_DUMP_V2 snapshot of the collector's
+// current Adj-RIB-In: one PEER_INDEX_TABLE followed by one RIB record per
+// prefix.
+func (c *Collector) WriteRIBSnapshotMRT(w io.Writer, at time.Time) (int, error) {
+	mw := mrt.NewWriter(w)
+	peers := c.Peers()
+	idx := make(map[topo.ASN]uint16, len(peers))
+	pit := &mrt.PeerIndexTable{
+		Timestamp:   at,
+		CollectorID: collectorIP(c.ASN),
+		ViewName:    c.Name,
+	}
+	for i, p := range peers {
+		idx[p.AS] = uint16(i)
+		pit.Peers = append(pit.Peers, mrt.PeerEntry{
+			BGPID: peerIP(c.ASN, p.AS), IP: p.IP, AS: p.AS,
+		})
+	}
+	if err := mw.Write(pit); err != nil {
+		return mw.Count(), err
+	}
+
+	type entryKey struct{ p netip.Prefix }
+	byPrefix := make(map[entryKey][]mrt.RIBEntry)
+	var order []netip.Prefix
+	c.node.EachAdjIn(func(p netip.Prefix, from topo.ASN, rt *policy.Route) {
+		// Partial feeds are partial in the table too.
+		if pr, ok := c.peers[from]; ok && pr.Feed == PartialFeed && !partialKeeps(c.ASN, from, p) {
+			return
+		}
+		k := entryKey{p}
+		if _, seen := byPrefix[k]; !seen {
+			order = append(order, p)
+		}
+		byPrefix[k] = append(byPrefix[k], mrt.RIBEntry{
+			PeerIndex:      idx[from],
+			OriginatedTime: at,
+			Attrs: bgp.PathAttributes{
+				Origin:      rt.Origin,
+				ASPath:      rt.ASPath.Clone(),
+				NextHop:     peerIP(0, from),
+				Communities: rt.Communities.Clone(),
+			},
+		})
+	})
+	for i, p := range order {
+		rec := &mrt.RIB{Timestamp: at, Sequence: uint32(i), Prefix: p, Entries: byPrefix[entryKey{p}]}
+		if err := mw.Write(rec); err != nil {
+			return mw.Count(), err
+		}
+	}
+	return mw.Count(), nil
+}
+
+// String describes the collector.
+func (c *Collector) String() string {
+	return fmt.Sprintf("%s/%s (AS%d, %d peers, %d observations)", c.Platform, c.Name, c.ASN, len(c.peers), len(c.obs))
+}

@@ -1,0 +1,228 @@
+// Package core implements the paper's primary contribution: the BGP
+// community propagation analysis pipeline of §4. It consumes route
+// collector data (in-memory observations or MRT byte streams), normalizes
+// AS paths (prepending removal), classifies communities as on-/off-path,
+// measures propagation distances (Fig. 5), counts transit propagators
+// (§4.3), infers per-edge community filtering from indication counts
+// (Fig. 6), and produces the dataset summaries of Tables 1 and 2 and the
+// use statistics of Figures 3 and 4.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/collector"
+	"bgpworms/internal/mrt"
+)
+
+// Update is one normalized routing observation at a collector.
+type Update struct {
+	Platform  string
+	Collector string
+	PeerAS    uint32
+	Time      time.Time
+	Prefix    netip.Prefix
+	// ASPath is nearest-AS-first (peer first, origin last), raw (with
+	// prepending).
+	ASPath []uint32
+	// Communities is the normalized community set.
+	Communities bgp.CommunitySet
+	// Withdraw marks withdrawals; attribute fields are empty for them.
+	Withdraw bool
+}
+
+// StrippedPath returns the path with consecutive duplicates (prepending)
+// collapsed — the normalization §4.1 applies before all analysis.
+func (u *Update) StrippedPath() []uint32 {
+	return bgp.Path(u.ASPath...).StripPrepending()
+}
+
+// OriginAS returns the originating AS (0 for empty paths).
+func (u *Update) OriginAS() uint32 {
+	if len(u.ASPath) == 0 {
+		return 0
+	}
+	return u.ASPath[len(u.ASPath)-1]
+}
+
+// CollectorMeta identifies one collector and its peering sessions.
+type CollectorMeta struct {
+	Platform string
+	Name     string
+	// PeerIPs is the number of peering sessions ("IP peers" in Table 1).
+	PeerIPs int
+	// PeerASNs are the distinct ASes peered with.
+	PeerASNs map[uint32]bool
+}
+
+// Dataset is the pipeline input: a month of updates across collectors.
+type Dataset struct {
+	Updates    []Update
+	Collectors []CollectorMeta
+}
+
+// FromCollectors converts attached collectors' archives into a Dataset.
+func FromCollectors(cs []*collector.Collector) *Dataset {
+	ds := &Dataset{}
+	for _, c := range cs {
+		meta := CollectorMeta{
+			Platform: string(c.Platform),
+			Name:     c.Name,
+			PeerASNs: make(map[uint32]bool),
+		}
+		for _, p := range c.Peers() {
+			meta.PeerIPs++
+			meta.PeerASNs[uint32(p.AS)] = true
+		}
+		ds.Collectors = append(ds.Collectors, meta)
+		for _, ob := range c.Observations() {
+			u := Update{
+				Platform:  string(c.Platform),
+				Collector: c.Name,
+				PeerAS:    uint32(ob.PeerAS),
+				Time:      ob.Time,
+				Prefix:    ob.Prefix,
+			}
+			if ob.Route == nil {
+				u.Withdraw = true
+			} else {
+				u.ASPath = ob.Route.ASPath.Sequence()
+				u.Communities = ob.Route.Communities.Clone()
+			}
+			ds.Updates = append(ds.Updates, u)
+		}
+	}
+	return ds
+}
+
+// ReadMRTUpdates parses a BGP4MP update stream (as written by
+// collector.WriteUpdatesMRT) into a Dataset fragment for one collector.
+func ReadMRTUpdates(platform, collectorName string, r io.Reader) (*Dataset, error) {
+	ds := &Dataset{}
+	meta := CollectorMeta{Platform: platform, Name: collectorName, PeerASNs: make(map[uint32]bool)}
+	mr := mrt.NewReader(r)
+	for {
+		rec, err := mr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading MRT: %w", err)
+		}
+		msg, ok := rec.(*mrt.BGP4MPMessage)
+		if !ok {
+			continue // state changes etc. carry no routes
+		}
+		upd, ok := msg.Message.(*bgp.Update)
+		if !ok {
+			continue
+		}
+		meta.PeerASNs[msg.PeerAS] = true
+		base := Update{
+			Platform:  platform,
+			Collector: collectorName,
+			PeerAS:    msg.PeerAS,
+			Time:      msg.Timestamp,
+		}
+		for _, p := range upd.AllAnnounced() {
+			u := base
+			u.Prefix = p
+			u.ASPath = upd.Attrs.ASPath.Sequence()
+			u.Communities = upd.Attrs.Communities.Clone()
+			ds.Updates = append(ds.Updates, u)
+		}
+		for _, p := range upd.AllWithdrawn() {
+			u := base
+			u.Prefix = p
+			u.Withdraw = true
+			ds.Updates = append(ds.Updates, u)
+		}
+	}
+	meta.PeerIPs = len(meta.PeerASNs)
+	ds.Collectors = append(ds.Collectors, meta)
+	return ds, nil
+}
+
+// Merge appends other's updates and collectors into ds.
+func (ds *Dataset) Merge(other *Dataset) {
+	ds.Updates = append(ds.Updates, other.Updates...)
+	ds.Collectors = append(ds.Collectors, other.Collectors...)
+}
+
+// Announcements returns only non-withdrawal updates.
+func (ds *Dataset) Announcements() []Update {
+	out := make([]Update, 0, len(ds.Updates))
+	for _, u := range ds.Updates {
+		if !u.Withdraw {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Platforms lists distinct platforms in first-seen order.
+func (ds *Dataset) Platforms() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range ds.Collectors {
+		if !seen[c.Platform] {
+			seen[c.Platform] = true
+			out = append(out, c.Platform)
+		}
+	}
+	return out
+}
+
+// CollectorPeers returns the union of peer ASNs across collectors of a
+// platform ("" = all platforms).
+func (ds *Dataset) CollectorPeers(platform string) map[uint32]bool {
+	out := make(map[uint32]bool)
+	for _, c := range ds.Collectors {
+		if platform != "" && c.Platform != platform {
+			continue
+		}
+		for a := range c.PeerASNs {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// LatestRoutes reduces the update stream to the final route per
+// (collector, peer, prefix) — the "at the same time" concurrent view the
+// §4.4 filter inference iterates over. Withdrawn entries are removed.
+func (ds *Dataset) LatestRoutes() []Update {
+	type key struct {
+		col    string
+		peer   uint32
+		prefix netip.Prefix
+	}
+	last := make(map[key]Update)
+	var order []key
+	for _, u := range ds.Updates {
+		k := key{u.Collector, u.PeerAS, u.Prefix}
+		if _, seen := last[k]; !seen {
+			order = append(order, k)
+		}
+		last[k] = u
+	}
+	out := make([]Update, 0, len(order))
+	for _, k := range order {
+		if u := last[k]; !u.Withdraw {
+			out = append(out, u)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Collector != out[j].Collector {
+			return out[i].Collector < out[j].Collector
+		}
+		return out[i].PeerAS < out[j].PeerAS
+	})
+	return out
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sort"
+
+	"bgpworms/internal/stats"
+)
+
+// CollectorFraction is one point of Figure 4a: the fraction of a
+// collector's updates carrying at least one community.
+type CollectorFraction struct {
+	Platform  string
+	Collector string
+	Updates   int
+	WithComm  int
+}
+
+// Fraction returns the with-community share.
+func (c CollectorFraction) Fraction() float64 {
+	if c.Updates == 0 {
+		return 0
+	}
+	return float64(c.WithComm) / float64(c.Updates)
+}
+
+// Figure4a computes per-collector community fractions, sorted ascending
+// within each platform as the paper plots them.
+func Figure4a(ds *Dataset) []CollectorFraction {
+	idx := map[string]int{}
+	var out []CollectorFraction
+	for _, u := range ds.Updates {
+		if u.Withdraw {
+			continue
+		}
+		i, ok := idx[u.Collector]
+		if !ok {
+			i = len(out)
+			idx[u.Collector] = i
+			out = append(out, CollectorFraction{Platform: u.Platform, Collector: u.Collector})
+		}
+		out[i].Updates++
+		if len(u.Communities) > 0 {
+			out[i].WithComm++
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Platform != out[j].Platform {
+			return out[i].Platform < out[j].Platform
+		}
+		return out[i].Fraction() < out[j].Fraction()
+	})
+	return out
+}
+
+// OverallCommunityShare returns the global fraction of announcements with
+// at least one community (the paper's "more than 75%").
+func OverallCommunityShare(ds *Dataset) float64 {
+	total, with := 0, 0
+	for _, u := range ds.Updates {
+		if u.Withdraw {
+			continue
+		}
+		total++
+		if len(u.Communities) > 0 {
+			with++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(with) / float64(total)
+}
+
+// Figure4b holds the two per-update ECDFs of Figure 4b.
+type Figure4b struct {
+	// CommunitiesPerUpdate distributes the community count of each
+	// announcement.
+	CommunitiesPerUpdate *stats.ECDF
+	// ASesPerUpdate distributes the number of distinct ASes referenced by
+	// each announcement's communities.
+	ASesPerUpdate *stats.ECDF
+}
+
+// ComputeFigure4b builds both distributions.
+func ComputeFigure4b(ds *Dataset) Figure4b {
+	var comms, ases []float64
+	for _, u := range ds.Updates {
+		if u.Withdraw {
+			continue
+		}
+		comms = append(comms, float64(len(u.Communities)))
+		ases = append(ases, float64(len(u.Communities.ASNs())))
+	}
+	return Figure4b{
+		CommunitiesPerUpdate: stats.NewECDF(comms),
+		ASesPerUpdate:        stats.NewECDF(ases),
+	}
+}
+
+// RenderFigure4a renders the per-collector series.
+func RenderFigure4a(fracs []CollectorFraction) string {
+	t := stats.NewTable("Platform", "Collector", "Updates", "WithCommunities", "Fraction")
+	for _, f := range fracs {
+		t.Row(f.Platform, f.Collector, f.Updates, f.WithComm, f.Fraction())
+	}
+	return t.String()
+}
+
+// RenderFigure4b renders quantiles of both ECDFs.
+func RenderFigure4b(f Figure4b) string {
+	t := stats.NewTable("Quantile", "Communities/update", "ASes/update")
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		t.Row(q, f.CommunitiesPerUpdate.Quantile(q), f.ASesPerUpdate.Quantile(q))
+	}
+	return t.String()
+}

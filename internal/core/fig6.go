@@ -1,0 +1,252 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/stats"
+	"bgpworms/internal/topo"
+)
+
+// Edge is a directed AS adjacency (From forwarded to To).
+type Edge struct {
+	From, To uint32
+}
+
+// Indications accumulates the §4.4 per-edge evidence counts.
+type Indications struct {
+	// Forwarded counts (community, path) events where From demonstrably
+	// relayed a foreign community to To.
+	Forwarded int
+	// Filtered counts events where the community was known to reach From
+	// but was absent beyond it toward To.
+	Filtered int
+	// Added counts community-added indications (the tagger's egress edge).
+	Added int
+	// Paths counts concurrent routes traversing the edge (visibility).
+	Paths int
+}
+
+// FilterInference is the Figure 6 computation output.
+type FilterInference struct {
+	Edges map[Edge]*Indications
+}
+
+// InferFiltering runs the §4.4 heuristic over the dataset's concurrent
+// view (latest route per collector peer): for every prefix and community,
+// ASes downstream of the conservative tagger are known receivers; an
+// announcement of the same prefix passing through a known receiver without
+// the community yields a filtered indication on the egress edge where it
+// went missing.
+func InferFiltering(ds *Dataset) *FilterInference {
+	fi := &FilterInference{Edges: make(map[Edge]*Indications)}
+	routes := ds.LatestRoutes()
+
+	// Group concurrent routes by prefix.
+	byPrefix := make(map[netip.Prefix][]Update)
+	for _, u := range routes {
+		byPrefix[u.Prefix] = append(byPrefix[u.Prefix], u)
+	}
+
+	get := func(e Edge) *Indications {
+		in := fi.Edges[e]
+		if in == nil {
+			in = &Indications{}
+			fi.Edges[e] = in
+		}
+		return in
+	}
+
+	for _, anns := range byPrefix {
+		// Path visibility counts (origin-first edges).
+		for _, u := range anns {
+			o := originFirst(u.StrippedPath())
+			for k := 0; k+1 < len(o); k++ {
+				get(Edge{o[k], o[k+1]}).Paths++
+			}
+		}
+		// Candidate communities for this prefix.
+		commSet := map[bgp.Community]bool{}
+		for _, u := range anns {
+			for _, c := range u.Communities {
+				if c.ASN() != 0 && c.ASN() != 0xFFFF {
+					commSet[c] = true
+				}
+			}
+		}
+		for c := range commSet {
+			// Receivers: tagger and everyone after it on each carrying
+			// path.
+			received := map[uint32]bool{}
+			for _, u := range anns {
+				if !u.Communities.Has(c) {
+					continue
+				}
+				path := u.StrippedPath()
+				ti := TaggerIndex(path, c)
+				if ti < 0 {
+					continue // off-path: no geometry to reason about
+				}
+				o := originFirst(path)
+				oi := len(o) - 1 - ti
+				// Added indication on the tagger's egress edge.
+				if oi+1 < len(o) {
+					get(Edge{o[oi], o[oi+1]}).Added++
+				}
+				// Forward indications: each AS after the tagger that
+				// passed the community on (not counting the collector
+				// session, which is config-special per §4.3 footnote).
+				for k := oi + 1; k+1 < len(o); k++ {
+					get(Edge{o[k], o[k+1]}).Forwarded++
+				}
+				for k := oi; k < len(o); k++ {
+					received[o[k]] = true
+				}
+			}
+			if len(received) == 0 {
+				continue
+			}
+			// Filtered indications: announcements of the same prefix
+			// without c that pass through a known receiver.
+			for _, u := range anns {
+				if u.Communities.Has(c) {
+					continue
+				}
+				o := originFirst(u.StrippedPath())
+				// The LAST receiver on the path is where the community
+				// was dropped toward the next hop.
+				for k := len(o) - 2; k >= 0; k-- {
+					if received[o[k]] {
+						get(Edge{o[k], o[k+1]}).Filtered++
+						break
+					}
+				}
+			}
+		}
+	}
+	return fi
+}
+
+func originFirst(path []uint32) []uint32 {
+	out := make([]uint32, len(path))
+	for i, a := range path {
+		out[len(path)-1-i] = a
+	}
+	return out
+}
+
+// Summary holds the §4.4 headline percentages.
+type FilterSummary struct {
+	TotalEdges      int
+	WithForwardSign int
+	WithFilterSign  int
+	// AtThreshold restricts to edges with >= MinPaths concurrent paths.
+	MinPaths            int
+	EdgesAtThreshold    int
+	ForwardAtThreshold  int
+	FilteredAtThreshold int
+}
+
+// Summarize computes edge-level statistics; minPaths mirrors the paper's
+// ">= 100 AS paths" visibility threshold (scaled for synthetic data).
+func (fi *FilterInference) Summarize(minPaths int) FilterSummary {
+	s := FilterSummary{MinPaths: minPaths}
+	for _, in := range fi.Edges {
+		s.TotalEdges++
+		if in.Forwarded > 0 {
+			s.WithForwardSign++
+		}
+		if in.Filtered > 0 {
+			s.WithFilterSign++
+		}
+		if in.Paths >= minPaths {
+			s.EdgesAtThreshold++
+			if in.Forwarded > 0 {
+				s.ForwardAtThreshold++
+			}
+			if in.Filtered > 0 {
+				s.FilteredAtThreshold++
+			}
+		}
+	}
+	return s
+}
+
+// Hexbin produces the Figure 6b log-log density: x = filtered+1, y =
+// forwarded+1 per edge (edges with either indication and >= minPaths
+// paths).
+func (fi *FilterInference) Hexbin(minPaths, cellsPerDecade int) []stats.Bin {
+	h := stats.NewLogBin2D(cellsPerDecade)
+	for _, in := range fi.Edges {
+		if in.Paths < minPaths || (in.Forwarded == 0 && in.Filtered == 0) {
+			continue
+		}
+		h.Add(float64(in.Filtered), float64(in.Forwarded))
+	}
+	return h.Bins()
+}
+
+// MixedEdges returns edges showing BOTH forward and filter indications —
+// the paper's "mixed picture" population.
+func (fi *FilterInference) MixedEdges(minPaths int) []Edge {
+	var out []Edge
+	for e, in := range fi.Edges {
+		if in.Paths >= minPaths && in.Forwarded > 0 && in.Filtered > 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// RelBreakdown cross-references indications with AS relationships (the
+// CAIDA join the paper attempts): counts of forward-/filter-signed edges
+// per relationship of To as seen from From.
+type RelBreakdown struct {
+	Rel             topo.Rel
+	Edges           int
+	WithForwardSign int
+	WithFilterSign  int
+}
+
+// ByRelationship joins edge indications with graph relationships.
+func (fi *FilterInference) ByRelationship(g *topo.Graph) []RelBreakdown {
+	acc := map[topo.Rel]*RelBreakdown{}
+	for _, r := range []topo.Rel{topo.RelCustomer, topo.RelPeer, topo.RelProvider} {
+		acc[r] = &RelBreakdown{Rel: r}
+	}
+	for e, in := range fi.Edges {
+		rel := g.Relationship(topo.ASN(e.From), topo.ASN(e.To))
+		b, ok := acc[rel]
+		if !ok {
+			continue
+		}
+		b.Edges++
+		if in.Forwarded > 0 {
+			b.WithForwardSign++
+		}
+		if in.Filtered > 0 {
+			b.WithFilterSign++
+		}
+	}
+	out := []RelBreakdown{*acc[topo.RelCustomer], *acc[topo.RelPeer], *acc[topo.RelProvider]}
+	return out
+}
+
+// RenderFilterSummary renders the §4.4 percentages.
+func RenderFilterSummary(s FilterSummary) string {
+	t := stats.NewTable("Metric", "Value")
+	t.Row("edges observed", s.TotalEdges)
+	t.Row("w/ forward indication", stats.Pct(s.WithForwardSign, s.TotalEdges))
+	t.Row("w/ filter indication", stats.Pct(s.WithFilterSign, s.TotalEdges))
+	t.Row("edges >= min paths", s.EdgesAtThreshold)
+	t.Row("forward @ threshold", stats.Pct(s.ForwardAtThreshold, s.EdgesAtThreshold))
+	t.Row("filter @ threshold", stats.Pct(s.FilteredAtThreshold, s.EdgesAtThreshold))
+	return t.String()
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sort"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/stats"
+)
+
+// Table1Row is one platform row of Table 1 ("Overview of BGP dataset").
+type Table1Row struct {
+	Source       string
+	Messages     int
+	IPv4Prefixes int
+	IPv6Prefixes int
+	Collectors   int
+	IPPeers      int
+	ASPeers      int
+	Communities  int
+	ASes         int
+	Origin       int
+	Transit      int
+	Stub         int
+}
+
+// Table1 computes the dataset overview per platform plus the union row.
+func Table1(ds *Dataset) []Table1Row {
+	platforms := append(ds.Platforms(), "Total")
+	rows := make([]Table1Row, 0, len(platforms))
+	for _, pf := range platforms {
+		filter := pf
+		if pf == "Total" {
+			filter = ""
+		}
+		rows = append(rows, table1Row(ds, pf, filter))
+	}
+	return rows
+}
+
+func table1Row(ds *Dataset, label, platform string) Table1Row {
+	row := Table1Row{Source: label}
+	v4 := map[string]bool{}
+	v6 := map[string]bool{}
+	comms := map[bgp.Community]bool{}
+	ases := map[uint32]bool{}
+	origins := map[uint32]bool{}
+	transit := map[uint32]bool{}
+	cols := map[string]bool{}
+	for _, c := range ds.Collectors {
+		if platform != "" && c.Platform != platform {
+			continue
+		}
+		cols[c.Name] = true
+		row.IPPeers += c.PeerIPs
+	}
+	asPeers := ds.CollectorPeers(platform)
+	for _, u := range ds.Updates {
+		if platform != "" && u.Platform != platform {
+			continue
+		}
+		row.Messages++
+		if u.Prefix.Addr().Is4() {
+			v4[u.Prefix.String()] = true
+		} else {
+			v6[u.Prefix.String()] = true
+		}
+		if u.Withdraw {
+			continue
+		}
+		for _, c := range u.Communities {
+			comms[c] = true
+		}
+		path := u.StrippedPath()
+		for i, a := range path {
+			ases[a] = true
+			if i == len(path)-1 {
+				origins[a] = true
+			} else {
+				// Neither origin nor the collector itself: transit role
+				// (§4.3 footnote 6).
+				transit[a] = true
+			}
+		}
+	}
+	row.IPv4Prefixes = len(v4)
+	row.IPv6Prefixes = len(v6)
+	row.Collectors = len(cols)
+	row.ASPeers = len(asPeers)
+	row.Communities = len(comms)
+	row.ASes = len(ases)
+	row.Origin = len(origins)
+	row.Transit = len(transit)
+	row.Stub = len(ases) - len(transit)
+	return row
+}
+
+// RenderTable1 renders rows in paper layout.
+func RenderTable1(rows []Table1Row) string {
+	t := stats.NewTable("Source", "Messages", "IPv4pfx", "IPv6pfx", "Collectors", "IPpeers", "ASpeers", "Communities", "ASes", "Origin", "Transit", "Stub")
+	for _, r := range rows {
+		t.Row(r.Source, r.Messages, r.IPv4Prefixes, r.IPv6Prefixes, r.Collectors, r.IPPeers, r.ASPeers, r.Communities, r.ASes, r.Origin, r.Transit, r.Stub)
+	}
+	return t.String()
+}
+
+// Table2Row is one platform row of Table 2 ("ASes with observed BGP
+// communities").
+type Table2Row struct {
+	Source string
+	// Total distinct ASes referenced in community high bits.
+	Total int
+	// WithoutCollectorPeer excludes ASes directly peering with the
+	// platform's collectors.
+	WithoutCollectorPeer int
+	// OnPath ASes appear on the AS path of an update carrying their
+	// community.
+	OnPath int
+	// OffPath ASes never do.
+	OffPath int
+	// OffPathWithoutPrivate excludes RFC 6996 private ASNs.
+	OffPathWithoutPrivate int
+}
+
+// Table2 computes community-AS classification per platform plus union.
+func Table2(ds *Dataset) []Table2Row {
+	platforms := append(ds.Platforms(), "Total")
+	rows := make([]Table2Row, 0, len(platforms))
+	for _, pf := range platforms {
+		filter := pf
+		if pf == "Total" {
+			filter = ""
+		}
+		rows = append(rows, table2Row(ds, pf, filter))
+	}
+	return rows
+}
+
+func table2Row(ds *Dataset, label, platform string) Table2Row {
+	row := Table2Row{Source: label}
+	all := map[uint32]bool{}
+	onPath := map[uint32]bool{}
+	for _, u := range ds.Updates {
+		if platform != "" && u.Platform != platform {
+			continue
+		}
+		if u.Withdraw || len(u.Communities) == 0 {
+			continue
+		}
+		path := u.StrippedPath()
+		inPath := map[uint32]bool{}
+		for _, a := range path {
+			inPath[a] = true
+		}
+		for _, c := range u.Communities {
+			asn := uint32(c.ASN())
+			if asn == 0 || asn == 0xFFFF {
+				continue // well-known ranges are not AS references
+			}
+			all[asn] = true
+			if inPath[asn] {
+				onPath[asn] = true
+			}
+		}
+	}
+	peers := ds.CollectorPeers(platform)
+	row.Total = len(all)
+	for a := range all {
+		if !peers[a] {
+			row.WithoutCollectorPeer++
+		}
+		if onPath[a] {
+			row.OnPath++
+		} else {
+			row.OffPath++
+			if !bgp.IsPrivateASN(a) {
+				row.OffPathWithoutPrivate++
+			}
+		}
+	}
+	return row
+}
+
+// RenderTable2 renders rows in paper layout.
+func RenderTable2(rows []Table2Row) string {
+	t := stats.NewTable("Source", "Total", "w/oCollPeer", "OnPath", "OffPath", "OffPath w/o private")
+	for _, r := range rows {
+		t.Row(r.Source, r.Total, r.WithoutCollectorPeer, r.OnPath, r.OffPath, r.OffPathWithoutPrivate)
+	}
+	return t.String()
+}
+
+// EvolutionMetrics extracts the four Figure 3 series values from a
+// dataset: unique ASes in communities, unique communities, absolute
+// community count, and table entries (latest-route count).
+func EvolutionMetrics(ds *Dataset) (uniqueASes, uniqueComms, absolute, tableEntries int) {
+	asSet := map[uint16]bool{}
+	commSet := map[bgp.Community]bool{}
+	for _, u := range ds.Updates {
+		if u.Withdraw {
+			continue
+		}
+		absolute += len(u.Communities)
+		for _, c := range u.Communities {
+			commSet[c] = true
+			if c.ASN() != 0 && c.ASN() != 0xFFFF {
+				asSet[c.ASN()] = true
+			}
+		}
+	}
+	return len(asSet), len(commSet), absolute, len(ds.LatestRoutes())
+}
+
+// sortedASNs is a test helper exported via the package for deterministic
+// set rendering.
+func sortedASNs(m map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,150 @@
+// Package gen builds synthetic Internets: a hierarchical AS topology
+// (tier-1 clique, transit tiers, stubs, IXPs with route servers), per-AS
+// community policies drawn from the §2 taxonomy, prefix allocations,
+// route-collector deployments mirroring the four platforms of Table 1, a
+// month of routing churn, and the 2010→2018 growth model behind Figure 3.
+//
+// This package substitutes for the paper's proprietary vantage: real MRT
+// archives from RIS/RouteViews/Isolario/PCH. Everything downstream (the
+// measurement pipeline in internal/core) consumes only the MRT byte
+// streams and RIB views the collectors emit, never generator internals.
+package gen
+
+import (
+	"bgpworms/internal/topo"
+)
+
+// Params sizes and seeds a synthetic Internet. The zero value is not
+// useful; start from a preset.
+type Params struct {
+	Seed int64
+
+	// Topology shape.
+	Tier1 int // clique of transit-free ASes
+	Mid   int // regional transit ASes
+	Stubs int // edge ASes
+
+	// MaxPrefixesPerOrigin bounds how many prefixes a stub originates
+	// (drawn uniformly from 1..Max).
+	MaxPrefixesPerOrigin int
+
+	// IXPs is the number of exchange points with route servers; members
+	// are drawn from mid-tier and stub ASes.
+	IXPs          int
+	IXPMemberSpan int // members per IXP
+
+	// ChurnEvents is how many withdraw/re-announce events the "month"
+	// contains; each produces update trains at every collector.
+	ChurnEvents int
+
+	// RTBHEvents is how many blackhole episodes (announce /32 with a
+	// provider's blackhole community, later withdraw) occur.
+	RTBHEvents int
+
+	// CollectorsPerPlatform and PeersPerCollector scale the measurement
+	// infrastructure (Table 1's 194 collectors / 5158 peers, scaled down).
+	CollectorsPerPlatform map[string]int
+	PeersPerCollector     int
+
+	// V6Share is the fraction of origins that also announce an IPv6
+	// prefix (the paper's dataset is 8% IPv6).
+	V6Share float64
+
+	// Policy mix: probability weights for community propagation modes
+	// (forward-all, strip-all, act-strip-own, strip-foreign). They need
+	// not sum to 1; they are normalized.
+	PropForwardAll   float64
+	PropStripAll     float64
+	PropActStripOwn  float64
+	PropStripForeign float64
+
+	// Service adoption probabilities for transit ASes.
+	PBlackholeService float64
+	PPrependService   float64
+	PLocalPrefService float64
+	PLocationTagging  float64
+
+	// POriginTags is the probability a stub tags its announcements with
+	// informational communities of its own.
+	POriginTags float64
+	// PIngressTags is the probability a transit AS tags routes with its
+	// own informational communities at ingress.
+	PIngressTags float64
+	// PBundling is the probability a transit AS adds a community
+	// referencing a neighbor AS (community bundling, an off-path source
+	// per §4.3).
+	PBundling float64
+	// PPrivateTag is the probability an origin adds a private-ASN
+	// community (the ~400 private ASes of Table 2).
+	PPrivateTag float64
+}
+
+// Tiny is the unit-test scale: converges in tens of milliseconds.
+func Tiny() Params {
+	p := base()
+	p.Tier1, p.Mid, p.Stubs = 3, 10, 40
+	p.ChurnEvents, p.RTBHEvents = 25, 4
+	p.IXPs, p.IXPMemberSpan = 1, 6
+	p.CollectorsPerPlatform = map[string]int{"RIS": 1, "RV": 1, "IS": 1, "PCH": 1}
+	p.PeersPerCollector = 4
+	return p
+}
+
+// Small is the default bench scale: a ~250-AS Internet, a second or two
+// end to end.
+func Small() Params {
+	p := base()
+	p.Tier1, p.Mid, p.Stubs = 5, 40, 200
+	p.ChurnEvents, p.RTBHEvents = 120, 12
+	p.IXPs, p.IXPMemberSpan = 2, 12
+	p.CollectorsPerPlatform = map[string]int{"RIS": 2, "RV": 2, "IS": 1, "PCH": 3}
+	p.PeersPerCollector = 8
+	return p
+}
+
+// Medium is the headline reproduction scale (~1k ASes).
+func Medium() Params {
+	p := base()
+	p.Tier1, p.Mid, p.Stubs = 8, 120, 900
+	p.ChurnEvents, p.RTBHEvents = 400, 30
+	p.IXPs, p.IXPMemberSpan = 3, 25
+	p.CollectorsPerPlatform = map[string]int{"RIS": 3, "RV": 3, "IS": 2, "PCH": 5}
+	p.PeersPerCollector = 10
+	return p
+}
+
+func base() Params {
+	return Params{
+		Seed:                 1,
+		MaxPrefixesPerOrigin: 2,
+		V6Share:              0.08,
+		// The mix is calibrated so the §4 headline shapes hold: >75% of
+		// announcements carry communities, half of the on-path ones travel
+		// more than half their path, and a visible minority of edges show
+		// filtering indications.
+		PropForwardAll:    0.55,
+		PropStripAll:      0.12,
+		PropActStripOwn:   0.20,
+		PropStripForeign:  0.13,
+		PBlackholeService: 0.35,
+		PPrependService:   0.40,
+		PLocalPrefService: 0.30,
+		PLocationTagging:  0.30,
+		POriginTags:       0.85,
+		PIngressTags:      0.45,
+		PBundling:         0.15,
+		PPrivateTag:       0.06,
+	}
+}
+
+// ASN ranges for generated entities. Everything stays below 2^16 so the
+// classic community format can address every AS.
+const (
+	ASNTier1Base     topo.ASN = 10
+	ASNMidBase       topo.ASN = 1000
+	ASNStubBase      topo.ASN = 10000
+	ASNIXPBase       topo.ASN = 59000
+	ASNCollectorBase topo.ASN = 60001
+	// ASNInjectorBase hosts attack-platform ASes (PEERING analogue).
+	ASNInjectorBase topo.ASN = 61000
+)

@@ -1,0 +1,54 @@
+package mrt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the reader never panics on arbitrary byte streams.
+func TestProperty_ReaderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %x: %v", data, r)
+			}
+		}()
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 100; i++ {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mutation robustness over a valid multi-record stream.
+func TestMutatedStreamRobustness(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		if err := w.Write(sampleMessage(i%2 == 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte(nil), valid...)
+		for f := 0; f < 1+rng.Intn(5); f++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		r := NewReader(bytes.NewReader(mut))
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package netx
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMustPrefixMasks(t *testing.T) {
+	p := MustPrefix("10.1.2.3/8")
+	if p.String() != "10.0.0.0/8" {
+		t.Fatalf("got %s, want 10.0.0.0/8", p)
+	}
+}
+
+func TestMustPrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad prefix")
+		}
+	}()
+	MustPrefix("not-a-prefix")
+}
+
+func TestCovers(t *testing.T) {
+	cases := []struct {
+		outer, inner string
+		covers, more bool
+	}{
+		{"10.0.0.0/8", "10.1.0.0/16", true, true},
+		{"10.0.0.0/8", "10.0.0.0/8", true, false},
+		{"10.1.0.0/16", "10.0.0.0/8", false, false},
+		{"10.0.0.0/8", "11.0.0.0/16", false, false},
+		{"0.0.0.0/0", "192.168.1.0/24", true, true},
+		{"2001:db8::/32", "2001:db8:1::/48", true, true},
+	}
+	for _, c := range cases {
+		o, i := MustPrefix(c.outer), MustPrefix(c.inner)
+		if got := Covers(o, i); got != c.covers {
+			t.Errorf("Covers(%s,%s)=%v want %v", c.outer, c.inner, got, c.covers)
+		}
+		if got := MoreSpecific(o, i); got != c.more {
+			t.Errorf("MoreSpecific(%s,%s)=%v want %v", c.outer, c.inner, got, c.more)
+		}
+	}
+}
+
+func TestHalves(t *testing.T) {
+	lo, hi := Halves(MustPrefix("10.0.0.0/8"))
+	if lo.String() != "10.0.0.0/9" || hi.String() != "10.128.0.0/9" {
+		t.Fatalf("got %s %s", lo, hi)
+	}
+	lo6, hi6 := Halves(MustPrefix("2001:db8::/32"))
+	if lo6.String() != "2001:db8::/33" || hi6.String() != "2001:db8:8000::/33" {
+		t.Fatalf("got %s %s", lo6, hi6)
+	}
+}
+
+func TestHalvesPanicsOnHostRoute(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Halves(MustPrefix("1.2.3.4/32"))
+}
+
+func TestNthAddr(t *testing.T) {
+	p := MustPrefix("192.0.2.0/24")
+	if got := NthAddr(p, 1); got != V4(192, 0, 2, 1) {
+		t.Fatalf("NthAddr(...,1)=%s", got)
+	}
+	if got := NthAddr(p, 256); got != V4(192, 0, 2, 0) {
+		t.Fatalf("NthAddr should wrap, got %s", got)
+	}
+	p6 := MustPrefix("2001:db8::/64")
+	a := NthAddr(p6, 5)
+	if !p6.Contains(a) {
+		t.Fatalf("NthAddr v6 escaped prefix: %s", a)
+	}
+}
+
+func TestComparePrefixOrdering(t *testing.T) {
+	ps := []netip.Prefix{
+		MustPrefix("2001:db8::/32"),
+		MustPrefix("10.0.0.0/16"),
+		MustPrefix("10.0.0.0/8"),
+		MustPrefix("9.0.0.0/8"),
+	}
+	sort.Slice(ps, func(i, j int) bool { return ComparePrefix(ps[i], ps[j]) < 0 })
+	want := []string{"9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16", "2001:db8::/32"}
+	for i, w := range want {
+		if ps[i].String() != w {
+			t.Fatalf("order[%d]=%s want %s", i, ps[i], w)
+		}
+	}
+}
+
+func TestTrieInsertGetDelete(t *testing.T) {
+	tr := NewTrie[int]()
+	if added := tr.Insert(MustPrefix("10.0.0.0/8"), 1); !added {
+		t.Fatal("first insert should add")
+	}
+	if added := tr.Insert(MustPrefix("10.0.0.0/8"), 2); added {
+		t.Fatal("second insert should replace, not add")
+	}
+	if v, ok := tr.Get(MustPrefix("10.0.0.0/8")); !ok || v != 2 {
+		t.Fatalf("Get=%v,%v", v, ok)
+	}
+	if _, ok := tr.Get(MustPrefix("10.0.0.0/9")); ok {
+		t.Fatal("sub-prefix should not be present")
+	}
+	if !tr.Delete(MustPrefix("10.0.0.0/8")) {
+		t.Fatal("delete should report true")
+	}
+	if tr.Delete(MustPrefix("10.0.0.0/8")) {
+		t.Fatal("double delete should report false")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len=%d want 0", tr.Len())
+	}
+}
+
+func TestTrieLongestPrefixMatch(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(MustPrefix("0.0.0.0/0"), "default")
+	tr.Insert(MustPrefix("10.0.0.0/8"), "eight")
+	tr.Insert(MustPrefix("10.1.0.0/16"), "sixteen")
+	tr.Insert(MustPrefix("10.1.2.0/24"), "twentyfour")
+
+	cases := []struct {
+		addr string
+		want string
+	}{
+		{"10.1.2.3", "twentyfour"},
+		{"10.1.3.3", "sixteen"},
+		{"10.9.9.9", "eight"},
+		{"192.168.0.1", "default"},
+	}
+	for _, c := range cases {
+		_, v, ok := tr.Lookup(netip.MustParseAddr(c.addr))
+		if !ok || v != c.want {
+			t.Errorf("Lookup(%s)=%q,%v want %q", c.addr, v, ok, c.want)
+		}
+	}
+}
+
+func TestTrieLookupMissAndFamilies(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustPrefix("10.0.0.0/8"), 4)
+	tr.Insert(MustPrefix("2001:db8::/32"), 6)
+	if _, _, ok := tr.Lookup(netip.MustParseAddr("11.0.0.1")); ok {
+		t.Fatal("expected miss")
+	}
+	if _, v, ok := tr.Lookup(netip.MustParseAddr("2001:db8::1")); !ok || v != 6 {
+		t.Fatal("v6 lookup failed")
+	}
+	if _, v, ok := tr.Lookup(netip.MustParseAddr("10.255.0.1")); !ok || v != 4 {
+		t.Fatal("v4 lookup failed")
+	}
+}
+
+func TestTrieLookupPrefix(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(MustPrefix("10.0.0.0/8"), "eight")
+	tr.Insert(MustPrefix("10.1.0.0/16"), "sixteen")
+	p, v, ok := tr.LookupPrefix(MustPrefix("10.1.2.0/24"))
+	if !ok || v != "sixteen" || p.String() != "10.1.0.0/16" {
+		t.Fatalf("got %s %q %v", p, v, ok)
+	}
+	// A /12 inside 10/8 but above /16 must match only the /8.
+	_, v, ok = tr.LookupPrefix(MustPrefix("10.0.0.0/12"))
+	if !ok || v != "eight" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+}
+
+func TestTrieWalkOrderAndCovered(t *testing.T) {
+	tr := NewTrie[int]()
+	ins := []string{"10.1.2.0/24", "10.0.0.0/8", "11.0.0.0/8", "10.1.0.0/16"}
+	for i, s := range ins {
+		tr.Insert(MustPrefix(s), i)
+	}
+	var got []string
+	tr.Walk(func(p netip.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "11.0.0.0/8"}
+	if len(got) != len(want) {
+		t.Fatalf("walk len=%d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk[%d]=%s want %s", i, got[i], want[i])
+		}
+	}
+	cov := tr.Covered(MustPrefix("10.0.0.0/8"))
+	if len(cov) != 3 {
+		t.Fatalf("covered=%v", cov)
+	}
+	if cov := tr.Covered(MustPrefix("12.0.0.0/8")); cov != nil {
+		t.Fatalf("covered should be empty, got %v", cov)
+	}
+}
+
+func TestTrieWalkEarlyStop(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustPrefix("10.0.0.0/8"), 0)
+	tr.Insert(MustPrefix("11.0.0.0/8"), 1)
+	n := 0
+	tr.Walk(func(netip.Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("walk visited %d, want 1", n)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	if !s.Add(MustPrefix("10.0.0.0/8")) || s.Add(MustPrefix("10.0.0.0/8")) {
+		t.Fatal("Add semantics wrong")
+	}
+	if !s.Contains(MustPrefix("10.0.0.0/8")) || s.Contains(MustPrefix("10.0.0.0/9")) {
+		t.Fatal("Contains wrong")
+	}
+	if !s.ContainsAddr(netip.MustParseAddr("10.2.3.4")) {
+		t.Fatal("ContainsAddr wrong")
+	}
+	if !s.CoversPrefix(MustPrefix("10.1.0.0/16")) || s.CoversPrefix(MustPrefix("11.0.0.0/16")) {
+		t.Fatal("CoversPrefix wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+}
+
+// randomV4Prefix derives a masked IPv4 prefix from arbitrary quick inputs.
+func randomV4Prefix(a, b, c, d byte, bits uint8) netip.Prefix {
+	return netip.PrefixFrom(V4(a, b, c, d), int(bits%33)).Masked()
+}
+
+// Property: after inserting a prefix, looking up any address inside it
+// returns a covering prefix.
+func TestTrieProperty_LookupCovers(t *testing.T) {
+	tr := NewTrie[int]()
+	f := func(a, b, c, d byte, bits uint8) bool {
+		p := randomV4Prefix(a, b, c, d, bits)
+		tr.Insert(p, 1)
+		got, _, ok := tr.Lookup(p.Addr())
+		return ok && Covers(got, netip.PrefixFrom(p.Addr(), 32))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: trie longest-prefix match agrees with a linear scan over the
+// same prefix set.
+func TestTrieProperty_MatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := NewTrie[int]()
+	var all []netip.Prefix
+	for i := 0; i < 500; i++ {
+		p := randomV4Prefix(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), uint8(rng.Intn(33)))
+		if tr.Insert(p, i) {
+			all = append(all, p)
+		}
+	}
+	linear := func(a netip.Addr) (netip.Prefix, bool) {
+		best, ok := netip.Prefix{}, false
+		for _, p := range all {
+			if p.Contains(a) && (!ok || p.Bits() > best.Bits()) {
+				best, ok = p, true
+			}
+		}
+		return best, ok
+	}
+	for i := 0; i < 1000; i++ {
+		a := V4(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+		wantP, wantOK := linear(a)
+		gotP, _, gotOK := tr.Lookup(a)
+		if wantOK != gotOK || (wantOK && wantP != gotP) {
+			t.Fatalf("addr %s: trie=%v,%v linear=%v,%v", a, gotP, gotOK, wantP, wantOK)
+		}
+	}
+}
+
+// Property: insert then delete returns the trie to not containing the key.
+func TestTrieProperty_DeleteRemoves(t *testing.T) {
+	f := func(a, b, c, d byte, bits uint8) bool {
+		tr := NewTrie[int]()
+		p := randomV4Prefix(a, b, c, d, bits)
+		tr.Insert(p, 7)
+		tr.Delete(p)
+		_, ok := tr.Get(p)
+		return !ok && tr.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := NewTrie[int]()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(randomV4Prefix(byte(rng.Intn(224)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0, uint8(8+rng.Intn(17))), i)
+	}
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = V4(byte(rng.Intn(224)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}

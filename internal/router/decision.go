@@ -1,0 +1,179 @@
+package router
+
+import (
+	"net/netip"
+	"sort"
+
+	"bgpworms/internal/netx"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/topo"
+)
+
+// decide recomputes the best route for p and reports whether it changed.
+func (r *Router) decide(p netip.Prefix) bool {
+	best := r.selectBest(p)
+	old, had := r.locRIB.Get(p)
+	if best == nil {
+		if !had {
+			return false
+		}
+		r.locRIB.Delete(p)
+		return true
+	}
+	if had && sameRoute(old, best) {
+		// Replace stored pointer to pick up community-only changes too;
+		// sameRoute compares them, so reaching here means no change.
+		return false
+	}
+	r.locRIB.Insert(p, best)
+	return true
+}
+
+// selectBest runs the decision process over local + Adj-RIB-In candidates.
+func (r *Router) selectBest(p netip.Prefix) *policy.Route {
+	var candidates []*policy.Route
+	if lr, ok := r.locals[p]; ok {
+		candidates = append(candidates, lr)
+	}
+	if m := r.adjIn[p]; m != nil {
+		keys := make([]topo.ASN, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			candidates = append(candidates, m[k])
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if betterRoute(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// betterRoute implements the BGP decision process, with the RTBH twist
+// baked into LocalPref (blackhole routes arrive with LocalPrefBlackhole,
+// which is why they win "even though the AS path of the tagged route is
+// longer", §5.1):
+//
+//  1. locally-originated beats learned (vendor "weight" semantics: an AS
+//     always prefers its own origination)
+//  2. higher LocalPref
+//  3. shorter AS path
+//  4. lower Origin
+//  5. lower MED
+//  6. lower neighbor ASN (deterministic tie-break)
+func betterRoute(a, b *policy.Route) bool {
+	aLocal := a.NextHopAS == 0
+	bLocal := b.NextHopAS == 0
+	if aLocal != bLocal {
+		return aLocal
+	}
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	al, bl := a.ASPath.HopLength(), b.ASPath.HopLength()
+	if al != bl {
+		return al < bl
+	}
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	if a.MED != b.MED {
+		return a.MED < b.MED
+	}
+	return a.NextHopAS < b.NextHopAS
+}
+
+// sameRoute compares the fields that matter for re-advertisement.
+func sameRoute(a, b *policy.Route) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Prefix != b.Prefix || a.NextHopAS != b.NextHopAS || a.LocalPref != b.LocalPref ||
+		a.Blackhole != b.Blackhole || a.Origin != b.Origin || a.MED != b.MED {
+		return false
+	}
+	as, bs := a.ASPath.Sequence(), b.ASPath.Sequence()
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	if len(a.Communities) != len(b.Communities) {
+		return false
+	}
+	for i := range a.Communities {
+		if a.Communities[i] != b.Communities[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BestRoute returns the Loc-RIB entry for exactly p.
+func (r *Router) BestRoute(p netip.Prefix) (*policy.Route, bool) {
+	return r.locRIB.Get(p.Masked())
+}
+
+// LookupFIB performs longest-prefix match for a destination address,
+// returning the best route covering it — the data-plane view.
+func (r *Router) LookupFIB(addr netip.Addr) (*policy.Route, bool) {
+	_, rt, ok := r.locRIB.Lookup(addr)
+	return rt, ok
+}
+
+// RIB returns every Loc-RIB route in canonical prefix order — the looking
+// glass view (§7 uses looking glasses for all validation).
+func (r *Router) RIB() []*policy.Route {
+	out := make([]*policy.Route, 0, r.locRIB.Len())
+	r.locRIB.Walk(func(_ netip.Prefix, rt *policy.Route) bool {
+		out = append(out, rt)
+		return true
+	})
+	return out
+}
+
+// EachAdjIn visits every Adj-RIB-In entry in deterministic order
+// (canonical prefix order, then ascending neighbor ASN). Collectors use
+// this to emit TABLE_DUMP_V2 snapshots with one entry per peer.
+func (r *Router) EachAdjIn(fn func(p netip.Prefix, from topo.ASN, rt *policy.Route)) {
+	prefixes := make([]netip.Prefix, 0, len(r.adjIn))
+	for p := range r.adjIn {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return netx.ComparePrefix(prefixes[i], prefixes[j]) < 0 })
+	for _, p := range prefixes {
+		m := r.adjIn[p]
+		peers := make([]topo.ASN, 0, len(m))
+		for a := range m {
+			peers = append(peers, a)
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+		for _, a := range peers {
+			fn(p, a, m[a])
+		}
+	}
+}
+
+// Prefixes returns all Loc-RIB prefixes in canonical order.
+func (r *Router) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, r.locRIB.Len())
+	r.locRIB.Walk(func(p netip.Prefix, _ *policy.Route) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}

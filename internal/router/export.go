@@ -1,0 +1,177 @@
+package router
+
+import (
+	"net/netip"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/topo"
+)
+
+// ExportDecision explains why an export did or did not happen.
+type ExportDecision int
+
+// Export outcomes.
+const (
+	ExportSent ExportDecision = iota
+	ExportSuppressedGaoRexford
+	ExportSuppressedNoExport
+	ExportSuppressedNoAdvertise
+	ExportSuppressedService
+	ExportSuppressedPolicy
+	ExportNothing
+)
+
+// String names the outcome.
+func (d ExportDecision) String() string {
+	switch d {
+	case ExportSent:
+		return "sent"
+	case ExportSuppressedGaoRexford:
+		return "suppressed-gao-rexford"
+	case ExportSuppressedNoExport:
+		return "suppressed-no-export"
+	case ExportSuppressedNoAdvertise:
+		return "suppressed-no-advertise"
+	case ExportSuppressedService:
+		return "suppressed-service"
+	case ExportSuppressedPolicy:
+		return "suppressed-policy"
+	default:
+		return "nothing"
+	}
+}
+
+// ExportTo computes the route this AS would announce to neighbor for
+// prefix p, applying Gao-Rexford export rules, well-known communities,
+// selective-announcement services, prepending services, vendor community
+// handling, propagation mode, and the per-neighbor export map.
+//
+// The returned route is a fresh copy safe for the receiver to mutate.
+func (r *Router) ExportTo(neighbor topo.ASN, p netip.Prefix) (*policy.Route, ExportDecision) {
+	best, ok := r.locRIB.Get(p.Masked())
+	if !ok {
+		return nil, ExportNothing
+	}
+	rel, ok := r.neighbors[neighbor]
+	if !ok {
+		return nil, ExportNothing
+	}
+	// Never send a route back to the neighbor we learned it from.
+	if best.NextHopAS == neighbor {
+		return nil, ExportSuppressedGaoRexford
+	}
+	// Gao-Rexford: routes from peers/providers go to customers only.
+	// Route servers (ReflectAll) redistribute everything.
+	fromCustomerOrLocal := best.NextHopAS == 0 || best.FromRel == topo.RelCustomer
+	if !fromCustomerOrLocal && rel != topo.RelCustomer && !r.cfg.ReflectAll {
+		return nil, ExportSuppressedGaoRexford
+	}
+	// Well-known communities.
+	if best.Communities.Has(bgp.CommunityNoAdvertise) {
+		return nil, ExportSuppressedNoAdvertise
+	}
+	if best.Communities.Has(bgp.CommunityNoExport) {
+		return nil, ExportSuppressedNoExport
+	}
+	if best.Communities.Has(bgp.CommunityNoPeer) && rel == topo.RelPeer {
+		return nil, ExportSuppressedNoExport
+	}
+
+	// Community services owned by this AS, evaluated in catalog order —
+	// the order itself resolves announce/no-announce conflicts (§5.3).
+	fromCustomer := best.FromRel == topo.RelCustomer
+	prepend := 0
+	hasAnnounceTo := false
+	announceDecided := false
+	announceAllowed := true
+	for _, svc := range r.cfg.Catalog.Active(best.Communities, fromCustomer || best.NextHopAS == 0) {
+		switch svc.Kind {
+		case policy.SvcNoExport:
+			return nil, ExportSuppressedService
+		case policy.SvcNoAnnounceTo:
+			if topo.ASN(svc.Param) == neighbor && !announceDecided {
+				announceAllowed = false
+				announceDecided = true
+			}
+		case policy.SvcAnnounceTo:
+			hasAnnounceTo = true
+			if topo.ASN(svc.Param) == neighbor && !announceDecided {
+				announceAllowed = true
+				announceDecided = true
+			}
+		case policy.SvcPrepend:
+			if prepend == 0 {
+				prepend = int(svc.Param)
+			}
+		}
+	}
+	if announceDecided && !announceAllowed {
+		return nil, ExportSuppressedService
+	}
+	if !announceDecided && hasAnnounceTo {
+		// Selective announcement: targets were named and this neighbor is
+		// not among them.
+		return nil, ExportSuppressedService
+	}
+
+	out := best.Clone()
+	selfHops := 1 + prepend
+	if r.cfg.Transparent {
+		selfHops = prepend // route servers stay off the AS path
+	}
+	out.ASPath = out.ASPath.Prepend(r.cfg.ASN, selfHops)
+	out.LocalPref = policy.DefaultLocalPref // LP is not transitive across eBGP
+	out.Blackhole = false                   // the *receiver* decides to null-route
+	out.NextHopAS = r.cfg.ASN
+	out.FromRel = topo.RelNone
+
+	// Vendor default: IOS without send-community strips everything (§6.1).
+	if r.cfg.Vendor == VendorCisco && !r.cfg.SendCommunity[neighbor] {
+		out.Communities = nil
+	} else {
+		mode := r.cfg.Propagation
+		if m, ok := r.cfg.PropagationPerNeighbor[neighbor]; ok {
+			mode = m
+		}
+		out.Communities = policy.ApplyPropagation(mode, uint16(r.cfg.ASN), out.Communities)
+	}
+
+	if rm := r.cfg.ExportMaps[neighbor]; rm != nil {
+		if !rm.Apply(out, r.cfg.ASN) {
+			return nil, ExportSuppressedPolicy
+		}
+	}
+	return out, ExportSent
+}
+
+// RecordAdvertised stores what was last sent to a neighbor, letting the
+// simulator deliver only genuine changes. It returns true when the new
+// announcement differs from the previous one.
+func (r *Router) RecordAdvertised(neighbor topo.ASN, p netip.Prefix, rt *policy.Route) bool {
+	m := r.adjOut[neighbor]
+	if m == nil {
+		m = make(map[netip.Prefix]*policy.Route)
+		r.adjOut[neighbor] = m
+	}
+	p = p.Masked()
+	prev, had := m[p]
+	if rt == nil {
+		if !had {
+			return false
+		}
+		delete(m, p)
+		return true
+	}
+	if had && sameRoute(prev, rt) {
+		return false
+	}
+	m[p] = rt
+	return true
+}
+
+// Advertised returns the last route recorded as sent to neighbor for p.
+func (r *Router) Advertised(neighbor topo.ASN, p netip.Prefix) (*policy.Route, bool) {
+	rt, ok := r.adjOut[neighbor][p.Masked()]
+	return rt, ok
+}

@@ -1,0 +1,64 @@
+package router
+
+import (
+	"net/netip"
+	"testing"
+
+	"bgpworms/internal/netx"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/topo"
+)
+
+// TestOriginAuthROV covers prefix→origin bindings (IRR route objects /
+// RPKI ROAs): a route for a bound prefix with the wrong origin is
+// rejected on any session type, and the §6.3 misconfiguration bypasses
+// even this.
+func TestOriginAuthROV(t *testing.T) {
+	victim := netx.MustPrefix("203.0.113.0/24")
+	mk := func(misconfig bool) *Router {
+		bh := policy.NewCatalog(65001)
+		bh.Add(policy.Service{Community: 65001<<16 | 666, Kind: policy.SvcBlackhole})
+		r := New(Config{
+			ASN: 65001, Vendor: VendorJuniper,
+			ValidateOrigin:          true,
+			OriginAuth:              map[netip.Prefix]topo.ASN{victim: 111},
+			Catalog:                 bh,
+			BlackholeMinLen:         24,
+			BlackholeBeforeValidate: misconfig,
+		})
+		r.AddNeighbor(64500, topo.RelPeer) // peers: no CustomerPrefixes check
+		return r
+	}
+
+	// Correct origin passes.
+	r := mk(false)
+	legit := route(victim, 64500, 111)
+	if res, _ := r.ReceiveUpdate(64500, legit); res != ImportAccepted {
+		t.Fatalf("legit origin rejected: %v", res)
+	}
+
+	// Wrong origin rejected even from a peer.
+	bad := route(victim, 64500, 222)
+	if res, _ := r.ReceiveUpdate(64500, bad); res != ImportRejectedOriginInvalid {
+		t.Fatalf("hijack accepted: %v", res)
+	}
+
+	// Unbound prefixes are unaffected (not-found = unknown, accepted).
+	other := route(netx.MustPrefix("198.51.100.0/24"), 64500, 222)
+	if res, _ := r.ReceiveUpdate(64500, other); res != ImportAccepted {
+		t.Fatalf("unbound prefix rejected: %v", res)
+	}
+
+	// Misconfigured order: blackhole-tagged hijack slips through ROV too.
+	rm := mk(true)
+	tagged := route(victim, 64500, 222)
+	tagged.Communities = tagged.Communities.Add(65001<<16 | 666)
+	res, _ := rm.ReceiveUpdate(64500, tagged)
+	if res != ImportAccepted {
+		t.Fatalf("misconfig should accept tagged hijack: %v", res)
+	}
+	best, _ := rm.BestRoute(victim)
+	if !best.Blackhole {
+		t.Fatal("tagged hijack should be null-routed")
+	}
+}

@@ -1,0 +1,391 @@
+// Package router models an AS-level BGP speaker: Adj-RIB-In, Loc-RIB with
+// the full decision process, per-neighbor import/export policy, the
+// community-triggered services of §2, and the vendor-specific behaviours
+// §6 measured in the lab (JunOS forwards communities by default, IOS
+// strips them unless send-community is configured, IOS caps community
+// additions at 32, and route-map term order decides whether blackhole
+// processing happens before or after origin validation).
+package router
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/netx"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/topo"
+)
+
+// Vendor selects default community-handling behaviour (§6.1).
+type Vendor int
+
+// Vendors exercised in the paper's lab.
+const (
+	// VendorJuniper propagates received communities by default.
+	VendorJuniper Vendor = iota
+	// VendorCisco strips communities on export unless send-community is
+	// configured per neighbor, and caps added communities at 32.
+	VendorCisco
+)
+
+// CiscoMaxAddedCommunities is the IOS limit on distinct communities a
+// configuration can add to a prefix (§6.1).
+const CiscoMaxAddedCommunities = 32
+
+// Default local preferences by relationship; customers are preferred, the
+// standard Gao-Rexford economic ordering.
+const (
+	LocalPrefCustomer  uint32 = 140
+	LocalPrefPeer      uint32 = 120
+	LocalPrefProvider  uint32 = 100
+	LocalPrefBlackhole uint32 = 200 // RTBH configs raise precedence (§5.1)
+)
+
+// Config parameterizes a router.
+type Config struct {
+	ASN    topo.ASN
+	Vendor Vendor
+
+	// SendCommunity enables community export toward a neighbor. Relevant
+	// for VendorCisco only; VendorJuniper sends regardless.
+	SendCommunity map[topo.ASN]bool
+
+	// Propagation is the AS-wide community forwarding mode, overridable
+	// per neighbor.
+	Propagation            policy.PropagationMode
+	PropagationPerNeighbor map[topo.ASN]policy.PropagationMode
+
+	// Catalog lists the community services this AS offers.
+	Catalog *policy.Catalog
+
+	// ImportMaps / ExportMaps are per-neighbor route-maps; nil accepts.
+	ImportMaps map[topo.ASN]*policy.RouteMap
+	ExportMaps map[topo.ASN]*policy.RouteMap
+
+	// LocationTags are ingress-point communities added to routes learned
+	// from the keyed neighbor (the AS6 LAX/FRA tagging of Figure 1).
+	LocationTags map[topo.ASN]bgp.Community
+
+	// MaxPrefixLen rejects announcements more specific than this (0 =
+	// unlimited). Blackhole-tagged announcements are exempt up to /32 when
+	// the AS offers RTBH, per §7.3 "blackhole announcements typically must
+	// be for a /24 or more specific prefix".
+	MaxPrefixLen int
+
+	// BlackholeMinLen requires blackhole announcements to be at least this
+	// specific (commonly 24, some providers require /32).
+	BlackholeMinLen int
+
+	// BlackholeAddNoExport tags accepted blackhole routes with NO_EXPORT,
+	// the RFC 7999 recommendation most RTBH deployments follow — the
+	// reason blackholing communities travel shorter distances than
+	// communities at large (Fig. 5a).
+	BlackholeAddNoExport bool
+
+	// CustomerPrefixes is the IRR-derived per-customer allowed prefix
+	// list. When ValidateOrigin is set, customer announcements outside the
+	// list are rejected.
+	CustomerPrefixes map[topo.ASN]*policy.PrefixList
+	ValidateOrigin   bool
+
+	// OriginAuth binds prefixes to their authorized origin AS (IRR route
+	// objects / RPKI ROAs). With ValidateOrigin set, a route for a bound
+	// prefix whose AS-path origin differs is rejected — on any session.
+	OriginAuth map[netip.Prefix]topo.ASN
+
+	// BlackholeBeforeValidate reproduces the §6.3 misconfiguration: the
+	// blackhole community is honoured before origin validation runs,
+	// enabling hijack-based blackholing.
+	BlackholeBeforeValidate bool
+
+	// Transparent suppresses prepending the local ASN on export — IXP
+	// route servers are "by convention not on the AS path" (§4.3), which
+	// is what makes their communities appear off-path.
+	Transparent bool
+
+	// ReflectAll disables Gao-Rexford export filtering, redistributing
+	// every best route to every session — route-server semantics.
+	ReflectAll bool
+}
+
+// Router is a single-AS BGP speaker.
+type Router struct {
+	cfg       Config
+	neighbors map[topo.ASN]topo.Rel
+	locals    map[netip.Prefix]*policy.Route
+	adjIn     map[netip.Prefix]map[topo.ASN]*policy.Route
+	locRIB    *netx.Trie[*policy.Route]
+	adjOut    map[topo.ASN]map[netip.Prefix]*policy.Route
+}
+
+// New constructs a router from cfg.
+func New(cfg Config) *Router {
+	return &Router{
+		cfg:       cfg,
+		neighbors: make(map[topo.ASN]topo.Rel),
+		locals:    make(map[netip.Prefix]*policy.Route),
+		adjIn:     make(map[netip.Prefix]map[topo.ASN]*policy.Route),
+		locRIB:    netx.NewTrie[*policy.Route](),
+		adjOut:    make(map[topo.ASN]map[netip.Prefix]*policy.Route),
+	}
+}
+
+// ASN returns the router's AS number.
+func (r *Router) ASN() topo.ASN { return r.cfg.ASN }
+
+// Config exposes the configuration for inspection by the lab harness.
+func (r *Router) Config() *Config { return &r.cfg }
+
+// AddNeighbor registers an eBGP session with the given relationship
+// (what the neighbor is to us).
+func (r *Router) AddNeighbor(asn topo.ASN, rel topo.Rel) {
+	r.neighbors[asn] = rel
+	if r.adjOut[asn] == nil {
+		r.adjOut[asn] = make(map[netip.Prefix]*policy.Route)
+	}
+}
+
+// EnableFullCommunityExport makes the session to neighbor fully
+// community-transparent regardless of the AS-wide policy. Route-collector
+// peerings are configured this way in practice — "the configuration for
+// these peerings is often collector specific and may differ from the
+// regular policy of the AS" (§4.3).
+func (r *Router) EnableFullCommunityExport(neighbor topo.ASN) {
+	if r.cfg.PropagationPerNeighbor == nil {
+		r.cfg.PropagationPerNeighbor = make(map[topo.ASN]policy.PropagationMode)
+	}
+	r.cfg.PropagationPerNeighbor[neighbor] = policy.PropForwardAll
+	if r.cfg.SendCommunity == nil {
+		r.cfg.SendCommunity = make(map[topo.ASN]bool)
+	}
+	r.cfg.SendCommunity[neighbor] = true
+}
+
+// Neighbors returns all sessions in ascending ASN order.
+func (r *Router) Neighbors() []topo.ASN {
+	out := make([]topo.ASN, 0, len(r.neighbors))
+	for n := range r.neighbors {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NeighborRel returns the relationship of a neighbor.
+func (r *Router) NeighborRel(asn topo.ASN) topo.Rel { return r.neighbors[asn] }
+
+// Originate injects a locally-originated prefix, optionally pre-tagged
+// with communities (the attacker's tool in every scenario), and reports
+// whether the Loc-RIB changed.
+func (r *Router) Originate(p netip.Prefix, comms ...bgp.Community) bool {
+	rt := policy.NewLocalRoute(p)
+	rt.Communities = bgp.NewCommunitySet(comms...)
+	r.locals[rt.Prefix] = rt
+	return r.decide(rt.Prefix)
+}
+
+// WithdrawLocal removes a locally-originated prefix.
+func (r *Router) WithdrawLocal(p netip.Prefix) bool {
+	p = p.Masked()
+	if _, ok := r.locals[p]; !ok {
+		return false
+	}
+	delete(r.locals, p)
+	return r.decide(p)
+}
+
+// LocalPrefixes lists locally originated prefixes in canonical order.
+func (r *Router) LocalPrefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(r.locals))
+	for p := range r.locals {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return netx.ComparePrefix(out[i], out[j]) < 0 })
+	return out
+}
+
+// ImportResult describes the fate of a received update for diagnostics.
+type ImportResult int
+
+// Import outcomes.
+const (
+	ImportAccepted ImportResult = iota
+	ImportRejectedLoop
+	ImportRejectedUnknownNeighbor
+	ImportRejectedTooSpecific
+	ImportRejectedOriginInvalid
+	ImportRejectedPolicy
+)
+
+// String names the outcome.
+func (ir ImportResult) String() string {
+	switch ir {
+	case ImportAccepted:
+		return "accepted"
+	case ImportRejectedLoop:
+		return "rejected-loop"
+	case ImportRejectedUnknownNeighbor:
+		return "rejected-unknown-neighbor"
+	case ImportRejectedTooSpecific:
+		return "rejected-too-specific"
+	case ImportRejectedOriginInvalid:
+		return "rejected-origin-invalid"
+	case ImportRejectedPolicy:
+		return "rejected-policy"
+	default:
+		return "unknown"
+	}
+}
+
+// ReceiveUpdate processes an announcement from neighbor `from`. It returns
+// the import outcome and whether the Loc-RIB best route changed.
+func (r *Router) ReceiveUpdate(from topo.ASN, in *policy.Route) (ImportResult, bool) {
+	rel, ok := r.neighbors[from]
+	if !ok {
+		return ImportRejectedUnknownNeighbor, false
+	}
+	if in.ASPath.HasLoop(r.cfg.ASN) {
+		return ImportRejectedLoop, false
+	}
+	rt := in.Clone()
+	rt.NextHopAS = from
+	rt.FromRel = rel
+	rt.Blackhole = false
+
+	fromCustomer := rel == topo.RelCustomer
+
+	// Determine whether the update triggers our RTBH service.
+	blackholeTagged := false
+	if r.cfg.Catalog != nil {
+		if bh, ok := r.cfg.Catalog.BlackholeCommunity(); ok && rt.Communities.Has(bh) {
+			blackholeTagged = true
+		}
+	}
+	// RFC 7999 well-known BLACKHOLE is honoured by ASes offering RTBH.
+	if !blackholeTagged && r.cfg.Catalog != nil {
+		if _, offers := r.cfg.Catalog.BlackholeCommunity(); offers && rt.Communities.Has(bgp.CommunityBlackhole) {
+			blackholeTagged = true
+		}
+	}
+	if blackholeTagged && r.cfg.BlackholeMinLen > 0 && rt.Prefix.Bits() < r.cfg.BlackholeMinLen {
+		blackholeTagged = false // too coarse for RTBH; treat as ordinary route
+	}
+
+	applyBlackhole := func() {
+		rt.Blackhole = true
+		rt.LocalPref = LocalPrefBlackhole
+		if r.cfg.BlackholeAddNoExport {
+			rt.Communities = rt.Communities.Add(bgp.CommunityNoExport)
+		}
+	}
+
+	validated := true
+	if r.cfg.ValidateOrigin && fromCustomer {
+		pl := r.cfg.CustomerPrefixes[from]
+		if !pl.Matches(rt.Prefix) {
+			validated = false
+		}
+	}
+	if validated && r.cfg.ValidateOrigin && len(r.cfg.OriginAuth) > 0 {
+		if want, ok := r.cfg.OriginAuth[rt.Prefix]; ok && rt.ASPath.Origin() != want {
+			validated = false
+		}
+	}
+
+	if blackholeTagged && r.cfg.BlackholeBeforeValidate {
+		// §6.3 misconfiguration: blackhole precedence skips validation.
+		applyBlackhole()
+	} else {
+		if !validated {
+			return ImportRejectedOriginInvalid, false
+		}
+		if blackholeTagged {
+			applyBlackhole()
+		}
+	}
+
+	if !rt.Blackhole && r.cfg.MaxPrefixLen > 0 {
+		// MaxPrefixLen is the IPv4 hygiene limit; the IPv6 convention is
+		// /48 (twice the host-bit headroom).
+		limit := r.cfg.MaxPrefixLen
+		if rt.Prefix.Addr().Is6() {
+			limit = 48
+		}
+		if rt.Prefix.Bits() > limit {
+			return ImportRejectedTooSpecific, false
+		}
+	}
+
+	if !rt.Blackhole {
+		switch rel {
+		case topo.RelCustomer:
+			rt.LocalPref = LocalPrefCustomer
+		case topo.RelPeer:
+			rt.LocalPref = LocalPrefPeer
+		default:
+			rt.LocalPref = LocalPrefProvider
+		}
+	}
+
+	// Community services at ingress (local-pref class; prepend and
+	// announce-control act at export; location is additive).
+	added := 0
+	for _, svc := range r.cfg.Catalog.Active(rt.Communities, fromCustomer) {
+		switch svc.Kind {
+		case policy.SvcLocalPref:
+			rt.LocalPref = svc.Param
+		case policy.SvcLocation:
+			// Location services bundle-tag on ingress.
+			if r.allowAdd(added) {
+				rt.Communities = rt.Communities.Add(bgp.C(uint16(r.cfg.ASN), uint16(svc.Param)))
+				added++
+			}
+		}
+	}
+
+	// Ingress location tagging per neighbor (Figure 1, AS6 style).
+	if tag, ok := r.cfg.LocationTags[from]; ok && r.allowAdd(added) {
+		rt.Communities = rt.Communities.Add(tag)
+		added++
+	}
+
+	if rm := r.cfg.ImportMaps[from]; rm != nil {
+		if !rm.Apply(rt, r.cfg.ASN) {
+			return ImportRejectedPolicy, false
+		}
+	}
+
+	m := r.adjIn[rt.Prefix]
+	if m == nil {
+		m = make(map[topo.ASN]*policy.Route)
+		r.adjIn[rt.Prefix] = m
+	}
+	m[from] = rt
+	return ImportAccepted, r.decide(rt.Prefix)
+}
+
+// ReceiveWithdraw processes a withdrawal from a neighbor and reports
+// whether the best route changed.
+func (r *Router) ReceiveWithdraw(from topo.ASN, p netip.Prefix) bool {
+	p = p.Masked()
+	m := r.adjIn[p]
+	if m == nil {
+		return false
+	}
+	if _, ok := m[from]; !ok {
+		return false
+	}
+	delete(m, from)
+	return r.decide(p)
+}
+
+// allowAdd enforces the IOS 32-addition cap (§6.1).
+func (r *Router) allowAdd(added int) bool {
+	return r.cfg.Vendor != VendorCisco || added < CiscoMaxAddedCommunities
+}
+
+func (r *Router) String() string {
+	return fmt.Sprintf("AS%d (%d neighbors, %d prefixes)", r.cfg.ASN, len(r.neighbors), r.locRIB.Len())
+}

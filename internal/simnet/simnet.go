@@ -1,0 +1,228 @@
+// Package simnet runs a deterministic AS-level BGP network to convergence:
+// a work-queue propagation engine over router.Router instances, a
+// resolvable data plane (forward / traceroute / ping over the converged
+// FIBs), looking-glass views, and a session tap that collectors use to
+// record MRT-faithful update streams.
+package simnet
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/router"
+	"bgpworms/internal/topo"
+)
+
+// UpdateTap observes every delivered announcement (rt != nil) or
+// withdrawal (rt == nil) on the session from→to. Collectors attach here.
+type UpdateTap func(from, to topo.ASN, prefix netip.Prefix, rt *policy.Route)
+
+// Network is a set of interconnected routers plus the propagation engine.
+type Network struct {
+	Graph   *topo.Graph
+	routers map[topo.ASN]*router.Router
+
+	// queue of (asn, prefix) pairs whose exports must be recomputed.
+	queue   []workItem
+	queued  map[workItem]bool
+	taps    []UpdateTap
+	steps   int
+	maxWork int
+	// noDedup disables work-item coalescing (ablation knob; see
+	// DESIGN.md "event-queue convergence").
+	noDedup bool
+}
+
+type workItem struct {
+	asn    topo.ASN
+	prefix netip.Prefix
+}
+
+// ConfigFunc builds the router configuration for an AS. The returned
+// config's ASN field is overwritten with asn.
+type ConfigFunc func(asn topo.ASN) router.Config
+
+// DefaultConfig gives every AS JunOS-style forward-all behaviour.
+func DefaultConfig(asn topo.ASN) router.Config {
+	return router.Config{ASN: asn, Vendor: router.VendorJuniper, Propagation: policy.PropForwardAll}
+}
+
+// New builds a network over g, configuring each AS via mk (nil =
+// DefaultConfig) and wiring sessions for every graph edge.
+func New(g *topo.Graph, mk ConfigFunc) *Network {
+	if mk == nil {
+		mk = DefaultConfig
+	}
+	n := &Network{
+		Graph:   g,
+		routers: make(map[topo.ASN]*router.Router, g.NumASes()),
+		queued:  make(map[workItem]bool),
+		maxWork: 0,
+	}
+	for _, asn := range g.ASes() {
+		cfg := mk(asn)
+		cfg.ASN = asn
+		n.routers[asn] = router.New(cfg)
+	}
+	for _, asn := range g.ASes() {
+		r := n.routers[asn]
+		for _, nb := range g.Neighbors(asn) {
+			r.AddNeighbor(nb, g.Relationship(asn, nb))
+		}
+	}
+	return n
+}
+
+// Router returns the speaker for asn (nil if absent).
+func (n *Network) Router(asn topo.ASN) *router.Router { return n.routers[asn] }
+
+// AddRouter inserts an extra node (e.g. a route server or an injection
+// platform) that is not part of the relationship graph. Sessions must be
+// wired explicitly with Connect.
+func (n *Network) AddRouter(r *router.Router) {
+	n.routers[r.ASN()] = r
+}
+
+// Connect wires a bilateral session between two present routers, with rel
+// describing what b is to a.
+func (n *Network) Connect(a, b topo.ASN, rel topo.Rel) error {
+	ra, rb := n.routers[a], n.routers[b]
+	if ra == nil || rb == nil {
+		return fmt.Errorf("simnet: connect %d-%d: missing router", a, b)
+	}
+	ra.AddNeighbor(b, rel)
+	var back topo.Rel
+	switch rel {
+	case topo.RelCustomer:
+		back = topo.RelProvider
+	case topo.RelProvider:
+		back = topo.RelCustomer
+	default:
+		back = topo.RelPeer
+	}
+	rb.AddNeighbor(a, back)
+	return nil
+}
+
+// Tap registers an update observer.
+func (n *Network) Tap(t UpdateTap) { n.taps = append(n.taps, t) }
+
+// Steps returns the number of update deliveries processed so far.
+func (n *Network) Steps() int { return n.steps }
+
+func (n *Network) schedule(asn topo.ASN, p netip.Prefix) {
+	it := workItem{asn: asn, prefix: p.Masked()}
+	if !n.noDedup {
+		if n.queued[it] {
+			return
+		}
+		n.queued[it] = true
+	}
+	n.queue = append(n.queue, it)
+}
+
+// SetSchedulingDedup toggles work-item coalescing; disabling it is the
+// naive scheduling baseline measured by the convergence ablation bench.
+func (n *Network) SetSchedulingDedup(enabled bool) { n.noDedup = !enabled }
+
+// Announce originates prefix at asn with optional communities and runs the
+// network to convergence, returning the number of deliveries processed.
+func (n *Network) Announce(asn topo.ASN, p netip.Prefix, comms ...bgp.Community) (int, error) {
+	r := n.routers[asn]
+	if r == nil {
+		return 0, fmt.Errorf("simnet: announce from unknown AS%d", asn)
+	}
+	if r.Originate(p, comms...) {
+		n.schedule(asn, p)
+	}
+	return n.Run()
+}
+
+// Withdraw removes a locally originated prefix at asn and reconverges.
+func (n *Network) Withdraw(asn topo.ASN, p netip.Prefix) (int, error) {
+	r := n.routers[asn]
+	if r == nil {
+		return 0, fmt.Errorf("simnet: withdraw from unknown AS%d", asn)
+	}
+	if r.WithdrawLocal(p) {
+		n.schedule(asn, p)
+	}
+	return n.Run()
+}
+
+// maxDeliveries bounds a single convergence run; policy-driven BGP can
+// oscillate, and a deterministic bound turns that into a diagnosable error
+// instead of a hang. The bound scales with network size.
+func (n *Network) maxDeliveries() int {
+	if n.maxWork > 0 {
+		return n.maxWork
+	}
+	return 400*len(n.routers)*len(n.routers) + 100000
+}
+
+// SetMaxDeliveries overrides the convergence bound (0 = default).
+func (n *Network) SetMaxDeliveries(v int) { n.maxWork = v }
+
+// Run processes the propagation queue until convergence, returning the
+// number of deliveries.
+func (n *Network) Run() (int, error) {
+	delivered := 0
+	for len(n.queue) > 0 {
+		it := n.queue[0]
+		n.queue = n.queue[1:]
+		delete(n.queued, it)
+
+		src := n.routers[it.asn]
+		for _, nb := range src.Neighbors() {
+			dst := n.routers[nb]
+			if dst == nil {
+				continue // session to an unmodelled node (e.g. a pure tap)
+			}
+			out, decision := src.ExportTo(nb, it.prefix)
+			switch decision {
+			case router.ExportSent:
+				if !src.RecordAdvertised(nb, it.prefix, out) {
+					continue // nothing new on this session
+				}
+				delivered++
+				n.steps++
+				for _, t := range n.taps {
+					t(it.asn, nb, it.prefix, out)
+				}
+				if res, changed := dst.ReceiveUpdate(it.asn, out); res == router.ImportAccepted && changed {
+					n.schedule(nb, it.prefix)
+				}
+			default:
+				// Anything not sent is a withdrawal if previously sent.
+				if !src.RecordAdvertised(nb, it.prefix, nil) {
+					continue
+				}
+				delivered++
+				n.steps++
+				for _, t := range n.taps {
+					t(it.asn, nb, it.prefix, nil)
+				}
+				if dst.ReceiveWithdraw(it.asn, it.prefix) {
+					n.schedule(nb, it.prefix)
+				}
+			}
+			if delivered > n.maxDeliveries() {
+				return delivered, fmt.Errorf("simnet: no convergence after %d deliveries", delivered)
+			}
+		}
+	}
+	return delivered, nil
+}
+
+// ASes lists all router ASNs in ascending order.
+func (n *Network) ASes() []topo.ASN {
+	out := make([]topo.ASN, 0, len(n.routers))
+	for a := range n.routers {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

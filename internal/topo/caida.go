@@ -1,0 +1,85 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CAIDA serial-1 relationship format: lines of "a|b|rel" where rel -1
+// means a is provider of b, and 0 means a and b peer. Comment lines start
+// with '#'. This is the dataset format the paper joins against in §4.4.
+
+// WriteCAIDA exports the graph in serial-1 format.
+func WriteCAIDA(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# bgpworms AS relationships (CAIDA serial-1: <provider|peer>|<customer|peer>|<-1|0>)"); err != nil {
+		return err
+	}
+	for _, l := range g.Links() {
+		// Serial-1 lists provider first for transit links.
+		switch l.RelBtoA {
+		case RelCustomer: // B is A's customer => A is provider
+			if _, err := fmt.Fprintf(bw, "%d|%d|-1\n", l.A, l.B); err != nil {
+				return err
+			}
+		case RelProvider: // B is A's provider
+			if _, err := fmt.Fprintf(bw, "%d|%d|-1\n", l.B, l.A); err != nil {
+				return err
+			}
+		case RelPeer:
+			if _, err := fmt.Fprintf(bw, "%d|%d|0\n", l.A, l.B); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCAIDA imports a serial-1 relationship file.
+func ReadCAIDA(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "|")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("topo: line %d: need a|b|rel, got %q", line, text)
+		}
+		a, err := strconv.ParseUint(parts[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("topo: line %d: bad ASN %q", line, parts[0])
+		}
+		b, err := strconv.ParseUint(parts[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("topo: line %d: bad ASN %q", line, parts[1])
+		}
+		rel, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("topo: line %d: bad rel %q", line, parts[2])
+		}
+		switch rel {
+		case -1:
+			if err := g.AddCustomerProvider(ASN(b), ASN(a)); err != nil {
+				return nil, fmt.Errorf("topo: line %d: %v", line, err)
+			}
+		case 0:
+			if err := g.AddPeering(ASN(a), ASN(b)); err != nil {
+				return nil, fmt.Errorf("topo: line %d: %v", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("topo: line %d: unknown relationship %d", line, rel)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,212 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// diamond builds: 10 and 20 are tier-1 peers; 30 buys from 10 and 20;
+// 40 buys from 30; 50 buys from 20.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddPeering(10, 20))
+	must(g.AddCustomerProvider(30, 10))
+	must(g.AddCustomerProvider(30, 20))
+	must(g.AddCustomerProvider(40, 30))
+	must(g.AddCustomerProvider(50, 20))
+	return g
+}
+
+func TestRelationships(t *testing.T) {
+	g := diamond(t)
+	if g.Relationship(30, 10) != RelProvider {
+		t.Error("10 should be provider of 30")
+	}
+	if g.Relationship(10, 30) != RelCustomer {
+		t.Error("30 should be customer of 10")
+	}
+	if g.Relationship(10, 20) != RelPeer || g.Relationship(20, 10) != RelPeer {
+		t.Error("10-20 should peer")
+	}
+	if g.Relationship(10, 40) != RelNone {
+		t.Error("10-40 not adjacent")
+	}
+	if !g.HasLink(30, 40) || g.HasLink(40, 50) {
+		t.Error("HasLink wrong")
+	}
+}
+
+func TestSelfLinksRejected(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddPeering(5, 5); err == nil {
+		t.Error("self peering must fail")
+	}
+	if err := g.AddCustomerProvider(5, 5); err == nil {
+		t.Error("self transit must fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := diamond(t)
+	if got := g.Providers(30); len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Errorf("Providers(30)=%v", got)
+	}
+	if got := g.Customers(20); len(got) != 2 || got[0] != 30 || got[1] != 50 {
+		t.Errorf("Customers(20)=%v", got)
+	}
+	if got := g.Peers(10); len(got) != 1 || got[0] != 20 {
+		t.Errorf("Peers(10)=%v", got)
+	}
+	if got := g.Neighbors(20); len(got) != 3 {
+		t.Errorf("Neighbors(20)=%v", got)
+	}
+	if g.NumASes() != 5 || g.NumLinks() != 5 {
+		t.Errorf("NumASes=%d NumLinks=%d", g.NumASes(), g.NumLinks())
+	}
+	if g.Degree(20) != 3 || g.Degree(40) != 1 {
+		t.Error("Degree wrong")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	g := diamond(t)
+	if !g.IsStub(40) || !g.IsStub(50) || g.IsStub(30) {
+		t.Error("stub classification wrong")
+	}
+	if !g.IsTransit(30) || !g.IsTransit(10) || g.IsTransit(40) {
+		t.Error("transit classification wrong")
+	}
+	if !g.IsTier1(10) || !g.IsTier1(20) || g.IsTier1(30) {
+		t.Error("tier1 classification wrong")
+	}
+	lonely := NewGraph()
+	lonely.AddAS(99)
+	if lonely.IsTier1(99) {
+		t.Error("isolated AS is not tier1")
+	}
+}
+
+func TestValleyFree(t *testing.T) {
+	g := diamond(t)
+	cases := []struct {
+		name string
+		path []ASN // AS_PATH order: nearest first, origin last
+		want bool
+	}{
+		{"up only", []ASN{10, 30, 40}, true},               // 40→30→10 uphill
+		{"up peer down", []ASN{50, 20, 10}, false},         // 10→20 up? 20 is peer of 10... path 50 20 10: origin 10, 10→20 peer, 20→50 down: valid
+		{"down then up invalid", []ASN{20, 10, 30}, false}, // origin 30: 30→10 up, 10→20 peer ok... wait
+		{"single", []ASN{40}, true},
+		{"adjacent", []ASN{30, 40}, true},
+		{"not adjacent", []ASN{40, 10}, false},
+	}
+	// Recompute the two tricky expectations explicitly:
+	// path {50,20,10}: propagation 10→20→50. 10→20 peer (phase→1), 20→50
+	// customer (down) — valley-free. Fix expectation.
+	cases[1].want = true
+	// path {20,10,30}: propagation 30→10→20. 30→10 provider (up), 10→20
+	// peer — allowed while phase 0 — valley-free too.
+	cases[2].want = true
+
+	for _, c := range cases {
+		if got := g.ValleyFree(c.path); got != c.want {
+			t.Errorf("%s: ValleyFree(%v)=%v want %v", c.name, c.path, got, c.want)
+		}
+	}
+
+	// A true valley: 40→30→10 up then... 10→20 peer then 20→30 customer
+	// then 30→... re-up would be a valley. Path AS_PATH order {40,30,20,10}
+	// means propagation 10→20→30→40: 10→20 peer (phase 1), 20→30 down ok,
+	// 30→40 down ok — valley free.
+	if !g.ValleyFree([]ASN{40, 30, 20, 10}) {
+		t.Error("peer then downhill should be valley-free")
+	}
+	// Propagation 40→30→10→20... wait that's AS_PATH {20,10,30,40}:
+	// 40→30 provider (up), 30→10 provider (up), 10→20 peer — valley-free.
+	if !g.ValleyFree([]ASN{20, 10, 30, 40}) {
+		t.Error("uphill then peer should be valley-free")
+	}
+	// True valley: up after down. AS_PATH {30,10,20,50}: propagation
+	// 50→20→10→30: 50→20 up, 20→10 peer (phase 1), 10→30 customer(down)
+	// ok. Still valley free. Use {10,20,50} reversed... Construct: path
+	// through two peering links: AS_PATH {10,20,...}? 10-20 is the only
+	// peering. Down then up: propagation 10→30 (down), 30→20 (up): AS_PATH
+	// {20,30,10} must be a valley.
+	if g.ValleyFree([]ASN{20, 30, 10}) {
+		t.Error("down-then-up must be a valley")
+	}
+}
+
+func TestLinksDeterministic(t *testing.T) {
+	g := diamond(t)
+	l1 := g.Links()
+	l2 := g.Links()
+	if len(l1) != 5 || len(l1) != len(l2) {
+		t.Fatalf("links=%v", l1)
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("Links not deterministic")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.AddCustomerProvider(60, 10)
+	if g.HasLink(60, 10) {
+		t.Fatal("clone mutated original")
+	}
+	if c.NumASes() != 6 || g.NumASes() != 5 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestCAIDARoundTrip(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := WriteCAIDA(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCAIDA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumASes() != g.NumASes() || got.NumLinks() != g.NumLinks() {
+		t.Fatalf("round trip: %d ASes %d links", got.NumASes(), got.NumLinks())
+	}
+	for _, l := range g.Links() {
+		if got.Relationship(l.A, l.B) != g.Relationship(l.A, l.B) {
+			t.Fatalf("edge %d-%d relationship changed", l.A, l.B)
+		}
+	}
+}
+
+func TestReadCAIDAErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":  "1|2",
+		"bad asn a":   "x|2|0",
+		"bad asn b":   "1|y|0",
+		"bad rel":     "1|2|z",
+		"unknown rel": "1|2|7",
+		"self link":   "1|1|0",
+	}
+	for name, in := range cases {
+		if _, err := ReadCAIDA(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error for %q", name, in)
+		}
+	}
+	// Comments and blanks are fine.
+	g, err := ReadCAIDA(strings.NewReader("# comment\n\n1|2|0\n"))
+	if err != nil || g.NumLinks() != 1 {
+		t.Fatalf("comment handling: %v %d", err, g.NumLinks())
+	}
+}
