@@ -1,0 +1,37 @@
+# Single entry point shared by CI (.github/workflows/ci.yml) and local
+# runs: `make ci` is exactly what the gate executes.
+
+GO      ?= go
+# BENCH_OUT names the benchmark artifact; CI overrides per run
+# (BENCH_ci.json), committed trajectory points use BENCH_pr<N>.json.
+BENCH_OUT ?= BENCH_ci.json
+
+.PHONY: build test race bench bench-smoke lint fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs every benchmark once (smoke depth) and emits the JSON
+# artifact for the perf trajectory; use `go test -bench . -benchtime Nx`
+# directly for real measurements.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 30m . ./internal/... | tee bench.out
+	./ci/benchjson.sh bench.out $(BENCH_OUT)
+
+lint:
+	@fmtout="$$(gofmt -l .)"; \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+ci: build lint race bench

@@ -10,8 +10,10 @@ package bgpworms
 // see them via b.Logf on the first iteration.
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -372,6 +374,118 @@ func BenchmarkSec76BlackholeSweep(b *testing.B) {
 		b.ReportMetric(float64(len(rep.AffectedVPs())), "affected_vps")
 		logOnce(b, i, attack.RenderSweep(rep))
 	}
+}
+
+// --- Pipeline scaling benches (PR 1's tentpole) ---
+
+// BenchmarkPipelineFullAnalysis is the committed serial-vs-parallel
+// comparison: the per-figure serial path (each analysis rescans the
+// dataset on one worker, the pre-pipeline code shape) against the fused
+// sharded pipeline at one worker and at GOMAXPROCS workers. Outputs are
+// bit-identical across all three (asserted by the core determinism
+// tests); only the wall clock differs.
+func BenchmarkPipelineFullAnalysis(b *testing.B) {
+	lab, ds := fixture(b)
+	known := lab.W.Registry.All()
+	runAll := func(p *core.Pipeline) {
+		p.Table1(ds)
+		p.Table2(ds)
+		p.Figure4a(ds)
+		p.OverallCommunityShare(ds)
+		p.ComputeFigure4b(ds)
+		pa := p.AnalyzePropagation(ds, known)
+		pa.Figure5a()
+		p.TransitPropagators(ds)
+		p.InferFiltering(ds)
+	}
+	b.Run("per-figure/workers=1", func(b *testing.B) {
+		p := core.NewPipeline(1)
+		for i := 0; i < b.N; i++ {
+			runAll(p)
+		}
+	})
+	b.Run("fused/workers=1", func(b *testing.B) {
+		p := core.NewPipeline(1)
+		for i := 0; i < b.N; i++ {
+			if a := p.Analyze(ds, known); a.Transit.Propagators == 0 {
+				b.Fatal("no propagators")
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("fused/workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		p := core.NewPipeline(runtime.GOMAXPROCS(0))
+		for i := 0; i < b.N; i++ {
+			if a := p.Analyze(ds, known); a.Transit.Propagators == 0 {
+				b.Fatal("no propagators")
+			}
+		}
+	})
+}
+
+// BenchmarkPipelinePerFigureWorkers scales the individual heavy
+// analyses across worker counts.
+func BenchmarkPipelinePerFigureWorkers(b *testing.B) {
+	lab, ds := fixture(b)
+	known := lab.W.Registry.All()
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		p := core.NewPipeline(w)
+		b.Run(fmt.Sprintf("table1/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Table1(ds)
+			}
+		})
+		b.Run(fmt.Sprintf("fig5/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.AnalyzePropagation(ds, known)
+			}
+		})
+		b.Run(fmt.Sprintf("fig6/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.InferFiltering(ds)
+			}
+		})
+	}
+}
+
+// BenchmarkSimnetEngines compares the serial FIFO engine with the
+// round-based parallel engine on the same announce workload.
+func BenchmarkSimnetEngines(b *testing.B) {
+	build := func() *topo.Graph {
+		g := topo.NewGraph()
+		for i := topo.ASN(1); i <= 4; i++ {
+			for j := i + 1; j <= 4; j++ {
+				g.AddPeering(i, j)
+			}
+		}
+		for i := topo.ASN(10); i < 26; i++ {
+			g.AddCustomerProvider(i, 1+(i%4))
+			g.AddCustomerProvider(i, 1+((i+1)%4))
+		}
+		for i := topo.ASN(100); i < 180; i++ {
+			g.AddCustomerProvider(i, 10+(i%16))
+		}
+		return g
+	}
+	announce := func(b *testing.B, n *simnet.Network) {
+		for i := topo.ASN(100); i < 180; i++ {
+			p := netip.PrefixFrom(netx.V4(10, byte(i>>8), byte(i), 0), 24)
+			if _, err := n.Announce(i, p, bgp.C(uint16(i), 100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			announce(b, simnet.New(build(), nil))
+		}
+	})
+	b.Run(fmt.Sprintf("rounds/workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := simnet.New(build(), nil)
+			n.SetWorkers(runtime.GOMAXPROCS(0))
+			announce(b, n)
+		}
+	})
 }
 
 // --- Ablation benches (design choices from DESIGN.md) ---

@@ -1,0 +1,34 @@
+#!/bin/sh
+# benchjson.sh <go-bench-output> <out.json>
+# Converts `go test -bench` text output into a JSON artifact so the perf
+# trajectory across PRs is diffable (BENCH_pr1.json, BENCH_pr2.json, ...).
+set -eu
+
+in="${1:?usage: benchjson.sh <bench.out> <out.json>}"
+out="${2:?usage: benchjson.sh <bench.out> <out.json>}"
+
+awk '
+/^goos:/    { goos = $2 }
+/^goarch:/  { goarch = $2 }
+/^cpu:/     { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    if ($4 != "ns/op") next
+    line = sprintf("  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s", $1, $2, $3)
+    # optional custom metrics and allocation columns, pairwise value unit
+    for (i = 5; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9_%\/]/, "_", unit)
+        line = line sprintf(", \"%s\": %s", unit, $i)
+    }
+    bench[n++] = line "}"
+}
+END {
+    print "{"
+    printf "  \"_meta\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"}", goos, goarch, cpu
+    for (i = 0; i < n; i++) printf ",\n%s", bench[i]
+    print ""
+    print "}"
+}
+' "$in" > "$out"
+
+echo "wrote $out"

@@ -9,6 +9,13 @@
 // Usage:
 //
 //	genesis -scale small -seed 1 -out ./data
+//	genesis -scale medium -workers 8 -out ./data
+//
+// -workers selects the simulation engine: 0 or 1 the serial FIFO
+// engine; >1 the round-based parallel engine with that many workers; a
+// negative value the parallel engine with one worker per CPU. The
+// parallel engine is deterministic under a fixed seed with identical
+// output for any worker count.
 package main
 
 import (
@@ -25,6 +32,7 @@ func main() {
 	scale := flag.String("scale", "small", "internet scale: tiny|small|medium")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", "data", "output directory")
+	workers := flag.Int("workers", 0, "simulation engine workers (0 or 1 = serial; >1 = parallel rounds; <0 = parallel rounds, one worker per CPU)")
 	flag.Parse()
 
 	var p gen.Params
@@ -39,6 +47,7 @@ func main() {
 		fail(fmt.Errorf("unknown scale %q", *scale))
 	}
 	p.Seed = *seed
+	p.Workers = *workers
 
 	fmt.Printf("building %s internet (seed %d)...\n", *scale, *seed)
 	w, err := gen.Build(p)

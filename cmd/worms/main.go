@@ -5,20 +5,28 @@
 //
 // By default it generates a synthetic Internet in memory. With -mrt it
 // instead consumes the MRT archives written by genesis, exercising the
-// same wire-format path the paper's pipeline used.
+// same wire-format path the paper's pipeline used; add -stream to
+// classify the byte streams without materializing the update slice.
+// -workers sizes the analysis worker pool (0 = one per CPU); analysis
+// results are bit-identical for every worker count. When generating, the
+// same flag also selects the simulation engine: 0 or 1 keeps the serial
+// FIFO engine, while >1 (or any negative value, meaning one worker per
+// CPU) runs the round-based parallel engine — deterministic under a
+// fixed seed, with identical output for any parallel worker count, but
+// the two engines interleave deliveries differently, so their recorded
+// update streams are not comparable to each other.
 //
 // Usage:
 //
 //	worms -scale small
-//	genesis -scale small -out data && worms -mrt data
+//	worms -scale small -workers 8
+//	genesis -scale small -out data && worms -mrt data -stream
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/core"
@@ -30,21 +38,37 @@ func main() {
 	scale := flag.String("scale", "small", "internet scale: tiny|small|medium")
 	seed := flag.Int64("seed", 1, "generator seed")
 	mrtDir := flag.String("mrt", "", "read updates.*.mrt archives from this directory instead of simulating")
+	stream := flag.Bool("stream", false, "with -mrt: stream-classify the archives without materializing updates")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU); simulation engine parallelism when generating")
 	years := flag.Bool("evolution", true, "compute the Figure 3 time series (builds one Internet per year)")
 	flag.Parse()
+
+	if *stream && *mrtDir == "" {
+		fail(fmt.Errorf("-stream requires -mrt (there is no byte stream to classify when simulating in memory)"))
+	}
+
+	pipe := core.NewPipeline(*workers)
 
 	var (
 		ds        *core.Dataset
 		blackhole []bgp.Community
 	)
-	if *mrtDir != "" {
-		var err error
-		ds, err = loadMRT(*mrtDir)
+	switch {
+	case *mrtDir != "" && *stream:
+		a, err := pipe.StreamMRTDir(*mrtDir, nil)
 		if err != nil {
 			fail(err)
 		}
-	} else {
-		w, err := buildWorld(*scale, *seed)
+		printAnalysis(a)
+		return
+	case *mrtDir != "":
+		var err error
+		ds, err = pipe.LoadMRTDir(*mrtDir)
+		if err != nil {
+			fail(err)
+		}
+	default:
+		w, err := buildWorld(*scale, *seed, *workers)
 		if err != nil {
 			fail(err)
 		}
@@ -52,53 +76,15 @@ func main() {
 		blackhole = w.Registry.All()
 	}
 
-	fmt.Println("== Table 1: dataset overview ==")
-	fmt.Println(core.RenderTable1(core.Table1(ds)))
-
-	fmt.Println("== Table 2: ASes with observed communities ==")
-	fmt.Println(core.RenderTable2(core.Table2(ds)))
-
-	fmt.Println("== Figure 4a: updates with communities, per collector ==")
-	fmt.Println(core.RenderFigure4a(core.Figure4a(ds)))
-	fmt.Printf("overall share of announcements with >=1 community: %.1f%%\n\n",
-		core.OverallCommunityShare(ds)*100)
-
-	fmt.Println("== Figure 4b: communities and associated ASes per update ==")
-	fmt.Println(core.RenderFigure4b(core.ComputeFigure4b(ds)))
-
-	pa := core.AnalyzePropagation(ds, blackhole)
-	all, bh := pa.Figure5a()
-	fmt.Println("== Figure 5a: propagation distance ECDF (all vs blackholing) ==")
-	fmt.Println(core.RenderFigure5a(all, bh))
-	fmt.Printf("mean distance: all=%.2f blackholing=%.2f hops\n\n", all.Mean(), bh.Mean())
-
-	fmt.Println("== Figure 5b: relative propagation distance by path length ==")
-	fmt.Println(core.RenderFigure5b(pa.Figure5b(3, 10)))
-
-	off, on := pa.Figure5c(10)
-	fmt.Println("== Figure 5c: top-10 community values off-path vs on-path ==")
-	fmt.Println(core.RenderFigure5c(off, on))
-
-	rep := core.TransitPropagators(ds)
-	fmt.Println("== §4.3: transit ASes relaying foreign communities ==")
-	fmt.Printf("%d of %d transit ASes (%s) forward received communities onward\n\n",
-		rep.Propagators, rep.TransitASes, stats.Pct(rep.Propagators, rep.TransitASes))
-
-	fmt.Println("== Figure 6: community forwarding vs filtering ==")
-	fi := core.InferFiltering(ds)
-	fmt.Println(core.RenderFilterSummary(fi.Summarize(10)))
-	fmt.Println("Figure 6b log-log bins (x=filtered, y=forwarded, count):")
-	for _, b := range fi.Hexbin(1, 2) {
-		fmt.Printf("  (%.1f, %.1f) -> %d\n", b.X, b.Y, b.Count)
-	}
-	fmt.Println()
+	printAnalysis(pipe.Analyze(ds, blackhole))
 
 	if *years && *mrtDir == "" {
 		fmt.Println("== Figure 3: community use over time ==")
 		base := gen.Tiny()
 		base.Seed = *seed
+		base.Workers = *workers
 		pts, err := gen.Evolution(base, []int{2010, 2012, 2014, 2016, 2018}, func(w *gen.Internet) (int, int, int, int) {
-			return core.EvolutionMetrics(core.FromCollectors(w.Collectors))
+			return pipe.EvolutionMetrics(core.FromCollectors(w.Collectors))
 		})
 		if err != nil {
 			fail(err)
@@ -111,7 +97,46 @@ func main() {
 	}
 }
 
-func buildWorld(scale string, seed int64) (*gen.Internet, error) {
+func printAnalysis(a *core.Analysis) {
+	fmt.Println("== Table 1: dataset overview ==")
+	fmt.Println(core.RenderTable1(a.Table1))
+
+	fmt.Println("== Table 2: ASes with observed communities ==")
+	fmt.Println(core.RenderTable2(a.Table2))
+
+	fmt.Println("== Figure 4a: updates with communities, per collector ==")
+	fmt.Println(core.RenderFigure4a(a.Fig4a))
+	fmt.Printf("overall share of announcements with >=1 community: %.1f%%\n\n", a.Share*100)
+
+	fmt.Println("== Figure 4b: communities and associated ASes per update ==")
+	fmt.Println(core.RenderFigure4b(a.Fig4b))
+
+	all, bh := a.Prop.Figure5a()
+	fmt.Println("== Figure 5a: propagation distance ECDF (all vs blackholing) ==")
+	fmt.Println(core.RenderFigure5a(all, bh))
+	fmt.Printf("mean distance: all=%.2f blackholing=%.2f hops\n\n", all.Mean(), bh.Mean())
+
+	fmt.Println("== Figure 5b: relative propagation distance by path length ==")
+	fmt.Println(core.RenderFigure5b(a.Prop.Figure5b(3, 10)))
+
+	off, on := a.Prop.Figure5c(10)
+	fmt.Println("== Figure 5c: top-10 community values off-path vs on-path ==")
+	fmt.Println(core.RenderFigure5c(off, on))
+
+	fmt.Println("== §4.3: transit ASes relaying foreign communities ==")
+	fmt.Printf("%d of %d transit ASes (%s) forward received communities onward\n\n",
+		a.Transit.Propagators, a.Transit.TransitASes, stats.Pct(a.Transit.Propagators, a.Transit.TransitASes))
+
+	fmt.Println("== Figure 6: community forwarding vs filtering ==")
+	fmt.Println(core.RenderFilterSummary(a.Filter.Summarize(10)))
+	fmt.Println("Figure 6b log-log bins (x=filtered, y=forwarded, count):")
+	for _, b := range a.Filter.Hexbin(1, 2) {
+		fmt.Printf("  (%.1f, %.1f) -> %d\n", b.X, b.Y, b.Count)
+	}
+	fmt.Println()
+}
+
+func buildWorld(scale string, seed int64, workers int) (*gen.Internet, error) {
 	var p gen.Params
 	switch scale {
 	case "tiny":
@@ -124,6 +149,7 @@ func buildWorld(scale string, seed int64) (*gen.Internet, error) {
 		return nil, fmt.Errorf("unknown scale %q", scale)
 	}
 	p.Seed = seed
+	p.Workers = workers
 	w, err := gen.Build(p)
 	if err != nil {
 		return nil, err
@@ -132,35 +158,6 @@ func buildWorld(scale string, seed int64) (*gen.Internet, error) {
 		return nil, err
 	}
 	return w, nil
-}
-
-func loadMRT(dir string) (*core.Dataset, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "updates.*.mrt"))
-	if err != nil {
-		return nil, err
-	}
-	if len(matches) == 0 {
-		return nil, fmt.Errorf("no updates.*.mrt files in %s", dir)
-	}
-	ds := &core.Dataset{}
-	for _, path := range matches {
-		name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "updates."), ".mrt")
-		platform := name
-		if i := strings.Index(name, "-"); i > 0 {
-			platform = name[:i]
-		}
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		part, err := core.ReadMRTUpdates(platform, name, f)
-		f.Close()
-		if err != nil {
-			return nil, err
-		}
-		ds.Merge(part)
-	}
-	return ds, nil
 }
 
 func fail(err error) {

@@ -5,7 +5,37 @@
 // pipeline (internal/core), and the attack-scenario framework
 // (internal/attack).
 //
+// # Module layout
+//
+// The module (bgpworms, Go 1.24) is organised bottom-up: internal/bgp
+// and internal/mrt implement the wire formats; internal/topo,
+// internal/policy and internal/router implement AS-level routing;
+// internal/simnet runs networks of routers to convergence;
+// internal/collector and internal/gen produce the measurement vantage
+// (synthetic Internets recorded into MRT archives); internal/core
+// consumes those archives and computes every table and figure of §4.
+// The cmd/ tree exposes the two halves as binaries: genesis writes
+// archives, worms analyses them, attacklab runs the §7 scenarios, and
+// bgpcat pretty-prints MRT.
+//
+// # Concurrency
+//
+// The measurement pipeline (core.Pipeline) fans out over a worker pool:
+// per-update analyses fold contiguous chunks of the update stream into
+// partial aggregates merged deterministically in chunk order, and the
+// Figure 6 inference shards the concurrent route view by prefix.
+// Results are bit-identical for every worker count. A streaming path
+// (core.StreamMRTUpdates, core.Accumulator) classifies MRT byte streams
+// without materializing the update slice. The simulator offers a serial
+// FIFO engine and a round-based parallel engine
+// (simnet.Network.SetWorkers) whose convergence counts, tap ordering,
+// and final RIBs are invariant across worker counts under a fixed seed.
+//
+// # Verification
+//
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation; see DESIGN.md for the per-experiment
-// index and EXPERIMENTS.md for paper-vs-measured values.
+// index and EXPERIMENTS.md for paper-vs-measured values. CI runs the
+// Makefile targets (build, lint, race, bench) on every push; BENCHMARKS.md
+// tracks the performance trajectory across PRs.
 package bgpworms

@@ -1,0 +1,3 @@
+module bgpworms
+
+go 1.24

@@ -1,0 +1,63 @@
+// Package conc holds the small concurrency primitives shared by the
+// measurement pipeline (internal/core) and the simulation engine
+// (internal/simnet): a bounded worker-pool loop and contiguous range
+// chunking. Both packages depend on deterministic merges layered on top
+// of these primitives; keeping one copy keeps their scheduling behavior
+// identical.
+package conc
+
+import "sync"
+
+// Do runs fn(i) for every i in [0, n) over at most workers goroutines.
+// workers <= 1 (or n <= 1) degenerates to a serial loop on the calling
+// goroutine.
+func Do(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Chunks splits [0, n) into at most w near-equal contiguous [lo, hi)
+// ranges, in order.
+func Chunks(n, w int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	out := make([][2]int, 0, w)
+	for i := 0; i < w; i++ {
+		lo := i * n / w
+		hi := (i + 1) * n / w
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}

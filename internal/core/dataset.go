@@ -9,8 +9,6 @@
 package core
 
 import (
-	"errors"
-	"fmt"
 	"io"
 	"net/netip"
 	"sort"
@@ -18,7 +16,6 @@ import (
 
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/collector"
-	"bgpworms/internal/mrt"
 )
 
 // Update is one normalized routing observation at a collector.
@@ -103,48 +100,17 @@ func FromCollectors(cs []*collector.Collector) *Dataset {
 
 // ReadMRTUpdates parses a BGP4MP update stream (as written by
 // collector.WriteUpdatesMRT) into a Dataset fragment for one collector.
+// It materializes the stream; use StreamMRTUpdates to classify without
+// retaining the update slice.
 func ReadMRTUpdates(platform, collectorName string, r io.Reader) (*Dataset, error) {
 	ds := &Dataset{}
-	meta := CollectorMeta{Platform: platform, Name: collectorName, PeerASNs: make(map[uint32]bool)}
-	mr := mrt.NewReader(r)
-	for {
-		rec, err := mr.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: reading MRT: %w", err)
-		}
-		msg, ok := rec.(*mrt.BGP4MPMessage)
-		if !ok {
-			continue // state changes etc. carry no routes
-		}
-		upd, ok := msg.Message.(*bgp.Update)
-		if !ok {
-			continue
-		}
-		meta.PeerASNs[msg.PeerAS] = true
-		base := Update{
-			Platform:  platform,
-			Collector: collectorName,
-			PeerAS:    msg.PeerAS,
-			Time:      msg.Timestamp,
-		}
-		for _, p := range upd.AllAnnounced() {
-			u := base
-			u.Prefix = p
-			u.ASPath = upd.Attrs.ASPath.Sequence()
-			u.Communities = upd.Attrs.Communities.Clone()
-			ds.Updates = append(ds.Updates, u)
-		}
-		for _, p := range upd.AllWithdrawn() {
-			u := base
-			u.Prefix = p
-			u.Withdraw = true
-			ds.Updates = append(ds.Updates, u)
-		}
+	meta, err := StreamMRTUpdates(platform, collectorName, r, func(u *Update) error {
+		ds.Updates = append(ds.Updates, *u)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	meta.PeerIPs = len(meta.PeerASNs)
 	ds.Collectors = append(ds.Collectors, meta)
 	return ds, nil
 }
@@ -182,39 +148,49 @@ func (ds *Dataset) Platforms() []string {
 // CollectorPeers returns the union of peer ASNs across collectors of a
 // platform ("" = all platforms).
 func (ds *Dataset) CollectorPeers(platform string) map[uint32]bool {
-	out := make(map[uint32]bool)
-	for _, c := range ds.Collectors {
-		if platform != "" && c.Platform != platform {
-			continue
-		}
-		for a := range c.PeerASNs {
-			out[a] = true
-		}
-	}
-	return out
+	return collectorPeers(ds.Collectors, platform)
 }
 
-// LatestRoutes reduces the update stream to the final route per
-// (collector, peer, prefix) — the "at the same time" concurrent view the
-// §4.4 filter inference iterates over. Withdrawn entries are removed.
-func (ds *Dataset) LatestRoutes() []Update {
-	type key struct {
-		col    string
-		peer   uint32
-		prefix netip.Prefix
+// routeKey identifies one (collector, peer, prefix) table slot.
+type routeKey struct {
+	col    string
+	peer   uint32
+	prefix netip.Prefix
+}
+
+// latestAgg folds the update stream down to the final route per
+// (collector, peer, prefix). The first-seen order list makes
+// chunk-ordered merging reproduce the serial scan exactly: a later
+// chunk's entry overrides an earlier chunk's (it came later in the
+// stream), and keys keep their global first-seen position.
+type latestAgg struct {
+	last  map[routeKey]Update
+	order []routeKey
+}
+
+func newLatestAgg() *latestAgg { return &latestAgg{last: make(map[routeKey]Update)} }
+
+func (a *latestAgg) add(u *Update) {
+	k := routeKey{u.Collector, u.PeerAS, u.Prefix}
+	if _, seen := a.last[k]; !seen {
+		a.order = append(a.order, k)
 	}
-	last := make(map[key]Update)
-	var order []key
-	for _, u := range ds.Updates {
-		k := key{u.Collector, u.PeerAS, u.Prefix}
-		if _, seen := last[k]; !seen {
-			order = append(order, k)
+	a.last[k] = *u
+}
+
+func (a *latestAgg) merge(b *latestAgg) {
+	for _, k := range b.order {
+		if _, seen := a.last[k]; !seen {
+			a.order = append(a.order, k)
 		}
-		last[k] = u
+		a.last[k] = b.last[k]
 	}
-	out := make([]Update, 0, len(order))
-	for _, k := range order {
-		if u := last[k]; !u.Withdraw {
+}
+
+func (a *latestAgg) finalize() []Update {
+	out := make([]Update, 0, len(a.order))
+	for _, k := range a.order {
+		if u := a.last[k]; !u.Withdraw {
 			out = append(out, u)
 		}
 	}
@@ -225,4 +201,21 @@ func (ds *Dataset) LatestRoutes() []Update {
 		return out[i].PeerAS < out[j].PeerAS
 	})
 	return out
+}
+
+// LatestRoutes reduces the update stream to the final route per
+// (collector, peer, prefix) — the "at the same time" concurrent view the
+// §4.4 filter inference iterates over. Withdrawn entries are removed.
+func (ds *Dataset) LatestRoutes() []Update { return DefaultPipeline.LatestRoutes(ds) }
+
+// LatestRoutes computes the concurrent view over the worker pool.
+func (p *Pipeline) LatestRoutes(ds *Dataset) []Update {
+	aggs := foldChunks(ds.Updates, p.workers(),
+		newLatestAgg,
+		func(a *latestAgg, u *Update, _ []uint32) { a.add(u) })
+	merged := newLatestAgg()
+	for _, a := range aggs {
+		merged.merge(a)
+	}
+	return merged.finalize()
 }

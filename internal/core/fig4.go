@@ -23,52 +23,114 @@ func (c CollectorFraction) Fraction() float64 {
 	return float64(c.WithComm) / float64(c.Updates)
 }
 
-// Figure4a computes per-collector community fractions, sorted ascending
-// within each platform as the paper plots them.
-func Figure4a(ds *Dataset) []CollectorFraction {
-	idx := map[string]int{}
-	var out []CollectorFraction
-	for _, u := range ds.Updates {
-		if u.Withdraw {
-			continue
-		}
-		i, ok := idx[u.Collector]
-		if !ok {
-			i = len(out)
-			idx[u.Collector] = i
-			out = append(out, CollectorFraction{Platform: u.Platform, Collector: u.Collector})
-		}
-		out[i].Updates++
-		if len(u.Communities) > 0 {
-			out[i].WithComm++
-		}
+// fig4aAgg folds per-collector update counts. The first-seen order list
+// lets chunk-ordered merging reproduce the serial discovery order
+// exactly, which keeps the pre-sort slice identical across worker
+// counts.
+type fig4aAgg struct {
+	idx map[string]int
+	out []CollectorFraction
+}
+
+func newFig4aAgg() *fig4aAgg { return &fig4aAgg{idx: make(map[string]int)} }
+
+func (a *fig4aAgg) add(u *Update) {
+	if u.Withdraw {
+		return
 	}
+	i, ok := a.idx[u.Collector]
+	if !ok {
+		i = len(a.out)
+		a.idx[u.Collector] = i
+		a.out = append(a.out, CollectorFraction{Platform: u.Platform, Collector: u.Collector})
+	}
+	a.out[i].Updates++
+	if len(u.Communities) > 0 {
+		a.out[i].WithComm++
+	}
+}
+
+func (a *fig4aAgg) merge(b *fig4aAgg) {
+	for _, f := range b.out {
+		i, ok := a.idx[f.Collector]
+		if !ok {
+			i = len(a.out)
+			a.idx[f.Collector] = i
+			a.out = append(a.out, CollectorFraction{Platform: f.Platform, Collector: f.Collector})
+		}
+		a.out[i].Updates += f.Updates
+		a.out[i].WithComm += f.WithComm
+	}
+}
+
+// finalize sorts ascending within each platform as the paper plots them,
+// with the collector name as a total-order tie break.
+func (a *fig4aAgg) finalize() []CollectorFraction {
+	out := a.out
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Platform != out[j].Platform {
 			return out[i].Platform < out[j].Platform
 		}
-		return out[i].Fraction() < out[j].Fraction()
+		if fi, fj := out[i].Fraction(), out[j].Fraction(); fi != fj {
+			return fi < fj
+		}
+		return out[i].Collector < out[j].Collector
 	})
 	return out
 }
 
-// OverallCommunityShare returns the global fraction of announcements with
-// at least one community (the paper's "more than 75%").
-func OverallCommunityShare(ds *Dataset) float64 {
-	total, with := 0, 0
-	for _, u := range ds.Updates {
-		if u.Withdraw {
-			continue
-		}
-		total++
-		if len(u.Communities) > 0 {
-			with++
-		}
+// Figure4a computes per-collector community fractions, sorted ascending
+// within each platform as the paper plots them.
+func Figure4a(ds *Dataset) []CollectorFraction { return DefaultPipeline.Figure4a(ds) }
+
+// Figure4a computes the per-collector fractions over the worker pool.
+func (p *Pipeline) Figure4a(ds *Dataset) []CollectorFraction {
+	aggs := foldChunks(ds.Updates, p.workers(),
+		newFig4aAgg,
+		func(a *fig4aAgg, u *Update, _ []uint32) { a.add(u) })
+	merged := newFig4aAgg()
+	for _, a := range aggs {
+		merged.merge(a)
 	}
-	if total == 0 {
+	return merged.finalize()
+}
+
+// shareAgg folds the global announcement / with-community counters.
+type shareAgg struct{ total, with int }
+
+func (a *shareAgg) add(u *Update) {
+	if u.Withdraw {
+		return
+	}
+	a.total++
+	if len(u.Communities) > 0 {
+		a.with++
+	}
+}
+
+func (a *shareAgg) merge(b *shareAgg) { a.total += b.total; a.with += b.with }
+
+func (a *shareAgg) finalize() float64 {
+	if a.total == 0 {
 		return 0
 	}
-	return float64(with) / float64(total)
+	return float64(a.with) / float64(a.total)
+}
+
+// OverallCommunityShare returns the global fraction of announcements with
+// at least one community (the paper's "more than 75%").
+func OverallCommunityShare(ds *Dataset) float64 { return DefaultPipeline.OverallCommunityShare(ds) }
+
+// OverallCommunityShare computes the global share over the worker pool.
+func (p *Pipeline) OverallCommunityShare(ds *Dataset) float64 {
+	aggs := foldChunks(ds.Updates, p.workers(),
+		func() *shareAgg { return &shareAgg{} },
+		func(a *shareAgg, u *Update, _ []uint32) { a.add(u) })
+	total := &shareAgg{}
+	for _, a := range aggs {
+		total.merge(a)
+	}
+	return total.finalize()
 }
 
 // Figure4b holds the two per-update ECDFs of Figure 4b.
@@ -81,20 +143,46 @@ type Figure4b struct {
 	ASesPerUpdate *stats.ECDF
 }
 
-// ComputeFigure4b builds both distributions.
-func ComputeFigure4b(ds *Dataset) Figure4b {
-	var comms, ases []float64
-	for _, u := range ds.Updates {
-		if u.Withdraw {
-			continue
-		}
-		comms = append(comms, float64(len(u.Communities)))
-		ases = append(ases, float64(len(u.Communities.ASNs())))
+// fig4bAgg accumulates the raw samples; chunk-ordered concatenation
+// reproduces the serial sample order.
+type fig4bAgg struct {
+	comms []float64
+	ases  []float64
+}
+
+func (a *fig4bAgg) add(u *Update) {
+	if u.Withdraw {
+		return
 	}
+	a.comms = append(a.comms, float64(len(u.Communities)))
+	a.ases = append(a.ases, float64(len(u.Communities.ASNs())))
+}
+
+func (a *fig4bAgg) merge(b *fig4bAgg) {
+	a.comms = append(a.comms, b.comms...)
+	a.ases = append(a.ases, b.ases...)
+}
+
+func (a *fig4bAgg) finalize() Figure4b {
 	return Figure4b{
-		CommunitiesPerUpdate: stats.NewECDF(comms),
-		ASesPerUpdate:        stats.NewECDF(ases),
+		CommunitiesPerUpdate: stats.NewECDF(a.comms),
+		ASesPerUpdate:        stats.NewECDF(a.ases),
 	}
+}
+
+// ComputeFigure4b builds both distributions.
+func ComputeFigure4b(ds *Dataset) Figure4b { return DefaultPipeline.ComputeFigure4b(ds) }
+
+// ComputeFigure4b builds both distributions over the worker pool.
+func (p *Pipeline) ComputeFigure4b(ds *Dataset) Figure4b {
+	aggs := foldChunks(ds.Updates, p.workers(),
+		func() *fig4bAgg { return &fig4bAgg{} },
+		func(a *fig4bAgg, u *Update, _ []uint32) { a.add(u) })
+	merged := &fig4bAgg{}
+	for _, a := range aggs {
+		merged.merge(a)
+	}
+	return merged.finalize()
 }
 
 // RenderFigure4a renders the per-collector series.

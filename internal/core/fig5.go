@@ -66,30 +66,62 @@ func IsBlackholeClassifier(known []bgp.Community) func(bgp.Community) bool {
 	}
 }
 
+// propAgg folds per-(announcement, community) observations. Observation
+// order within a chunk matches the serial scan; chunk-ordered
+// concatenation therefore reproduces the exact serial Observations
+// slice. The classifier closure is shared read-only across workers.
+type propAgg struct {
+	obs         []CommunityObservation
+	isBlackhole func(bgp.Community) bool
+}
+
+func newPropAgg(isBlackhole func(bgp.Community) bool) *propAgg {
+	return &propAgg{isBlackhole: isBlackhole}
+}
+
+func (a *propAgg) add(u *Update, stripped []uint32) {
+	if u.Withdraw || len(u.Communities) == 0 {
+		return
+	}
+	for _, c := range u.Communities {
+		if c.ASN() == 0 || c.ASN() == 0xFFFF {
+			// Reserved ranges name no AS; they are "off-path private"
+			// by construction and excluded from distance analysis.
+			continue
+		}
+		a.obs = append(a.obs, CommunityObservation{
+			Community: c,
+			PathLen:   len(stripped),
+			TaggerIdx: TaggerIndex(stripped, c),
+			Blackhole: a.isBlackhole(c),
+		})
+	}
+}
+
+func (a *propAgg) merge(b *propAgg) { a.obs = append(a.obs, b.obs...) }
+
+func (a *propAgg) finalize() *PropagationAnalysis {
+	return &PropagationAnalysis{Observations: a.obs, isBlackhole: a.isBlackhole}
+}
+
 // AnalyzePropagation computes per-community propagation geometry for every
 // announcement. knownBlackhole may be nil (then only :666 classifies).
 func AnalyzePropagation(ds *Dataset, knownBlackhole []bgp.Community) *PropagationAnalysis {
-	pa := &PropagationAnalysis{isBlackhole: IsBlackholeClassifier(knownBlackhole)}
-	for _, u := range ds.Updates {
-		if u.Withdraw || len(u.Communities) == 0 {
-			continue
-		}
-		path := u.StrippedPath()
-		for _, c := range u.Communities {
-			if c.ASN() == 0 || c.ASN() == 0xFFFF {
-				// Reserved ranges name no AS; they are "off-path private"
-				// by construction and excluded from distance analysis.
-				continue
-			}
-			pa.Observations = append(pa.Observations, CommunityObservation{
-				Community: c,
-				PathLen:   len(path),
-				TaggerIdx: TaggerIndex(path, c),
-				Blackhole: pa.isBlackhole(c),
-			})
-		}
+	return DefaultPipeline.AnalyzePropagation(ds, knownBlackhole)
+}
+
+// AnalyzePropagation computes the propagation geometry over the worker
+// pool.
+func (p *Pipeline) AnalyzePropagation(ds *Dataset, knownBlackhole []bgp.Community) *PropagationAnalysis {
+	cls := IsBlackholeClassifier(knownBlackhole)
+	aggs := foldChunks(ds.Updates, p.workers(),
+		func() *propAgg { return newPropAgg(cls) },
+		func(a *propAgg, u *Update, stripped []uint32) { a.add(u, stripped) })
+	merged := newPropAgg(cls)
+	for _, a := range aggs {
+		merged.merge(a)
 	}
-	return pa
+	return merged.finalize()
 }
 
 // Figure5a returns the propagation-distance ECDFs for all on-path
@@ -198,34 +230,67 @@ func (t TransitReport) Fraction() float64 {
 	return float64(t.Propagators) / float64(t.TransitASes)
 }
 
+// transitAgg folds the transit / propagator AS sets; both merge by
+// union.
+type transitAgg struct {
+	transit map[uint32]bool
+	prop    map[uint32]bool
+}
+
+func newTransitAgg() *transitAgg {
+	return &transitAgg{transit: make(map[uint32]bool), prop: make(map[uint32]bool)}
+}
+
+func (a *transitAgg) add(u *Update, stripped []uint32) {
+	if u.Withdraw {
+		return
+	}
+	for i, as := range stripped {
+		if i < len(stripped)-1 {
+			a.transit[as] = true
+		}
+	}
+	for _, c := range u.Communities {
+		if c.ASN() == 0 || c.ASN() == 0xFFFF {
+			continue
+		}
+		ti := TaggerIndex(stripped, c)
+		for j := 1; j < ti; j++ {
+			a.prop[stripped[j]] = true
+		}
+	}
+}
+
+func (a *transitAgg) merge(b *transitAgg) {
+	for k := range b.transit {
+		a.transit[k] = true
+	}
+	for k := range b.prop {
+		a.prop[k] = true
+	}
+}
+
+func (a *transitAgg) finalize() TransitReport {
+	return TransitReport{TransitASes: len(a.transit), Propagators: len(a.prop)}
+}
+
 // TransitPropagators computes §4.3's headline number: how many transit
 // ASes forward received communities onward. An AS at position j counts as
 // a propagator when 0 < j < taggerIdx for some observed community (it sat
 // strictly between the tagger and the collector's direct peer).
-func TransitPropagators(ds *Dataset) TransitReport {
-	transit := map[uint32]bool{}
-	prop := map[uint32]bool{}
-	for _, u := range ds.Updates {
-		if u.Withdraw {
-			continue
-		}
-		path := u.StrippedPath()
-		for i, a := range path {
-			if i < len(path)-1 {
-				transit[a] = true
-			}
-		}
-		for _, c := range u.Communities {
-			if c.ASN() == 0 || c.ASN() == 0xFFFF {
-				continue
-			}
-			ti := TaggerIndex(path, c)
-			for j := 1; j < ti; j++ {
-				prop[path[j]] = true
-			}
-		}
+func TransitPropagators(ds *Dataset) TransitReport { return DefaultPipeline.TransitPropagators(ds) }
+
+// TransitPropagators computes the transit-propagator sets over the
+// worker pool.
+func (p *Pipeline) TransitPropagators(ds *Dataset) TransitReport {
+	aggs := foldChunks(ds.Updates, p.workers(),
+		newTransitAgg,
+		func(a *transitAgg, u *Update, stripped []uint32) { a.add(u, stripped) })
+	merged := newTransitAgg()
+	for _, a := range aggs {
+		merged.merge(a)
 	}
-	return TransitReport{TransitASes: len(transit), Propagators: len(prop)}
+	return merged.finalize()
 }
 
 // RenderFigure5a renders the two ECDFs at the paper's anchor points.

@@ -28,9 +28,108 @@ type Indications struct {
 	Paths int
 }
 
+func (in *Indications) merge(o *Indications) {
+	in.Forwarded += o.Forwarded
+	in.Filtered += o.Filtered
+	in.Added += o.Added
+	in.Paths += o.Paths
+}
+
 // FilterInference is the Figure 6 computation output.
 type FilterInference struct {
 	Edges map[Edge]*Indications
+}
+
+func newFilterInference() *FilterInference {
+	return &FilterInference{Edges: make(map[Edge]*Indications)}
+}
+
+func (fi *FilterInference) get(e Edge) *Indications {
+	in := fi.Edges[e]
+	if in == nil {
+		in = &Indications{}
+		fi.Edges[e] = in
+	}
+	return in
+}
+
+func (fi *FilterInference) merge(o *FilterInference) {
+	for e, in := range o.Edges {
+		fi.get(e).merge(in)
+	}
+}
+
+// inferPrefix runs the §4.4 heuristic over the concurrent announcements
+// of one prefix, accumulating edge indications into fi. Every
+// contribution is a commutative count, so the result is independent of
+// announcement and community iteration order — the property that makes
+// prefix-sharded parallel execution bit-identical to the serial scan.
+func (fi *FilterInference) inferPrefix(anns []Update) {
+	// Path visibility counts (origin-first edges).
+	for i := range anns {
+		o := originFirst(anns[i].StrippedPath())
+		for k := 0; k+1 < len(o); k++ {
+			fi.get(Edge{o[k], o[k+1]}).Paths++
+		}
+	}
+	// Candidate communities for this prefix.
+	commSet := map[bgp.Community]bool{}
+	for i := range anns {
+		for _, c := range anns[i].Communities {
+			if c.ASN() != 0 && c.ASN() != 0xFFFF {
+				commSet[c] = true
+			}
+		}
+	}
+	for c := range commSet {
+		// Receivers: tagger and everyone after it on each carrying
+		// path.
+		received := map[uint32]bool{}
+		for i := range anns {
+			if !anns[i].Communities.Has(c) {
+				continue
+			}
+			path := anns[i].StrippedPath()
+			ti := TaggerIndex(path, c)
+			if ti < 0 {
+				continue // off-path: no geometry to reason about
+			}
+			o := originFirst(path)
+			oi := len(o) - 1 - ti
+			// Added indication on the tagger's egress edge.
+			if oi+1 < len(o) {
+				fi.get(Edge{o[oi], o[oi+1]}).Added++
+			}
+			// Forward indications: each AS after the tagger that
+			// passed the community on (not counting the collector
+			// session, which is config-special per §4.3 footnote).
+			for k := oi + 1; k+1 < len(o); k++ {
+				fi.get(Edge{o[k], o[k+1]}).Forwarded++
+			}
+			for k := oi; k < len(o); k++ {
+				received[o[k]] = true
+			}
+		}
+		if len(received) == 0 {
+			continue
+		}
+		// Filtered indications: announcements of the same prefix
+		// without c that pass through a known receiver.
+		for i := range anns {
+			if anns[i].Communities.Has(c) {
+				continue
+			}
+			o := originFirst(anns[i].StrippedPath())
+			// The LAST receiver on the path is where the community
+			// was dropped toward the next hop.
+			for k := len(o) - 2; k >= 0; k-- {
+				if received[o[k]] {
+					fi.get(Edge{o[k], o[k+1]}).Filtered++
+					break
+				}
+			}
+		}
+	}
 }
 
 // InferFiltering runs the §4.4 heuristic over the dataset's concurrent
@@ -39,91 +138,40 @@ type FilterInference struct {
 // announcement of the same prefix passing through a known receiver without
 // the community yields a filtered indication on the egress edge where it
 // went missing.
-func InferFiltering(ds *Dataset) *FilterInference {
-	fi := &FilterInference{Edges: make(map[Edge]*Indications)}
-	routes := ds.LatestRoutes()
+func InferFiltering(ds *Dataset) *FilterInference { return DefaultPipeline.InferFiltering(ds) }
 
-	// Group concurrent routes by prefix.
+// InferFiltering computes the Figure 6 inference with prefixes sharded
+// across the worker pool.
+func (p *Pipeline) InferFiltering(ds *Dataset) *FilterInference {
+	return p.inferFiltering(p.LatestRoutes(ds))
+}
+
+// inferFiltering shards the concurrent route view by prefix: each worker
+// owns a disjoint set of prefix groups and accumulates a private edge
+// map; the per-worker maps merge by summation.
+func (p *Pipeline) inferFiltering(routes []Update) *FilterInference {
 	byPrefix := make(map[netip.Prefix][]Update)
+	var order []netip.Prefix
 	for _, u := range routes {
+		if _, seen := byPrefix[u.Prefix]; !seen {
+			order = append(order, u.Prefix)
+		}
 		byPrefix[u.Prefix] = append(byPrefix[u.Prefix], u)
 	}
 
-	get := func(e Edge) *Indications {
-		in := fi.Edges[e]
-		if in == nil {
-			in = &Indications{}
-			fi.Edges[e] = in
+	w := p.workers()
+	shards := chunkRanges(len(order), w)
+	partial := make([]*FilterInference, len(shards))
+	parallelDo(len(shards), w, func(i int) {
+		fi := newFilterInference()
+		for _, pfx := range order[shards[i][0]:shards[i][1]] {
+			fi.inferPrefix(byPrefix[pfx])
 		}
-		return in
-	}
-
-	for _, anns := range byPrefix {
-		// Path visibility counts (origin-first edges).
-		for _, u := range anns {
-			o := originFirst(u.StrippedPath())
-			for k := 0; k+1 < len(o); k++ {
-				get(Edge{o[k], o[k+1]}).Paths++
-			}
-		}
-		// Candidate communities for this prefix.
-		commSet := map[bgp.Community]bool{}
-		for _, u := range anns {
-			for _, c := range u.Communities {
-				if c.ASN() != 0 && c.ASN() != 0xFFFF {
-					commSet[c] = true
-				}
-			}
-		}
-		for c := range commSet {
-			// Receivers: tagger and everyone after it on each carrying
-			// path.
-			received := map[uint32]bool{}
-			for _, u := range anns {
-				if !u.Communities.Has(c) {
-					continue
-				}
-				path := u.StrippedPath()
-				ti := TaggerIndex(path, c)
-				if ti < 0 {
-					continue // off-path: no geometry to reason about
-				}
-				o := originFirst(path)
-				oi := len(o) - 1 - ti
-				// Added indication on the tagger's egress edge.
-				if oi+1 < len(o) {
-					get(Edge{o[oi], o[oi+1]}).Added++
-				}
-				// Forward indications: each AS after the tagger that
-				// passed the community on (not counting the collector
-				// session, which is config-special per §4.3 footnote).
-				for k := oi + 1; k+1 < len(o); k++ {
-					get(Edge{o[k], o[k+1]}).Forwarded++
-				}
-				for k := oi; k < len(o); k++ {
-					received[o[k]] = true
-				}
-			}
-			if len(received) == 0 {
-				continue
-			}
-			// Filtered indications: announcements of the same prefix
-			// without c that pass through a known receiver.
-			for _, u := range anns {
-				if u.Communities.Has(c) {
-					continue
-				}
-				o := originFirst(u.StrippedPath())
-				// The LAST receiver on the path is where the community
-				// was dropped toward the next hop.
-				for k := len(o) - 2; k >= 0; k-- {
-					if received[o[k]] {
-						get(Edge{o[k], o[k+1]}).Filtered++
-						break
-					}
-				}
-			}
-		}
+		partial[i] = fi
+	})
+	fi := newFilterInference()
+	for _, part := range partial {
+		fi.merge(part)
 	}
 	return fi
 }
@@ -136,7 +184,7 @@ func originFirst(path []uint32) []uint32 {
 	return out
 }
 
-// Summary holds the §4.4 headline percentages.
+// FilterSummary holds the §4.4 headline percentages.
 type FilterSummary struct {
 	TotalEdges      int
 	WithForwardSign int

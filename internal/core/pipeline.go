@@ -1,0 +1,117 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/conc"
+)
+
+// Pipeline executes the §4 analyses over a worker pool. Work is sharded
+// two ways, matching the two shapes of computation in the paper:
+//
+//   - per-update folds (Tables 1/2, Figures 4/5, transit propagators)
+//     split the update stream into contiguous chunks, fold each chunk
+//     into a partial aggregate on its own worker, and merge the partial
+//     aggregates in chunk order;
+//   - per-prefix reductions (the Figure 6 filter inference) shard the
+//     concurrent route view by prefix, process each shard independently,
+//     and merge the per-edge indication counts by summation.
+//
+// Both merge strategies are deterministic: chunk-ordered merging
+// reproduces the exact serial fold order, and indication counts commute.
+// Every result is therefore bit-identical across worker counts; the
+// determinism tests assert workers=1 and workers=8 agree on rendered
+// output.
+type Pipeline struct {
+	// Workers is the parallelism degree; 0 or negative means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// NewPipeline returns a pipeline with the given worker count (0 = one
+// worker per available CPU).
+func NewPipeline(workers int) *Pipeline { return &Pipeline{Workers: workers} }
+
+// DefaultPipeline is used by the package-level convenience functions
+// (Table1, Figure4a, ...); it sizes itself to the machine.
+var DefaultPipeline = &Pipeline{}
+
+func (p *Pipeline) workers() int {
+	if p == nil || p.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Workers
+}
+
+// chunkRanges splits [0, n) into at most w near-equal contiguous ranges.
+func chunkRanges(n, w int) [][2]int { return conc.Chunks(n, w) }
+
+// foldChunks folds contiguous chunks of updates concurrently, one
+// aggregate per chunk, and returns the aggregates in chunk order so the
+// caller can merge them deterministically. fold receives each update
+// together with its prepending-stripped AS path (computed once per
+// update, shared by every consumer).
+func foldChunks[A any](updates []Update, workers int, mk func() A, fold func(agg A, u *Update, stripped []uint32)) []A {
+	ranges := chunkRanges(len(updates), workers)
+	aggs := make([]A, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i int, lo, hi int) {
+			defer wg.Done()
+			agg := mk()
+			for j := lo; j < hi; j++ {
+				u := &updates[j]
+				fold(agg, u, u.StrippedPath())
+			}
+			aggs[i] = agg
+		}(i, r[0], r[1])
+	}
+	wg.Wait()
+	return aggs
+}
+
+// parallelDo runs fn(i) for i in [0, n) over the pipeline's workers.
+func parallelDo(n, workers int, fn func(i int)) { conc.Do(n, workers, fn) }
+
+// Analysis bundles every passive-measurement output of §4, produced in a
+// single fused pass over the update stream (plus the concurrent-view
+// reduction for Figure 6). Use Pipeline.Analyze when more than one
+// figure is needed: the fused pass strips each AS path once and feeds
+// all aggregates, where the per-figure entry points each rescan the
+// dataset.
+type Analysis struct {
+	Table1  []Table1Row
+	Table2  []Table2Row
+	Fig4a   []CollectorFraction
+	Share   float64
+	Fig4b   Figure4b
+	Prop    *PropagationAnalysis
+	Transit TransitReport
+	Filter  *FilterInference
+}
+
+// Analyze runs the full §4 pipeline fused: one chunked parallel fold
+// builds every per-update aggregate, then the Figure 6 inference runs
+// over the latest-route view sharded by prefix.
+func (p *Pipeline) Analyze(ds *Dataset, knownBlackhole []bgp.Community) *Analysis {
+	cls := IsBlackholeClassifier(knownBlackhole)
+	accs := foldChunks(ds.Updates, p.workers(),
+		func() *Accumulator { return newAccumulatorFor(cls) },
+		func(a *Accumulator, u *Update, stripped []uint32) { a.addStripped(u, stripped) })
+	var acc *Accumulator
+	if len(accs) == 0 {
+		acc = newAccumulatorFor(cls)
+	} else {
+		acc = accs[0]
+		for _, b := range accs[1:] {
+			acc.Merge(b)
+		}
+	}
+	for _, c := range ds.Collectors {
+		acc.AddCollector(c)
+	}
+	return acc.Analysis(p)
+}

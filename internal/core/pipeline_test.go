@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bgpworms/internal/gen"
+)
+
+// renderAll flattens every analysis output into one golden string so a
+// single comparison covers Tables 1/2, Figures 4a/4b/5a/5b/5c, the
+// transit report, and the Figure 6 summary.
+func renderAll(t1 []Table1Row, t2 []Table2Row, f4a []CollectorFraction, share float64,
+	f4b Figure4b, pa *PropagationAnalysis, tr TransitReport, fi *FilterInference) string {
+	all, bh := pa.Figure5a()
+	off, on := pa.Figure5c(10)
+	return RenderTable1(t1) + RenderTable2(t2) + RenderFigure4a(f4a) +
+		fmt.Sprintf("share=%.9f\n", share) + RenderFigure4b(f4b) +
+		RenderFigure5a(all, bh) + RenderFigure5b(pa.Figure5b(3, 10)) +
+		RenderFigure5c(off, on) +
+		fmt.Sprintf("transit=%d/%d\n", tr.Propagators, tr.TransitASes) +
+		RenderFilterSummary(fi.Summarize(2))
+}
+
+func pipelineGolden(p *Pipeline, ds *Dataset) string {
+	return renderAll(p.Table1(ds), p.Table2(ds), p.Figure4a(ds), p.OverallCommunityShare(ds),
+		p.ComputeFigure4b(ds), p.AnalyzePropagation(ds, nil), p.TransitPropagators(ds),
+		p.InferFiltering(ds))
+}
+
+// TestPipelineDeterminismAcrossWorkers is the tentpole gate: serial
+// (workers=1) and parallel (workers=8) runs must produce bit-identical
+// Fig. 4/5/6 and Tables 1/2 output on a generated internet.
+func TestPipelineDeterminismAcrossWorkers(t *testing.T) {
+	_, ds := buildDatasetViaMRT(t)
+	serial := pipelineGolden(NewPipeline(1), ds)
+	if serial == "" {
+		t.Fatal("empty analysis output")
+	}
+	for _, w := range []int{2, 8} {
+		if got := pipelineGolden(NewPipeline(w), ds); got != serial {
+			t.Fatalf("workers=%d output diverges from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s", w, serial, w, got)
+		}
+	}
+}
+
+// TestLatestRoutesChunkMergeIdentical asserts the concurrent view is the
+// exact same slice — order included — for any worker count.
+func TestLatestRoutesChunkMergeIdentical(t *testing.T) {
+	_, ds := buildDatasetViaMRT(t)
+	serial := NewPipeline(1).LatestRoutes(ds)
+	if len(serial) == 0 {
+		t.Fatal("no latest routes")
+	}
+	for _, w := range []int{3, 8} {
+		got := NewPipeline(w).LatestRoutes(ds)
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d latest-route view diverges (len %d vs %d)", w, len(got), len(serial))
+		}
+	}
+}
+
+// TestFusedAnalyzeMatchesPerFigure asserts the single-pass fused
+// pipeline computes exactly what the per-figure entry points compute.
+func TestFusedAnalyzeMatchesPerFigure(t *testing.T) {
+	w, ds := buildDatasetViaMRT(t)
+	known := w.Registry.All()
+	for _, workers := range []int{1, 8} {
+		p := NewPipeline(workers)
+		a := p.Analyze(ds, known)
+		got := renderAll(a.Table1, a.Table2, a.Fig4a, a.Share, a.Fig4b, a.Prop, a.Transit, a.Filter)
+		want := renderAll(p.Table1(ds), p.Table2(ds), p.Figure4a(ds), p.OverallCommunityShare(ds),
+			p.ComputeFigure4b(ds), p.AnalyzePropagation(ds, known), p.TransitPropagators(ds),
+			p.InferFiltering(ds))
+		if got != want {
+			t.Fatalf("workers=%d fused output diverges:\n--- per-figure ---\n%s\n--- fused ---\n%s", workers, want, got)
+		}
+	}
+}
+
+// TestStreamingMatchesMaterialized runs the same MRT archives through
+// the materializing loader and the streaming accumulator and demands
+// identical analysis output.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	world, err := gen.Build(gen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := world.RunChurn(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, c := range world.Collectors {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("updates.%s.mrt", c.Name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.WriteUpdatesMRT(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	known := world.Registry.All()
+	for _, workers := range []int{1, 4} {
+		p := NewPipeline(workers)
+		ds, err := p.LoadMRTDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds.Updates) == 0 {
+			t.Fatal("no updates loaded")
+		}
+		mat := p.Analyze(ds, known)
+		str, err := p.StreamMRTDir(dir, known)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := renderAll(str.Table1, str.Table2, str.Fig4a, str.Share, str.Fig4b, str.Prop, str.Transit, str.Filter)
+		want := renderAll(mat.Table1, mat.Table2, mat.Fig4a, mat.Share, mat.Fig4b, mat.Prop, mat.Transit, mat.Filter)
+		if got != want {
+			t.Fatalf("workers=%d streaming output diverges:\n--- materialized ---\n%s\n--- streaming ---\n%s", workers, want, got)
+		}
+	}
+}
+
+// TestAccumulatorEvolutionMetrics checks the streaming Figure 3 values
+// agree with the dataset computation.
+func TestAccumulatorEvolutionMetrics(t *testing.T) {
+	_, ds := buildDatasetViaMRT(t)
+	acc := NewAccumulator(nil)
+	for i := range ds.Updates {
+		acc.Add(&ds.Updates[i])
+	}
+	ua, uc, abs, te := acc.EvolutionMetrics()
+	wua, wuc, wabs, wte := EvolutionMetrics(ds)
+	if ua != wua || uc != wuc || abs != wabs || te != wte {
+		t.Fatalf("streaming evolution metrics diverge: got %d/%d/%d/%d want %d/%d/%d/%d",
+			ua, uc, abs, te, wua, wuc, wabs, wte)
+	}
+	if got := len(acc.LatestRoutes()); got != te {
+		t.Fatalf("latest routes len=%d want %d", got, te)
+	}
+}
+
+// TestTotalRowCoversMetadataLessPlatforms guards a sharding regression:
+// updates whose platform has no CollectorMeta entry (possible via the
+// exported Dataset fields or Merge of metadata-less fragments) get no
+// per-platform row, but must still count in the Total row, as the
+// pre-pipeline full-scan code did.
+func TestTotalRowCoversMetadataLessPlatforms(t *testing.T) {
+	ds := &Dataset{}
+	ds.Updates = []Update{{
+		Platform: "GHOST", Collector: "g0", PeerAS: 5,
+		Prefix: pfxA, ASPath: []uint32{5, 1},
+	}}
+	rows := Table1(ds)
+	total := rows[len(rows)-1]
+	if total.Source != "Total" || total.Messages != 1 || total.IPv4Prefixes != 1 || total.ASes != 2 {
+		t.Fatalf("total row dropped metadata-less platform: %+v", total)
+	}
+}
+
+// TestChunkRanges pins the chunking contract: full cover, no overlap,
+// bounded count.
+func TestChunkRanges(t *testing.T) {
+	for _, tc := range []struct{ n, w int }{{0, 4}, {1, 4}, {7, 3}, {100, 8}, {5, 1}, {3, 0}} {
+		rs := chunkRanges(tc.n, tc.w)
+		covered := 0
+		prev := 0
+		for _, r := range rs {
+			if r[0] != prev {
+				t.Fatalf("n=%d w=%d: gap at %d", tc.n, tc.w, r[0])
+			}
+			if r[1] <= r[0] {
+				t.Fatalf("n=%d w=%d: empty range %v", tc.n, tc.w, r)
+			}
+			covered += r[1] - r[0]
+			prev = r[1]
+		}
+		if covered != tc.n {
+			t.Fatalf("n=%d w=%d: covered %d", tc.n, tc.w, covered)
+		}
+		if tc.w > 0 && len(rs) > tc.w && tc.n >= tc.w {
+			t.Fatalf("n=%d w=%d: %d ranges", tc.n, tc.w, len(rs))
+		}
+	}
+}

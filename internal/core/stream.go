@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/mrt"
+)
+
+// StreamMRTUpdates decodes a BGP4MP update stream (as written by
+// collector.WriteUpdatesMRT) and invokes fn once per normalized routing
+// observation, without materializing the update slice. It returns the
+// collector metadata gathered along the way. fn errors abort the stream.
+func StreamMRTUpdates(platform, collectorName string, r io.Reader, fn func(u *Update) error) (CollectorMeta, error) {
+	meta := CollectorMeta{Platform: platform, Name: collectorName, PeerASNs: make(map[uint32]bool)}
+	mr := mrt.NewReader(r)
+	for {
+		rec, err := mr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return meta, fmt.Errorf("core: reading MRT: %w", err)
+		}
+		msg, ok := rec.(*mrt.BGP4MPMessage)
+		if !ok {
+			continue // state changes etc. carry no routes
+		}
+		upd, ok := msg.Message.(*bgp.Update)
+		if !ok {
+			continue
+		}
+		meta.PeerASNs[msg.PeerAS] = true
+		base := Update{
+			Platform:  platform,
+			Collector: collectorName,
+			PeerAS:    msg.PeerAS,
+			Time:      msg.Timestamp,
+		}
+		for _, p := range upd.AllAnnounced() {
+			u := base
+			u.Prefix = p
+			u.ASPath = upd.Attrs.ASPath.Sequence()
+			u.Communities = upd.Attrs.Communities.Clone()
+			if err := fn(&u); err != nil {
+				return meta, err
+			}
+		}
+		for _, p := range upd.AllWithdrawn() {
+			u := base
+			u.Prefix = p
+			u.Withdraw = true
+			if err := fn(&u); err != nil {
+				return meta, err
+			}
+		}
+	}
+	meta.PeerIPs = len(meta.PeerASNs)
+	return meta, nil
+}
+
+// Accumulator ingests routing observations one at a time and folds every
+// §4 aggregate in a single pass: Tables 1/2, Figures 4a/4b, the Figure 5
+// propagation observations, the transit-propagator sets, the Figure 3
+// evolution counters, and the latest-route view Figure 6 runs on. It is
+// the streaming complement of Dataset: MRT byte streams can be classified
+// without retaining the update slice (memory stays bounded by the
+// aggregate sizes — table entries, distinct sets, and per-community
+// observations — not by stream length).
+//
+// Accumulators also serve as the per-chunk partial aggregates of
+// Pipeline.Analyze: Merge combines two accumulators deterministically
+// when the receiver folded the earlier portion of the stream.
+type Accumulator struct {
+	collectors []CollectorMeta
+	platforms  []string
+	seenPf     map[string]bool
+
+	t1      table1Shards
+	t2      table2Shards
+	fig4a   *fig4aAgg
+	share   *shareAgg
+	fig4b   *fig4bAgg
+	prop    *propAgg
+	transit *transitAgg
+	evo     *evolutionAgg
+	latest  *latestAgg
+}
+
+// NewAccumulator returns an empty accumulator; knownBlackhole seeds the
+// Figure 5 blackhole classifier (nil = only :666 classifies).
+func NewAccumulator(knownBlackhole []bgp.Community) *Accumulator {
+	return newAccumulatorFor(IsBlackholeClassifier(knownBlackhole))
+}
+
+func newAccumulatorFor(isBlackhole func(bgp.Community) bool) *Accumulator {
+	return &Accumulator{
+		seenPf:  make(map[string]bool),
+		t1:      make(table1Shards),
+		t2:      make(table2Shards),
+		fig4a:   newFig4aAgg(),
+		share:   &shareAgg{},
+		fig4b:   &fig4bAgg{},
+		prop:    newPropAgg(isBlackhole),
+		transit: newTransitAgg(),
+		evo:     newEvolutionAgg(),
+		latest:  newLatestAgg(),
+	}
+}
+
+// AddCollector registers collector metadata (Table 1 infrastructure
+// columns and the platform row order).
+func (a *Accumulator) AddCollector(meta CollectorMeta) {
+	a.collectors = append(a.collectors, meta)
+	if !a.seenPf[meta.Platform] {
+		a.seenPf[meta.Platform] = true
+		a.platforms = append(a.platforms, meta.Platform)
+	}
+}
+
+// Add folds one observation into every aggregate.
+func (a *Accumulator) Add(u *Update) { a.addStripped(u, u.StrippedPath()) }
+
+func (a *Accumulator) addStripped(u *Update, stripped []uint32) {
+	a.t1.add(u, stripped)
+	a.t2.add(u, stripped)
+	a.fig4a.add(u)
+	a.share.add(u)
+	a.fig4b.add(u)
+	a.prop.add(u, stripped)
+	a.transit.add(u, stripped)
+	a.evo.add(u)
+	a.latest.add(u)
+}
+
+// Merge folds b into a. a must have ingested the earlier portion of the
+// stream: order-sensitive aggregates (latest routes, sample order) treat
+// b's contents as later observations.
+func (a *Accumulator) Merge(b *Accumulator) {
+	for _, c := range b.collectors {
+		a.AddCollector(c)
+	}
+	a.t1.merge(b.t1)
+	a.t2.merge(b.t2)
+	a.fig4a.merge(b.fig4a)
+	a.share.merge(b.share)
+	a.fig4b.merge(b.fig4b)
+	a.prop.merge(b.prop)
+	a.transit.merge(b.transit)
+	a.evo.merge(b.evo)
+	a.latest.merge(b.latest)
+}
+
+// finalize materializes every per-update analysis output. The Figure 6
+// inference is attached separately (it needs the latest-route reduction).
+func (a *Accumulator) finalize() *Analysis {
+	return &Analysis{
+		Table1:  a.t1.rows(a.collectors, a.platforms),
+		Table2:  a.t2.rows(a.collectors, a.platforms),
+		Fig4a:   a.fig4a.finalize(),
+		Share:   a.share.finalize(),
+		Fig4b:   a.fig4b.finalize(),
+		Prop:    a.prop.finalize(),
+		Transit: a.transit.finalize(),
+	}
+}
+
+// Analysis finalizes the accumulator into the full output bundle,
+// running the Figure 6 inference over p's worker pool (nil = default).
+func (a *Accumulator) Analysis(p *Pipeline) *Analysis {
+	if p == nil {
+		p = DefaultPipeline
+	}
+	out := a.finalize()
+	out.Filter = p.inferFiltering(a.latest.finalize())
+	return out
+}
+
+// LatestRoutes returns the accumulated concurrent view (the Figure 6 /
+// Figure 3 table-entry reduction).
+func (a *Accumulator) LatestRoutes() []Update { return a.latest.finalize() }
+
+// EvolutionMetrics returns the Figure 3 series values accumulated so far.
+func (a *Accumulator) EvolutionMetrics() (uniqueASes, uniqueComms, absolute, tableEntries int) {
+	return len(a.evo.asSet), len(a.evo.commSet), a.evo.absolute, len(a.latest.finalize())
+}
+
+// collectorNameFromFile derives (platform, collector) from an MRT archive
+// name like updates.RIS-rrc00.mrt: the collector is the base name between
+// "updates." and ".mrt", the platform is its prefix before the first "-".
+func collectorNameFromFile(path string) (platform, name string) {
+	name = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "updates."), ".mrt")
+	platform = name
+	if i := strings.Index(name, "-"); i > 0 {
+		platform = name[:i]
+	}
+	return platform, name
+}
+
+// LoadMRTDir reads every updates.*.mrt archive under dir into one
+// Dataset, decoding archives concurrently over the worker pool and
+// merging the fragments in sorted file-name order so the result is
+// independent of scheduling.
+func (p *Pipeline) LoadMRTDir(dir string) (*Dataset, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "updates.*.mrt"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("core: no updates.*.mrt files in %s", dir)
+	}
+	parts := make([]*Dataset, len(matches))
+	errs := make([]error, len(matches))
+	parallelDo(len(matches), p.workers(), func(i int) {
+		platform, name := collectorNameFromFile(matches[i])
+		f, err := os.Open(matches[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		defer f.Close()
+		parts[i], errs[i] = ReadMRTUpdates(platform, name, f)
+	})
+	ds := &Dataset{}
+	for i, part := range parts {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		ds.Merge(part)
+	}
+	return ds, nil
+}
+
+// StreamMRTDir runs the fused single-pass analysis over every
+// updates.*.mrt archive under dir without materializing any update
+// slice: each archive streams into its own accumulator on the worker
+// pool, and the accumulators merge in sorted file-name order.
+func (p *Pipeline) StreamMRTDir(dir string, knownBlackhole []bgp.Community) (*Analysis, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "updates.*.mrt"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("core: no updates.*.mrt files in %s", dir)
+	}
+	cls := IsBlackholeClassifier(knownBlackhole)
+	accs := make([]*Accumulator, len(matches))
+	errs := make([]error, len(matches))
+	parallelDo(len(matches), p.workers(), func(i int) {
+		platform, name := collectorNameFromFile(matches[i])
+		f, err := os.Open(matches[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		defer f.Close()
+		acc := newAccumulatorFor(cls)
+		meta, err := StreamMRTUpdates(platform, name, f, func(u *Update) error {
+			acc.Add(u)
+			return nil
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		acc.AddCollector(meta)
+		accs[i] = acc
+	})
+	var total *Accumulator
+	for i, acc := range accs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if total == nil {
+			total = acc
+		} else {
+			total.Merge(acc)
+		}
+	}
+	return total.Analysis(p), nil
+}

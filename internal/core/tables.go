@@ -1,6 +1,7 @@
 package core
 
 import (
+	"net/netip"
 	"sort"
 
 	"bgpworms/internal/bgp"
@@ -23,75 +24,173 @@ type Table1Row struct {
 	Stub         int
 }
 
-// Table1 computes the dataset overview per platform plus the union row.
-func Table1(ds *Dataset) []Table1Row {
-	platforms := append(ds.Platforms(), "Total")
-	rows := make([]Table1Row, 0, len(platforms))
-	for _, pf := range platforms {
-		filter := pf
-		if pf == "Total" {
-			filter = ""
-		}
-		rows = append(rows, table1Row(ds, pf, filter))
-	}
-	return rows
+// table1Agg is the per-shard partial aggregate behind one Table 1 row:
+// everything that can be folded update-by-update. Set-valued fields merge
+// by union, counters by addition, so shard merging commutes and the
+// result is independent of how updates were split across workers.
+type table1Agg struct {
+	messages int
+	v4       map[netip.Prefix]bool
+	v6       map[netip.Prefix]bool
+	comms    map[bgp.Community]bool
+	ases     map[uint32]bool
+	origins  map[uint32]bool
+	transit  map[uint32]bool
 }
 
-func table1Row(ds *Dataset, label, platform string) Table1Row {
+func newTable1Agg() *table1Agg {
+	return &table1Agg{
+		v4:      make(map[netip.Prefix]bool),
+		v6:      make(map[netip.Prefix]bool),
+		comms:   make(map[bgp.Community]bool),
+		ases:    make(map[uint32]bool),
+		origins: make(map[uint32]bool),
+		transit: make(map[uint32]bool),
+	}
+}
+
+func (a *table1Agg) add(u *Update, stripped []uint32) {
+	a.messages++
+	if u.Prefix.Addr().Is4() {
+		a.v4[u.Prefix] = true
+	} else {
+		a.v6[u.Prefix] = true
+	}
+	if u.Withdraw {
+		return
+	}
+	for _, c := range u.Communities {
+		a.comms[c] = true
+	}
+	for i, as := range stripped {
+		a.ases[as] = true
+		if i == len(stripped)-1 {
+			a.origins[as] = true
+		} else {
+			// Neither origin nor the collector itself: transit role
+			// (§4.3 footnote 6).
+			a.transit[as] = true
+		}
+	}
+}
+
+func (a *table1Agg) merge(b *table1Agg) {
+	a.messages += b.messages
+	for k := range b.v4 {
+		a.v4[k] = true
+	}
+	for k := range b.v6 {
+		a.v6[k] = true
+	}
+	for k := range b.comms {
+		a.comms[k] = true
+	}
+	for k := range b.ases {
+		a.ases[k] = true
+	}
+	for k := range b.origins {
+		a.origins[k] = true
+	}
+	for k := range b.transit {
+		a.transit[k] = true
+	}
+}
+
+// row fills a Table1Row from the fold aggregate plus collector metadata.
+func (a *table1Agg) row(label, platform string, collectors []CollectorMeta) Table1Row {
 	row := Table1Row{Source: label}
-	v4 := map[string]bool{}
-	v6 := map[string]bool{}
-	comms := map[bgp.Community]bool{}
-	ases := map[uint32]bool{}
-	origins := map[uint32]bool{}
-	transit := map[uint32]bool{}
-	cols := map[string]bool{}
-	for _, c := range ds.Collectors {
+	for _, c := range collectors {
 		if platform != "" && c.Platform != platform {
 			continue
 		}
-		cols[c.Name] = true
+		row.Collectors++
 		row.IPPeers += c.PeerIPs
 	}
-	asPeers := ds.CollectorPeers(platform)
-	for _, u := range ds.Updates {
-		if platform != "" && u.Platform != platform {
-			continue
-		}
-		row.Messages++
-		if u.Prefix.Addr().Is4() {
-			v4[u.Prefix.String()] = true
+	row.ASPeers = len(collectorPeers(collectors, platform))
+	row.Messages = a.messages
+	row.IPv4Prefixes = len(a.v4)
+	row.IPv6Prefixes = len(a.v6)
+	row.Communities = len(a.comms)
+	row.ASes = len(a.ases)
+	row.Origin = len(a.origins)
+	row.Transit = len(a.transit)
+	row.Stub = len(a.ases) - len(a.transit)
+	return row
+}
+
+// table1Shards keys partial aggregates by platform; the union ("Total")
+// row is derived by merging every platform's aggregate, since each
+// update belongs to exactly one platform.
+type table1Shards map[string]*table1Agg
+
+func (s table1Shards) add(u *Update, stripped []uint32) {
+	agg := s[u.Platform]
+	if agg == nil {
+		agg = newTable1Agg()
+		s[u.Platform] = agg
+	}
+	agg.add(u, stripped)
+}
+
+func (s table1Shards) merge(o table1Shards) {
+	for pf, agg := range o {
+		if mine := s[pf]; mine != nil {
+			mine.merge(agg)
 		} else {
-			v6[u.Prefix.String()] = true
-		}
-		if u.Withdraw {
-			continue
-		}
-		for _, c := range u.Communities {
-			comms[c] = true
-		}
-		path := u.StrippedPath()
-		for i, a := range path {
-			ases[a] = true
-			if i == len(path)-1 {
-				origins[a] = true
-			} else {
-				// Neither origin nor the collector itself: transit role
-				// (§4.3 footnote 6).
-				transit[a] = true
-			}
+			s[pf] = agg
 		}
 	}
-	row.IPv4Prefixes = len(v4)
-	row.IPv6Prefixes = len(v6)
-	row.Collectors = len(cols)
-	row.ASPeers = len(asPeers)
-	row.Communities = len(comms)
-	row.ASes = len(ases)
-	row.Origin = len(origins)
-	row.Transit = len(transit)
-	row.Stub = len(ases) - len(transit)
-	return row
+}
+
+func (s table1Shards) rows(collectors []CollectorMeta, platforms []string) []Table1Row {
+	rows := make([]Table1Row, 0, len(platforms)+1)
+	for _, pf := range platforms {
+		agg := s[pf]
+		if agg == nil {
+			agg = newTable1Agg()
+		}
+		rows = append(rows, agg.row(pf, pf, collectors))
+	}
+	// The Total row covers every update — including platforms with no
+	// collector metadata, which get no row of their own. Set unions and
+	// counter sums commute, so map iteration order is immaterial.
+	total := newTable1Agg()
+	for _, agg := range s {
+		total.merge(agg)
+	}
+	rows = append(rows, total.row("Total", "", collectors))
+	return rows
+}
+
+// Table1 computes the dataset overview per platform plus the union row.
+func Table1(ds *Dataset) []Table1Row { return DefaultPipeline.Table1(ds) }
+
+// Table1 computes Table 1 with the pipeline's worker pool: one fused
+// pass over the update stream, sharded into contiguous chunks.
+func (p *Pipeline) Table1(ds *Dataset) []Table1Row {
+	shards := foldChunks(ds.Updates, p.workers(),
+		func() table1Shards { return make(table1Shards) },
+		func(s table1Shards, u *Update, stripped []uint32) { s.add(u, stripped) })
+	merged := make(table1Shards)
+	for _, s := range shards {
+		merged.merge(s)
+	}
+	return merged.rows(ds.Collectors, ds.Platforms())
+}
+
+// collectorPeers returns the union of peer ASNs across collectors of a
+// platform ("" = all platforms).
+func collectorPeers(collectors []CollectorMeta, platform string) map[uint32]bool {
+	out := make(map[uint32]bool)
+	for _, c := range collectors {
+		if platform != "" && c.Platform != platform {
+			continue
+		}
+		for a := range c.PeerASNs {
+			out[a] = true
+		}
+	}
+	return out
 }
 
 // RenderTable1 renders rows in paper layout.
@@ -121,63 +220,119 @@ type Table2Row struct {
 	OffPathWithoutPrivate int
 }
 
-// Table2 computes community-AS classification per platform plus union.
-func Table2(ds *Dataset) []Table2Row {
-	platforms := append(ds.Platforms(), "Total")
-	rows := make([]Table2Row, 0, len(platforms))
-	for _, pf := range platforms {
-		filter := pf
-		if pf == "Total" {
-			filter = ""
-		}
-		rows = append(rows, table2Row(ds, pf, filter))
-	}
-	return rows
+// table2Agg folds the community-AS classification of one platform: both
+// sets merge by union across shards.
+type table2Agg struct {
+	all    map[uint32]bool
+	onPath map[uint32]bool
 }
 
-func table2Row(ds *Dataset, label, platform string) Table2Row {
-	row := Table2Row{Source: label}
-	all := map[uint32]bool{}
-	onPath := map[uint32]bool{}
-	for _, u := range ds.Updates {
-		if platform != "" && u.Platform != platform {
-			continue
+func newTable2Agg() *table2Agg {
+	return &table2Agg{all: make(map[uint32]bool), onPath: make(map[uint32]bool)}
+}
+
+func (a *table2Agg) add(u *Update, stripped []uint32) {
+	if u.Withdraw || len(u.Communities) == 0 {
+		return
+	}
+	for _, c := range u.Communities {
+		asn := uint32(c.ASN())
+		if asn == 0 || asn == 0xFFFF {
+			continue // well-known ranges are not AS references
 		}
-		if u.Withdraw || len(u.Communities) == 0 {
-			continue
-		}
-		path := u.StrippedPath()
-		inPath := map[uint32]bool{}
-		for _, a := range path {
-			inPath[a] = true
-		}
-		for _, c := range u.Communities {
-			asn := uint32(c.ASN())
-			if asn == 0 || asn == 0xFFFF {
-				continue // well-known ranges are not AS references
-			}
-			all[asn] = true
-			if inPath[asn] {
-				onPath[asn] = true
+		a.all[asn] = true
+		for _, onpath := range stripped {
+			if onpath == asn {
+				a.onPath[asn] = true
+				break
 			}
 		}
 	}
-	peers := ds.CollectorPeers(platform)
-	row.Total = len(all)
-	for a := range all {
-		if !peers[a] {
+}
+
+func (a *table2Agg) merge(b *table2Agg) {
+	for k := range b.all {
+		a.all[k] = true
+	}
+	for k := range b.onPath {
+		a.onPath[k] = true
+	}
+}
+
+func (a *table2Agg) row(label, platform string, collectors []CollectorMeta) Table2Row {
+	row := Table2Row{Source: label}
+	peers := collectorPeers(collectors, platform)
+	row.Total = len(a.all)
+	for asn := range a.all {
+		if !peers[asn] {
 			row.WithoutCollectorPeer++
 		}
-		if onPath[a] {
+		if a.onPath[asn] {
 			row.OnPath++
 		} else {
 			row.OffPath++
-			if !bgp.IsPrivateASN(a) {
+			if !bgp.IsPrivateASN(asn) {
 				row.OffPathWithoutPrivate++
 			}
 		}
 	}
 	return row
+}
+
+// table2Shards keys partial aggregates by platform, like table1Shards.
+type table2Shards map[string]*table2Agg
+
+func (s table2Shards) add(u *Update, stripped []uint32) {
+	agg := s[u.Platform]
+	if agg == nil {
+		agg = newTable2Agg()
+		s[u.Platform] = agg
+	}
+	agg.add(u, stripped)
+}
+
+func (s table2Shards) merge(o table2Shards) {
+	for pf, agg := range o {
+		if mine := s[pf]; mine != nil {
+			mine.merge(agg)
+		} else {
+			s[pf] = agg
+		}
+	}
+}
+
+func (s table2Shards) rows(collectors []CollectorMeta, platforms []string) []Table2Row {
+	rows := make([]Table2Row, 0, len(platforms)+1)
+	for _, pf := range platforms {
+		agg := s[pf]
+		if agg == nil {
+			agg = newTable2Agg()
+		}
+		rows = append(rows, agg.row(pf, pf, collectors))
+	}
+	// Total covers every update, including platforms without collector
+	// metadata (see table1Shards.rows).
+	total := newTable2Agg()
+	for _, agg := range s {
+		total.merge(agg)
+	}
+	rows = append(rows, total.row("Total", "", collectors))
+	return rows
+}
+
+// Table2 computes community-AS classification per platform plus union.
+func Table2(ds *Dataset) []Table2Row { return DefaultPipeline.Table2(ds) }
+
+// Table2 computes Table 2 with the pipeline's worker pool.
+func (p *Pipeline) Table2(ds *Dataset) []Table2Row {
+	shards := foldChunks(ds.Updates, p.workers(),
+		func() table2Shards { return make(table2Shards) },
+		func(s table2Shards, u *Update, stripped []uint32) { s.add(u, stripped) })
+	merged := make(table2Shards)
+	for _, s := range shards {
+		merged.merge(s)
+	}
+	return merged.rows(ds.Collectors, ds.Platforms())
 }
 
 // RenderTable2 renders rows in paper layout.
@@ -189,25 +344,57 @@ func RenderTable2(rows []Table2Row) string {
 	return t.String()
 }
 
+// evolutionAgg folds the Figure 3 series values.
+type evolutionAgg struct {
+	asSet    map[uint16]bool
+	commSet  map[bgp.Community]bool
+	absolute int
+}
+
+func newEvolutionAgg() *evolutionAgg {
+	return &evolutionAgg{asSet: make(map[uint16]bool), commSet: make(map[bgp.Community]bool)}
+}
+
+func (a *evolutionAgg) add(u *Update) {
+	if u.Withdraw {
+		return
+	}
+	a.absolute += len(u.Communities)
+	for _, c := range u.Communities {
+		a.commSet[c] = true
+		if c.ASN() != 0 && c.ASN() != 0xFFFF {
+			a.asSet[c.ASN()] = true
+		}
+	}
+}
+
+func (a *evolutionAgg) merge(b *evolutionAgg) {
+	a.absolute += b.absolute
+	for k := range b.asSet {
+		a.asSet[k] = true
+	}
+	for k := range b.commSet {
+		a.commSet[k] = true
+	}
+}
+
 // EvolutionMetrics extracts the four Figure 3 series values from a
 // dataset: unique ASes in communities, unique communities, absolute
 // community count, and table entries (latest-route count).
 func EvolutionMetrics(ds *Dataset) (uniqueASes, uniqueComms, absolute, tableEntries int) {
-	asSet := map[uint16]bool{}
-	commSet := map[bgp.Community]bool{}
-	for _, u := range ds.Updates {
-		if u.Withdraw {
-			continue
-		}
-		absolute += len(u.Communities)
-		for _, c := range u.Communities {
-			commSet[c] = true
-			if c.ASN() != 0 && c.ASN() != 0xFFFF {
-				asSet[c.ASN()] = true
-			}
-		}
+	return DefaultPipeline.EvolutionMetrics(ds)
+}
+
+// EvolutionMetrics computes the Figure 3 values over the worker pool.
+func (p *Pipeline) EvolutionMetrics(ds *Dataset) (uniqueASes, uniqueComms, absolute, tableEntries int) {
+	aggs := foldChunks(ds.Updates, p.workers(),
+		newEvolutionAgg,
+		func(a *evolutionAgg, u *Update, _ []uint32) { a.add(u) })
+	total := newEvolutionAgg()
+	for _, a := range aggs {
+		total.merge(a)
 	}
-	return len(asSet), len(commSet), absolute, len(ds.LatestRoutes())
+	return len(total.asSet), len(total.commSet), total.absolute, len(p.LatestRoutes(ds))
 }
 
 // sortedASNs is a test helper exported via the package for deterministic

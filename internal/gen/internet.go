@@ -286,6 +286,9 @@ func (w *Internet) buildNetwork() {
 		w.Catalogs[asn] = cat
 		return cfg
 	})
+	if p.Workers != 0 {
+		w.Net.SetWorkers(p.Workers)
+	}
 }
 
 func (w *Internet) attachIXPs() error {

@@ -19,6 +19,15 @@ import (
 type Params struct {
 	Seed int64
 
+	// Workers selects the simulation engine parallelism: 0 or 1 keeps
+	// the serial FIFO engine, >1 runs the round-based parallel engine
+	// with that many workers, and a negative value means one worker per
+	// available CPU. Results are deterministic for any setting of this
+	// knob given the same Seed, but the two engines order deliveries
+	// differently, so recorded collector streams are comparable only
+	// within the same engine.
+	Workers int
+
 	// Topology shape.
 	Tier1 int // clique of transit-free ASes
 	Mid   int // regional transit ASes

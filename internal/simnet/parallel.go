@@ -1,0 +1,166 @@
+package simnet
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sort"
+
+	"bgpworms/internal/conc"
+	"bgpworms/internal/netx"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/router"
+	"bgpworms/internal/topo"
+)
+
+// SetWorkers selects the propagation engine. 1 (the default) keeps the
+// serial FIFO work-queue engine; any other value switches Run to the
+// round-based parallel engine with that many workers (0 = one per
+// available CPU). The parallel engine's results — convergence counts,
+// tap delivery order, and final RIB state — are independent of the
+// worker count: rounds are logical barriers and all cross-router effects
+// are applied in a canonical order, so workers only split work inside a
+// phase.
+func (n *Network) SetWorkers(w int) {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	n.workers = w
+}
+
+// Workers returns the configured engine parallelism (1 = serial engine).
+func (n *Network) Workers() int {
+	if n.workers == 0 {
+		return 1
+	}
+	return n.workers
+}
+
+// delivery is one update crossing a session during a round: rt is nil
+// for withdrawals, mirroring UpdateTap.
+type delivery struct {
+	from, to topo.ASN
+	prefix   netip.Prefix
+	rt       *policy.Route
+}
+
+// runRounds drains the propagation queue with the parallel engine. Each
+// round is a synchronous step over the current frontier:
+//
+//  1. export (parallel, sharded by source router): every frontier item
+//     computes its per-neighbor exports; ExportTo reads only the source
+//     and RecordAdvertised writes only the source's Adj-RIB-Out, so
+//     sharding by source keeps router state single-owner;
+//  2. observe (serial): deliveries fire the taps in canonical frontier
+//     order — sources ascending, items in (ASN, prefix) order, neighbors
+//     ascending — and the convergence bound is enforced;
+//  3. receive (parallel, sharded by destination router): each router
+//     drains its inbox in the canonical order of step 2; ReceiveUpdate /
+//     ReceiveWithdraw mutate only the destination;
+//  4. schedule (serial): routers whose best route changed enqueue the
+//     next frontier, again in canonical order.
+//
+// The barriers between phases mean every phase sees the same router
+// state regardless of how many workers split the shards, which is what
+// makes the engine deterministic for any worker count.
+func (n *Network) runRounds(workers int) (int, error) {
+	delivered := 0
+	for len(n.queue) > 0 {
+		frontier := n.queue
+		n.queue = nil
+		clear(n.queued)
+		sort.Slice(frontier, func(i, j int) bool {
+			if frontier[i].asn != frontier[j].asn {
+				return frontier[i].asn < frontier[j].asn
+			}
+			return netx.ComparePrefix(frontier[i].prefix, frontier[j].prefix) < 0
+		})
+
+		// Group frontier items by source router, preserving sort order.
+		var srcOrder []topo.ASN
+		bySrc := make(map[topo.ASN][]workItem)
+		for _, it := range frontier {
+			if _, seen := bySrc[it.asn]; !seen {
+				srcOrder = append(srcOrder, it.asn)
+			}
+			bySrc[it.asn] = append(bySrc[it.asn], it)
+		}
+
+		// Phase 1: compute exports per source.
+		outs := make([][]delivery, len(srcOrder))
+		conc.Do(len(srcOrder), workers, func(i int) {
+			src := n.routers[srcOrder[i]]
+			var ds []delivery
+			for _, it := range bySrc[srcOrder[i]] {
+				for _, nb := range src.Neighbors() {
+					if n.routers[nb] == nil {
+						continue // session to an unmodelled node (e.g. a pure tap)
+					}
+					out, decision := src.ExportTo(nb, it.prefix)
+					if decision != router.ExportSent {
+						out = nil // anything not sent is a withdrawal if previously sent
+					}
+					if !src.RecordAdvertised(nb, it.prefix, out) {
+						continue // nothing new on this session
+					}
+					ds = append(ds, delivery{from: it.asn, to: nb, prefix: it.prefix, rt: out})
+				}
+			}
+			outs[i] = ds
+		})
+
+		// Phase 2: count deliveries and fire taps in canonical order.
+		var round []delivery
+		for _, ds := range outs {
+			round = append(round, ds...)
+		}
+		for _, d := range round {
+			delivered++
+			n.steps++
+			for _, t := range n.taps {
+				t(d.from, d.to, d.prefix, d.rt)
+			}
+			if delivered > n.maxDeliveries() {
+				return delivered, fmt.Errorf("simnet: no convergence after %d deliveries", delivered)
+			}
+		}
+
+		// Phase 3: apply inboxes per destination.
+		var dstOrder []topo.ASN
+		byDst := make(map[topo.ASN][]delivery)
+		for _, d := range round {
+			if _, seen := byDst[d.to]; !seen {
+				dstOrder = append(dstOrder, d.to)
+			}
+			byDst[d.to] = append(byDst[d.to], d)
+		}
+		changed := make([][]netip.Prefix, len(dstOrder))
+		conc.Do(len(dstOrder), workers, func(i int) {
+			dst := n.routers[dstOrder[i]]
+			seen := make(map[netip.Prefix]bool)
+			var ch []netip.Prefix
+			for _, d := range byDst[dstOrder[i]] {
+				reschedule := false
+				if d.rt != nil {
+					res, chg := dst.ReceiveUpdate(d.from, d.rt)
+					reschedule = res == router.ImportAccepted && chg
+				} else {
+					reschedule = dst.ReceiveWithdraw(d.from, d.prefix)
+				}
+				if reschedule && !seen[d.prefix] {
+					seen[d.prefix] = true
+					ch = append(ch, d.prefix)
+				}
+			}
+			changed[i] = ch
+		})
+
+		// Phase 4: build the next frontier in canonical order.
+		for i, dst := range dstOrder {
+			for _, p := range changed[i] {
+				n.schedule(dst, p)
+			}
+		}
+	}
+	return delivered, nil
+}

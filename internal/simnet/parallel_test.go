@@ -1,0 +1,214 @@
+package simnet
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/netx"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/topo"
+)
+
+// meshGraph builds a 3-tier multihomed topology big enough to exercise
+// concurrent rounds: a tier-1 clique, mid transits with two providers
+// each, and stubs.
+func meshGraph(t *testing.T) *topo.Graph {
+	t.Helper()
+	g := topo.NewGraph()
+	for i := topo.ASN(1); i <= 4; i++ {
+		for j := i + 1; j <= 4; j++ {
+			if err := g.AddPeering(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := topo.ASN(10); i < 22; i++ {
+		if err := g.AddCustomerProvider(i, 1+(i%4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddCustomerProvider(i, 1+((i+1)%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := topo.ASN(100); i < 140; i++ {
+		if err := g.AddCustomerProvider(i, 10+(i%12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// announceAll originates one prefix per stub plus communities, recording
+// every tap delivery, and returns (tap transcript, total deliveries).
+func announceAll(t *testing.T, n *Network) (string, int) {
+	t.Helper()
+	var tape strings.Builder
+	n.Tap(func(from, to topo.ASN, prefix netip.Prefix, rt *policy.Route) {
+		if rt != nil {
+			fmt.Fprintf(&tape, "%d>%d %s %v %v\n", from, to, prefix, rt.ASPath.Sequence(), rt.Communities)
+		} else {
+			fmt.Fprintf(&tape, "%d>%d %s withdraw\n", from, to, prefix)
+		}
+	})
+	total := 0
+	for i := topo.ASN(100); i < 140; i++ {
+		p := netip.PrefixFrom(netx.V4(10, byte(i>>8), byte(i), 0), 24)
+		d, err := n.Announce(i, p, bgp.C(uint16(i), 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d
+	}
+	// Withdraw a few to exercise the withdrawal path under rounds.
+	for i := topo.ASN(100); i < 104; i++ {
+		p := netip.PrefixFrom(netx.V4(10, byte(i>>8), byte(i), 0), 24)
+		d, err := n.Withdraw(i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d
+	}
+	return tape.String(), total
+}
+
+// ribFingerprint renders every router's best routes deterministically.
+func ribFingerprint(n *Network) string {
+	var b strings.Builder
+	for _, asn := range n.ASes() {
+		r := n.Router(asn)
+		for _, p := range r.Prefixes() {
+			rt, ok := r.BestRoute(p)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "AS%d %s %v %v\n", asn, p, rt.ASPath.Sequence(), rt.Communities)
+		}
+	}
+	return b.String()
+}
+
+// TestParallelEngineWorkerCountInvariance is the simnet determinism
+// gate: the round-based engine must produce identical tap transcripts,
+// delivery counts, and final RIBs for every worker count.
+func TestParallelEngineWorkerCountInvariance(t *testing.T) {
+	type result struct {
+		tape  string
+		total int
+		rib   string
+	}
+	var results []result
+	for _, w := range []int{1, 2, 8} {
+		n := New(meshGraph(t), nil)
+		n.workers = w // direct: SetWorkers(1) would select the serial engine
+		if n.workers > 1 && n.Workers() != w {
+			t.Fatalf("workers=%d", n.Workers())
+		}
+		// Force the round engine regardless of w so w=1 is the
+		// parallel engine's own baseline, not the serial engine.
+		tape, total := announceAllRounds(t, n)
+		results = append(results, result{tape, total, ribFingerprint(n)})
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].total != results[0].total {
+			t.Fatalf("deliveries diverge: %d vs %d", results[i].total, results[0].total)
+		}
+		if results[i].tape != results[0].tape {
+			t.Fatal("tap transcripts diverge across worker counts")
+		}
+		if results[i].rib != results[0].rib {
+			t.Fatal("final RIBs diverge across worker counts")
+		}
+	}
+}
+
+// announceAllRounds mirrors announceAll but drives runRounds directly so
+// worker count 1 also exercises the round engine.
+func announceAllRounds(t *testing.T, n *Network) (string, int) {
+	t.Helper()
+	var tape strings.Builder
+	n.Tap(func(from, to topo.ASN, prefix netip.Prefix, rt *policy.Route) {
+		if rt != nil {
+			fmt.Fprintf(&tape, "%d>%d %s %v %v\n", from, to, prefix, rt.ASPath.Sequence(), rt.Communities)
+		} else {
+			fmt.Fprintf(&tape, "%d>%d %s withdraw\n", from, to, prefix)
+		}
+	})
+	w := n.workers
+	if w < 1 {
+		w = 1
+	}
+	total := 0
+	run := func(asn topo.ASN, p netip.Prefix, withdraw bool) {
+		r := n.Router(asn)
+		if withdraw {
+			if r.WithdrawLocal(p) {
+				n.schedule(asn, p)
+			}
+		} else {
+			if r.Originate(p, bgp.C(uint16(asn), 100)) {
+				n.schedule(asn, p)
+			}
+		}
+		d, err := n.runRounds(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d
+	}
+	for i := topo.ASN(100); i < 140; i++ {
+		run(i, netip.PrefixFrom(netx.V4(10, byte(i>>8), byte(i), 0), 24), false)
+	}
+	for i := topo.ASN(100); i < 104; i++ {
+		run(i, netip.PrefixFrom(netx.V4(10, byte(i>>8), byte(i), 0), 24), true)
+	}
+	return tape.String(), total
+}
+
+// TestParallelEngineMatchesSerialRIBs checks the two engines agree on
+// the converged control-plane state (the fixed point is engine-
+// independent even though delivery interleavings differ).
+func TestParallelEngineMatchesSerialRIBs(t *testing.T) {
+	serial := New(meshGraph(t), nil)
+	_, serialTotal := announceAll(t, serial)
+
+	parallel := New(meshGraph(t), nil)
+	parallel.SetWorkers(4)
+	_, parTotal := announceAll(t, parallel)
+
+	if serialTotal == 0 || parTotal == 0 {
+		t.Fatal("no deliveries")
+	}
+	if got, want := ribFingerprint(parallel), ribFingerprint(serial); got != want {
+		t.Fatalf("engines converge to different RIBs:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+// TestParallelEngineConvergenceBound ensures the round engine still
+// enforces the delivery cap instead of hanging on oscillation.
+func TestParallelEngineConvergenceBound(t *testing.T) {
+	n := New(meshGraph(t), nil)
+	n.SetWorkers(4)
+	n.SetMaxDeliveries(3)
+	if _, err := n.Announce(100, netip.PrefixFrom(netx.V4(10, 0, 100, 0), 24)); err == nil {
+		t.Fatal("expected convergence-bound error")
+	}
+}
+
+// TestSetWorkersDefaults covers the GOMAXPROCS fallback.
+func TestSetWorkersDefaults(t *testing.T) {
+	n := New(meshGraph(t), nil)
+	if n.Workers() != 1 {
+		t.Fatalf("default workers=%d", n.Workers())
+	}
+	n.SetWorkers(0)
+	if n.Workers() < 1 {
+		t.Fatalf("workers=%d", n.Workers())
+	}
+	n.SetWorkers(6)
+	if n.Workers() != 6 {
+		t.Fatalf("workers=%d", n.Workers())
+	}
+}

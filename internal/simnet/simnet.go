@@ -34,6 +34,9 @@ type Network struct {
 	// noDedup disables work-item coalescing (ablation knob; see
 	// DESIGN.md "event-queue convergence").
 	noDedup bool
+	// workers selects the engine: <=1 serial FIFO, >1 the round-based
+	// parallel engine (see parallel.go).
+	workers int
 }
 
 type workItem struct {
@@ -167,8 +170,18 @@ func (n *Network) maxDeliveries() int {
 func (n *Network) SetMaxDeliveries(v int) { n.maxWork = v }
 
 // Run processes the propagation queue until convergence, returning the
-// number of deliveries.
+// number of deliveries. With SetWorkers(>1) the round-based parallel
+// engine runs instead of the serial FIFO engine.
 func (n *Network) Run() (int, error) {
+	if n.workers > 1 {
+		return n.runRounds(n.workers)
+	}
+	return n.runSerial()
+}
+
+// runSerial is the original FIFO work-queue engine: one delivery at a
+// time, exports interleaved with receives.
+func (n *Network) runSerial() (int, error) {
 	delivered := 0
 	for len(n.queue) > 0 {
 		it := n.queue[0]
