@@ -6,7 +6,7 @@ GO      ?= go
 # (BENCH_ci.json), committed trajectory points use BENCH_pr<N>.json.
 BENCH_OUT ?= BENCH_ci.json
 
-.PHONY: build test race bench bench-smoke lint fmt ci
+.PHONY: build test race bench bench-smoke lint fmt examples ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 30m . ./internal/... | tee bench.out
 	./ci/benchjson.sh bench.out $(BENCH_OUT)
 
+# examples runs every examples/* binary end to end against a small
+# generated topology, so the documented walkthroughs cannot silently rot.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; \
+		$(GO) run ./$$d >/dev/null; \
+	done
+
 lint:
 	@fmtout="$$(gofmt -l .)"; \
 	if [ -n "$$fmtout" ]; then \
@@ -34,4 +42,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint race bench
+ci: build lint race examples bench

@@ -1,8 +1,8 @@
 package bgpworms
 
 // The benchmark harness: one benchmark per table and figure in the
-// paper's evaluation, plus ablations for the design choices called out in
-// DESIGN.md. Run with:
+// paper's evaluation, plus ablations for the engine's design choices
+// (chunked folds, scheduling dedup, parallel rounds). Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -488,7 +488,7 @@ func BenchmarkSimnetEngines(b *testing.B) {
 	})
 }
 
-// --- Ablation benches (design choices from DESIGN.md) ---
+// --- Ablation benches (engine design choices) ---
 
 // BenchmarkAblationTrieVsLinear compares the FIB's longest-prefix-match
 // trie with a naive linear scan.

@@ -1,17 +1,27 @@
-// Command attacklab runs the paper's active experiments (§6–§7) against a
-// synthetic Internet: the vendor lab matrix, benign-community propagation
-// checks, the Table 3 scenario × hijack matrix, and the §7.6 automated
-// blackhole-community sweep.
+// Command attacklab is the CLI over the attack-scenario registry
+// (internal/scenario). It can catalog the registered scenarios, run one
+// scenario with typed parameters, sweep a scenario grid over a parallel
+// harness, or reproduce the paper's full §6–§7 report.
 //
 // Usage:
 //
-//	attacklab -scale small -vps 48
+//	attacklab                         # full §6–§7 report (vendor matrix, §7.2, Table 3, §7.6)
+//	attacklab -list [-json]           # scenario catalog
+//	attacklab -run rtbh -p hijack=true [-json]
+//	attacklab -sweep -scenarios rtbh,blackhole-sweep -seeds 1,2,3 \
+//	          -engine-workers 1,8 -sets verified,all -workers 8 [-json]
+//
+// Sweep output is bit-identical for any -workers value: cells land at
+// their grid index and the fold runs in grid order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"bgpworms/internal/attack"
 	"bgpworms/internal/bgp"
@@ -19,35 +29,175 @@ import (
 	"bgpworms/internal/netx"
 	"bgpworms/internal/policy"
 	"bgpworms/internal/router"
+	"bgpworms/internal/scenario"
 	"bgpworms/internal/stats"
 	"bgpworms/internal/topo"
 )
 
+// multiFlag collects repeated -p k=v arguments.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func main() {
-	scale := flag.String("scale", "small", "internet scale: tiny|small|medium")
-	seed := flag.Int64("seed", 1, "generator seed")
-	vps := flag.Int("vps", 48, "atlas vantage points")
-	verbose := flag.Bool("v", false, "print per-scenario evidence")
+	var (
+		list   = flag.Bool("list", false, "print the scenario catalog and exit")
+		run    = flag.String("run", "", "run one registered scenario by name")
+		sweep  = flag.Bool("sweep", false, "sweep a scenario grid (see -scenarios/-scales/-seeds/-engine-workers/-sets)")
+		asJSON = flag.Bool("json", false, "emit JSON instead of tables")
+
+		scale = flag.String("scale", "small", "internet scale: tiny|small|medium (single run / full report)")
+		seed  = flag.Int64("seed", 1, "generator seed (single run / full report)")
+		vps   = flag.Int("vps", 48, "atlas vantage points")
+		set   = flag.String("set", "verified", "community set for candidate-driven scenarios: verified|likely|all")
+
+		scenarios     = flag.String("scenarios", "", "sweep: comma-separated scenario names (empty = all)")
+		scales        = flag.String("scales", "tiny", "sweep: comma-separated scales")
+		seeds         = flag.String("seeds", "1", "sweep: comma-separated generator seeds")
+		engineWorkers = flag.String("engine-workers", "1", "sweep: comma-separated simnet engine worker counts per cell")
+		sets          = flag.String("sets", "verified", "sweep: comma-separated community sets")
+		workers       = flag.Int("workers", 0, "sweep harness worker pool (0 = one per CPU)")
+
+		verbose = flag.Bool("v", false, "print per-scenario evidence")
+		params  multiFlag
+	)
+	flag.Var(&params, "p", "scenario parameter as name=value (repeatable)")
 	flag.Parse()
 
-	var p gen.Params
-	switch *scale {
-	case "tiny":
-		p = gen.Tiny()
-	case "small":
-		p = gen.Small()
-	case "medium":
-		p = gen.Medium()
+	switch {
+	case *list:
+		runList(*asJSON)
+	case *run != "":
+		runOne(*run, *scale, *seed, *vps, *set, params, *asJSON, *verbose)
+	case *sweep:
+		runSweep(*scenarios, *scales, *seeds, *engineWorkers, *sets, *vps, *workers, params, *asJSON)
 	default:
-		fail(fmt.Errorf("unknown scale %q", *scale))
+		fullReport(*scale, *seed, *vps, *verbose)
 	}
-	p.Seed = *seed
+}
+
+func runList(asJSON bool) {
+	all := scenario.All()
+	if asJSON {
+		emitJSON(all)
+		return
+	}
+	fmt.Println(scenario.RenderCatalog(all))
+}
+
+func runOne(name, scale string, seed int64, vps int, set string, params multiFlag, asJSON, verbose bool) {
+	p, err := gen.Preset(scale)
+	if err != nil {
+		fail(err)
+	}
+	p.Seed = seed
+	ctx := &scenario.Context{Gen: p, VPs: vps, CommunitySet: set, Values: parseParams(params)}
+	res, err := scenario.Run(name, ctx)
+	if err != nil {
+		fail(err)
+	}
+	if asJSON {
+		emitJSON(res)
+		return
+	}
+	fmt.Println(attack.RenderTable3([]*attack.Result{res}))
+	if verbose {
+		printEvidence(res)
+	}
+}
+
+func runSweep(scenarios, scales, seeds, engineWorkers, sets string, vps, workers int, params multiFlag, asJSON bool) {
+	g := scenario.Grid{
+		Scenarios:     splitList(scenarios),
+		Scales:        splitList(scales),
+		CommunitySets: splitList(sets),
+		VPs:           vps,
+		Values:        parseParams(params),
+	}
+	for _, s := range splitList(seeds) {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			fail(fmt.Errorf("bad -seeds entry %q: %w", s, err))
+		}
+		g.Seeds = append(g.Seeds, n)
+	}
+	for _, s := range splitList(engineWorkers) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			fail(fmt.Errorf("bad -engine-workers entry %q: %w", s, err))
+		}
+		g.EngineWorkers = append(g.EngineWorkers, n)
+	}
+	rep, err := scenario.Sweep(g, workers)
+	if err != nil {
+		fail(err)
+	}
+	if asJSON {
+		emitJSON(rep)
+		return
+	}
+	fmt.Println(scenario.RenderSweep(rep))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseParams(params multiFlag) scenario.Values {
+	if len(params) == 0 {
+		return nil
+	}
+	v := scenario.Values{}
+	for _, kv := range params {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			fail(fmt.Errorf("bad -p %q: want name=value", kv))
+		}
+		v[name] = val
+	}
+	return v
+}
+
+func printEvidence(res *attack.Result) {
+	fmt.Printf("-- %s (hijack=%v, success=%v)\n", res.Scenario, res.Hijack, res.Success)
+	for _, e := range res.Evidence {
+		fmt.Println("   ", e)
+	}
+	for _, i := range res.Insights {
+		fmt.Println("    insight:", i)
+	}
+	fmt.Println()
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
+}
+
+// fullReport reproduces the paper's §6–§7 narrative end to end on one
+// lab, exactly as the pre-registry attacklab did.
+func fullReport(scale string, seed int64, vps int, verbose bool) {
+	p, err := gen.Preset(scale)
+	if err != nil {
+		fail(err)
+	}
+	p.Seed = seed
 
 	fmt.Println("== §6.1: vendor lab matrix ==")
 	fmt.Println(vendorMatrix())
 
-	fmt.Printf("building lab (%s internet, %d VPs)...\n\n", *scale, *vps)
-	lab, err := attack.NewLab(p, *vps)
+	fmt.Printf("building lab (%s internet, %d VPs)...\n\n", scale, vps)
+	lab, err := attack.NewLab(p, vps)
 	if err != nil {
 		fail(err)
 	}
@@ -69,17 +219,10 @@ func main() {
 		fail(err)
 	}
 	fmt.Println(attack.RenderTable3(results))
-	if *verbose {
+	if verbose {
 		for _, r := range results {
-			fmt.Printf("-- %s (hijack=%v, success=%v)\n", r.Scenario, r.Hijack, r.Success)
-			for _, e := range r.Evidence {
-				fmt.Println("   ", e)
-			}
-			for _, i := range r.Insights {
-				fmt.Println("    insight:", i)
-			}
+			printEvidence(r)
 		}
-		fmt.Println()
 	}
 
 	fmt.Println("== §7.6: automated blackhole community sweep ==")
@@ -88,7 +231,7 @@ func main() {
 		fail(err)
 	}
 	fmt.Println(attack.RenderSweep(sweep))
-	if *verbose {
+	if verbose {
 		for _, e := range sweep.InducingCommunities() {
 			fmt.Printf("  %s: %d VPs lost, target on %d traces, hop distances %v\n",
 				e.Community, len(e.LostVPs), e.TargetOnPath, e.HopDistances)

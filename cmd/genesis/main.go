@@ -35,16 +35,9 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation engine workers (0 or 1 = serial; >1 = parallel rounds; <0 = parallel rounds, one worker per CPU)")
 	flag.Parse()
 
-	var p gen.Params
-	switch *scale {
-	case "tiny":
-		p = gen.Tiny()
-	case "small":
-		p = gen.Small()
-	case "medium":
-		p = gen.Medium()
-	default:
-		fail(fmt.Errorf("unknown scale %q", *scale))
+	p, err := gen.Preset(*scale)
+	if err != nil {
+		fail(err)
 	}
 	p.Seed = *seed
 	p.Workers = *workers

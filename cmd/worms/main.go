@@ -137,16 +137,9 @@ func printAnalysis(a *core.Analysis) {
 }
 
 func buildWorld(scale string, seed int64, workers int) (*gen.Internet, error) {
-	var p gen.Params
-	switch scale {
-	case "tiny":
-		p = gen.Tiny()
-	case "small":
-		p = gen.Small()
-	case "medium":
-		p = gen.Medium()
-	default:
-		return nil, fmt.Errorf("unknown scale %q", scale)
+	p, err := gen.Preset(scale)
+	if err != nil {
+		return nil, err
 	}
 	p.Seed = seed
 	p.Workers = workers

@@ -2,8 +2,10 @@
 // Routing Can" (Streibelt et al., ACM IMC 2018) as a self-contained Go
 // system: a BGP/MRT codec, an AS-level routing simulator with per-AS
 // community policy, route-collector platforms, the paper's measurement
-// pipeline (internal/core), and the attack-scenario framework
-// (internal/attack).
+// pipeline (internal/core), and the attack-scenario engine — lab and
+// attack implementations in internal/attack, registered as named,
+// self-describing scenarios in the internal/scenario registry with a
+// parallel sweep harness on top.
 //
 // # Module layout
 //
@@ -14,9 +16,13 @@
 // internal/collector and internal/gen produce the measurement vantage
 // (synthetic Internets recorded into MRT archives); internal/core
 // consumes those archives and computes every table and figure of §4.
-// The cmd/ tree exposes the two halves as binaries: genesis writes
-// archives, worms analyses them, attacklab runs the §7 scenarios, and
-// bgpcat pretty-prints MRT.
+// Above the simulator, internal/attack builds injection-platform labs
+// and internal/scenario catalogs every attack for enumeration,
+// parameterized runs, and grid sweeps. The cmd/ tree exposes the
+// halves as binaries: genesis writes archives, worms analyses them,
+// attacklab lists/runs/sweeps the §5–§7 scenarios, and bgpcat
+// pretty-prints MRT. ARCHITECTURE.md maps every paper section to its
+// package.
 //
 // # Concurrency
 //
@@ -34,8 +40,9 @@
 // # Verification
 //
 // The benchmark harness in bench_test.go regenerates every table and
-// figure of the paper's evaluation; see DESIGN.md for the per-experiment
-// index and EXPERIMENTS.md for paper-vs-measured values. CI runs the
-// Makefile targets (build, lint, race, bench) on every push; BENCHMARKS.md
-// tracks the performance trajectory across PRs.
+// figure of the paper's evaluation. CI runs the Makefile targets
+// (build, lint, race, examples, bench) on every push; BENCHMARKS.md
+// tracks the performance trajectory across PRs, and runnable Example
+// tests pin the documented entry points (core.Pipeline.Analyze,
+// scenario.Run, scenario.Sweep).
 package bgpworms

@@ -1,4 +1,5 @@
-// IXP route manipulation: the Figure 9 scenario — conflicting
+// IXP route manipulation: the §7.5 / Figure 9 scenario, run through the
+// scenario registry against a tiny generated Internet — conflicting
 // announce-to / don't-announce-to communities at a route server whose
 // published evaluation order handles suppression first, so an attacker
 // can veto another member's route.
@@ -10,62 +11,34 @@ import (
 	"fmt"
 	"log"
 
-	"bgpworms/internal/ixp"
-	"bgpworms/internal/netx"
-	"bgpworms/internal/simnet"
-	"bgpworms/internal/topo"
+	"bgpworms/internal/attack"
+	"bgpworms/internal/scenario"
 )
 
 func main() {
-	// Three IXP members (AS100 announces, AS400 is the attackee) and a
-	// transparent route server AS900.
-	g := topo.NewGraph()
-	for _, m := range []topo.ASN{100, 200, 400} {
-		g.AddAS(m)
-	}
-	n := simnet.New(g, nil)
-	rs := ixp.NewRouteServer(900, ixp.SuppressFirst)
-	for _, m := range []topo.ASN{100, 200, 400} {
-		check(rs.AddMember(m))
-	}
-	check(rs.Attach(n))
+	s, _ := scenario.Get("route-manipulation")
+	fmt.Printf("== %s: %s (difficulty %s) ==\n", s.Section, s.Title, s.Difficulty)
+	fmt.Println(s.Summary)
+	fmt.Println()
 
-	p := netx.MustPrefix("203.0.113.0/24")
-
-	fmt.Println("== step 1: AS100 selectively announces p to AS400 (community 900:400) ==")
-	_, err := n.Announce(100, p, rs.AnnounceToCommunity(400))
-	check(err)
-	fmt.Println(n.LookingGlass(400).Show(p))
-	if rt, ok := n.LookingGlass(400).Route(p); ok && !rt.ASPath.Contains(900) {
-		fmt.Println("note: the route server stays off the AS path (its communities are 'off-path')")
+	var results []*attack.Result
+	for _, hijack := range []bool{false, true} {
+		res, err := scenario.Run("route-manipulation", &scenario.Context{
+			Values: scenario.Values{"hijack": fmt.Sprint(hijack)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		fmt.Printf("-- hijack=%v: success=%v\n", res.Hijack, res.Success)
+		for _, e := range res.Evidence {
+			fmt.Println("  ", e)
+		}
+		for _, i := range res.Insights {
+			fmt.Println("   insight:", i)
+		}
+		fmt.Println()
 	}
 
-	fmt.Println("\n== step 2: the conflicting 0:400 ('do not announce to AS400') is added ==")
-	_, err = n.Withdraw(100, p)
-	check(err)
-	_, err = n.Announce(100, p, rs.AnnounceToCommunity(400), rs.SuppressToCommunity(400))
-	check(err)
-	fmt.Println(n.LookingGlass(400).Show(p))
-	fmt.Printf("route server evaluation order: %s -> suppression wins the conflict\n", rs.Order())
-
-	fmt.Println("\n== counterfactual: an announce-first route server ==")
-	g2 := topo.NewGraph()
-	for _, m := range []topo.ASN{100, 200, 400} {
-		g2.AddAS(m)
-	}
-	n2 := simnet.New(g2, nil)
-	rs2 := ixp.NewRouteServer(900, ixp.AnnounceFirst)
-	for _, m := range []topo.ASN{100, 200, 400} {
-		check(rs2.AddMember(m))
-	}
-	check(rs2.Attach(n2))
-	_, err = n2.Announce(100, p, rs2.AnnounceToCommunity(400), rs2.SuppressToCommunity(400))
-	check(err)
-	fmt.Println(n2.LookingGlass(400).Show(p))
-}
-
-func check(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Println(attack.RenderTable3(results))
 }

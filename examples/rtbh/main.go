@@ -1,6 +1,8 @@
-// RTBH: the Figure 7 remotely-triggered blackholing attacks, without and
-// with prefix hijacking, including the §6.3 misconfiguration that
-// validates origins only after honouring the blackhole community.
+// RTBH: the §7.3 / Figure 7 remotely-triggered blackholing attack, run
+// through the scenario registry — without and with prefix hijacking —
+// against a tiny generated Internet. The hijack variant shows IRR origin
+// validation rejecting the announcement until the attacker "updates the
+// IRR", exactly as the paper describes.
 //
 //	go run ./examples/rtbh
 package main
@@ -8,92 +10,34 @@ package main
 import (
 	"fmt"
 	"log"
-	"net/netip"
 
-	"bgpworms/internal/bgp"
-	"bgpworms/internal/netx"
-	"bgpworms/internal/policy"
-	"bgpworms/internal/router"
-	"bgpworms/internal/simnet"
-	"bgpworms/internal/topo"
+	"bgpworms/internal/attack"
+	"bgpworms/internal/scenario"
 )
 
 func main() {
-	// Figure 7 topology: AS1 (attackee) announces p to AS2 (attacker) and
-	// AS3 (community target, offers RTBH via 3:666). AS4 is a bystander
-	// behind AS3.
-	bh := bgp.C(3, 666)
-	build := func(misconfigured bool) *simnet.Network {
-		g := topo.NewGraph()
-		check(g.AddCustomerProvider(1, 2))
-		check(g.AddCustomerProvider(1, 3))
-		check(g.AddCustomerProvider(2, 3))
-		check(g.AddCustomerProvider(4, 3))
-		n := simnet.New(g, func(asn topo.ASN) router.Config {
-			cfg := simnet.DefaultConfig(asn)
-			if asn == 3 {
-				cfg.Catalog = policy.NewCatalog(3).Add(policy.Service{Community: bh, Kind: policy.SvcBlackhole})
-				cfg.BlackholeMinLen = 24
-				// AS3 validates announcements against IRR route objects:
-				// each customer may announce its cone, and p's authorized
-				// origin is AS1.
-				cfg.ValidateOrigin = true
-				cfg.CustomerPrefixes = map[topo.ASN]*policy.PrefixList{
-					1: (&policy.PrefixList{}).AddRange(netx.MustPrefix("203.0.113.0/24"), 24, 32),
-					2: (&policy.PrefixList{}).
-						AddRange(netx.MustPrefix("198.51.100.0/24"), 24, 32).
-						AddRange(netx.MustPrefix("203.0.113.0/24"), 24, 32), // AS1 is in AS2's cone
-				}
-				cfg.OriginAuth = map[netip.Prefix]topo.ASN{
-					netx.MustPrefix("203.0.113.0/24"): 1,
-				}
-				// The §6.3 NANOG-tutorial bug: blackhole before validate.
-				cfg.BlackholeBeforeValidate = misconfigured
-			}
-			return cfg
+	fmt.Println("== §7.3: remotely triggered blackholing (scenario registry: rtbh) ==")
+	s, _ := scenario.Get("rtbh")
+	fmt.Printf("%s (%s, difficulty %s): %s\n\n", s.Title, s.Section, s.Difficulty, s.Summary)
+
+	var results []*attack.Result
+	for _, hijack := range []bool{false, true} {
+		res, err := scenario.Run("rtbh", &scenario.Context{
+			Values: scenario.Values{"hijack": fmt.Sprint(hijack)},
 		})
-		return n
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		fmt.Printf("-- hijack=%v: success=%v\n", res.Hijack, res.Success)
+		for _, e := range res.Evidence {
+			fmt.Println("  ", e)
+		}
+		for _, i := range res.Insights {
+			fmt.Println("   insight:", i)
+		}
+		fmt.Println()
 	}
 
-	p := netx.MustPrefix("203.0.113.0/24")
-	dst := netx.NthAddr(p, 7)
-
-	fmt.Println("== scenario 1: no hijack — attacker is on the announcement path ==")
-	n := build(false)
-	// AS1 announces p; AS2 (its transit) maliciously adds AS3's blackhole
-	// community on the way (modelled as an import map at AS2 adding it).
-	n.Router(2).Config().ImportMaps = map[topo.ASN]*policy.RouteMap{
-		1: {Terms: []policy.Term{{AddCommunities: []bgp.Community{bh}, Continue: true}}},
-	}
-	_, err := n.Announce(1, p)
-	check(err)
-	fmt.Println(n.LookingGlass(3).Show(p))
-	fmt.Println("traffic from AS4:", n.Forward(4, dst))
-
-	fmt.Println("\n== scenario 2: hijack, correct config — origin validation saves the day ==")
-	n = build(false)
-	_, err = n.Announce(1, p)
-	check(err)
-	// Attacker AS2 originates p (a hijack) tagged with the blackhole
-	// community; AS3 validates the origin and rejects.
-	_, err = n.Announce(2, p, bh)
-	check(err)
-	fmt.Println(n.LookingGlass(3).Show(p))
-	fmt.Println("traffic from AS4:", n.Forward(4, dst))
-
-	fmt.Println("\n== scenario 3: hijack, misconfigured order — blackhole wins before validation ==")
-	n = build(true)
-	_, err = n.Announce(1, p)
-	check(err)
-	_, err = n.Announce(2, p, bh)
-	check(err)
-	fmt.Println(n.LookingGlass(3).Show(p))
-	fmt.Println("traffic from AS4:", n.Forward(4, dst))
-	fmt.Println("\n(the same route-map terms in the safe order would have rejected this)")
-}
-
-func check(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Println(attack.RenderTable3(results))
 }

@@ -1,6 +1,8 @@
-// Steering: the Figure 2 AS-path-prepending scenario — a remote attacker
-// triggers AS3's prepend-×3 community service to move AS6's traffic onto
-// the path through AS5 (a potential malicious interceptor).
+// Steering: the §7.4 / Figure 2 AS-path-prepending attacks, run through
+// the scenario registry against a tiny generated Internet — the classic
+// prepend steering (a remote community lengthens paths through the
+// target) and the selective variant (only flows crossing the target
+// move; bystanders keep their paths).
 //
 //	go run ./examples/steering
 package main
@@ -9,64 +11,29 @@ import (
 	"fmt"
 	"log"
 
-	"bgpworms/internal/bgp"
-	"bgpworms/internal/netx"
-	"bgpworms/internal/policy"
-	"bgpworms/internal/router"
-	"bgpworms/internal/simnet"
-	"bgpworms/internal/topo"
+	"bgpworms/internal/attack"
+	"bgpworms/internal/scenario"
 )
 
 func main() {
-	// Figure 2: AS1 -> AS2 -> AS4 -> {AS3, AS5} -> AS6. AS3 offers
-	// AS3:103 = "prepend my ASN three times on export".
-	prepend := bgp.C(3, 103)
-	g := topo.NewGraph()
-	for _, e := range [][2]topo.ASN{{1, 2}, {2, 4}, {4, 3}, {4, 5}, {3, 6}, {5, 6}} {
-		check(g.AddCustomerProvider(e[0], e[1]))
-	}
-	n := simnet.New(g, func(asn topo.ASN) router.Config {
-		cfg := simnet.DefaultConfig(asn)
-		if asn == 3 {
-			cfg.Catalog = policy.NewCatalog(3).Add(policy.Service{
-				Community: prepend, Kind: policy.SvcPrepend, Param: 3,
-			})
+	var results []*attack.Result
+	for _, name := range []string{"steering-prepend", "selective-prepend"} {
+		s, _ := scenario.Get(name)
+		fmt.Printf("== %s: %s (%s, difficulty %s) ==\n", s.Section, s.Title, name, s.Difficulty)
+		fmt.Println(s.Summary)
+		res, err := scenario.Run(name, nil)
+		if err != nil {
+			log.Fatal(err)
 		}
-		return cfg
-	})
-
-	p := netx.MustPrefix("203.0.113.0/24")
-	dst := netx.NthAddr(p, 1)
-
-	fmt.Println("== baseline: AS1 announces p plainly ==")
-	_, err := n.Announce(1, p)
-	check(err)
-	fmt.Println(n.LookingGlass(6).Show(p))
-	fmt.Println("AS6 -> p:", n.Forward(6, dst))
-
-	fmt.Println("\n== attack: AS1/AS2 tag the announcement with AS3:103 ==")
-	// The attacker is AS2 in the paper's telling; tagging at origin is
-	// equivalent since AS2 forwards communities.
-	_, err = n.Withdraw(1, p)
-	check(err)
-	_, err = n.Announce(1, p, prepend)
-	check(err)
-	rt, _ := n.LookingGlass(6).Route(p)
-	fmt.Println(n.LookingGlass(6).Show(p))
-	fmt.Println("AS6 -> p:", n.Forward(6, dst))
-	if rt.ASPath.First() == 5 {
-		fmt.Println("\ntraffic now crosses AS5 — the interceptor sees everything")
+		results = append(results, res)
+		for _, e := range res.Evidence {
+			fmt.Println("  ", e)
+		}
+		for _, i := range res.Insights {
+			fmt.Println("   insight:", i)
+		}
+		fmt.Println()
 	}
 
-	// The prepended path is visible at AS6 via AS3's neighbors.
-	adv, ok := n.Router(3).Advertised(6, p)
-	if ok {
-		fmt.Printf("AS3's advertisement to AS6 carries path [%s]\n", adv.ASPath)
-	}
-}
-
-func check(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Println(attack.RenderTable3(results))
 }

@@ -8,46 +8,25 @@ import (
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/netx"
 	"bgpworms/internal/policy"
+	"bgpworms/internal/scenario"
 	"bgpworms/internal/topo"
 )
 
-// Difficulty grades a scenario as Table 3 does.
-type Difficulty int
+// Difficulty, Result, and the grading constants moved to the scenario
+// registry (internal/scenario); the aliases keep the lab API stable.
+type (
+	// Difficulty grades a scenario as Table 3 does.
+	Difficulty = scenario.Difficulty
+	// Result is one Table 3 row with evidence.
+	Result = scenario.Result
+)
 
 // Difficulty levels.
 const (
-	Easy Difficulty = iota
-	Medium
-	Hard
+	Easy   = scenario.Easy
+	Medium = scenario.Medium
+	Hard   = scenario.Hard
 )
-
-// String names the difficulty.
-func (d Difficulty) String() string {
-	switch d {
-	case Easy:
-		return "easy"
-	case Medium:
-		return "medium"
-	case Hard:
-		return "hard"
-	default:
-		return "unknown"
-	}
-}
-
-// Result is one Table 3 row with evidence.
-type Result struct {
-	Scenario   string
-	Hijack     bool
-	Success    bool
-	Difficulty Difficulty
-	Insights   []string
-	Evidence   []string
-}
-
-func (r *Result) note(format string, args ...any) {
-	r.Evidence = append(r.Evidence, fmt.Sprintf(format, args...))
-}
 
 // PropagationReport is the §7.2 benign-community propagation check.
 type PropagationReport struct {
@@ -127,7 +106,7 @@ func (l *Lab) RunRTBH(hijack bool) (*Result, error) {
 	if target.AS == 0 {
 		return nil, fmt.Errorf("attack: no RTBH target beyond one hop")
 	}
-	res.note("target AS%d offers RTBH via %s, %d hops from injector", target.AS, target.Community, target.HopsAway)
+	res.Notef("target AS%d offers RTBH via %s, %d hops from injector", target.AS, target.Community, target.HopsAway)
 
 	var victim netip.Prefix
 	if hijack {
@@ -135,6 +114,9 @@ func (l *Lab) RunRTBH(hijack bool) (*Result, error) {
 		// a directly-attached victim the upstream prefers the equal-length
 		// customer route and the hijack only poisons elsewhere.
 		stub := l.pickRemoteVictim()
+		if stub == 0 {
+			return nil, fmt.Errorf("attack: no IPv4-originating stub to hijack")
+		}
 		victim = l.W.Origins[stub][0]
 		res.Insights = append(res.Insights,
 			"origin validation at the first upstream rejected the hijack until the IRR was updated",
@@ -146,7 +128,7 @@ func (l *Lab) RunRTBH(hijack bool) (*Result, error) {
 		if _, ok := l.W.Net.Router(inj.Upstreams[0]).BestRoute(victim.Masked()); ok {
 			rt, _ := l.W.Net.Router(inj.Upstreams[0]).BestRoute(victim.Masked())
 			if rt.NextHopAS == inj.ASN {
-				res.note("WARNING: upstream accepted hijack without IRR")
+				res.Notef("WARNING: upstream accepted hijack without IRR")
 			}
 		}
 		l.Withdraw(inj, victim)
@@ -165,7 +147,7 @@ func (l *Lab) RunRTBH(hijack bool) (*Result, error) {
 		return nil, err
 	}
 	before := l.Atlas.PingAll(dst)
-	res.note("baseline: %d/%d vantage points reach %s", before.ResponsiveCount(), len(l.Atlas.VPs()), dst)
+	res.Notef("baseline: %d/%d vantage points reach %s", before.ResponsiveCount(), len(l.Atlas.VPs()), dst)
 
 	// Attack: re-announce tagged.
 	if err := l.Withdraw(inj, victim); err != nil {
@@ -180,9 +162,9 @@ func (l *Lab) RunRTBH(hijack bool) (*Result, error) {
 	lg := l.W.Net.LookingGlass(target.AS)
 	rt, ok := lg.Route(victim)
 	if !ok {
-		res.note("target looking glass has no route")
+		res.Notef("target looking glass has no route")
 	} else {
-		res.note("target LG: %s", rt)
+		res.Notef("target LG: %s", rt)
 		// Success: the target null-routes the prefix on the attacker's
 		// announcement ("the next-hop address changed to a null interface
 		// address", §7.3).
@@ -192,10 +174,10 @@ func (l *Lab) RunRTBH(hijack bool) (*Result, error) {
 	}
 	after := l.Atlas.PingAll(dst)
 	lost := len(atlas.LostVPs(before, after))
-	res.note("after attack: %d/%d vantage points reach %s (%d lost)",
+	res.Notef("after attack: %d/%d vantage points reach %s (%d lost)",
 		after.ResponsiveCount(), len(l.Atlas.VPs()), dst, lost)
 	if lost == 0 && res.Success {
-		res.note("note: no sampled vantage point routes via the target")
+		res.Notef("note: no sampled vantage point routes via the target")
 	}
 
 	// Cleanup.
@@ -206,15 +188,21 @@ func (l *Lab) RunRTBH(hijack bool) (*Result, error) {
 }
 
 // pickRemoteVictim returns a stub with an IPv4 allocation that is not
-// directly attached to either research upstream.
+// directly attached to either research upstream, falling back to any
+// IPv4-originating stub. Returns 0 only when no stub originates IPv4 at
+// all — callers must treat that as "attack not launchable".
 func (l *Lab) pickRemoteVictim() topo.ASN {
 	ups := map[topo.ASN]bool{}
 	for _, u := range l.Research.Upstreams {
 		ups[u] = true
 	}
+	fallback := topo.ASN(0)
 	for _, s := range l.W.StubASes() {
 		if len(l.W.Origins[s]) == 0 || !l.W.Origins[s][0].Addr().Is4() {
 			continue
+		}
+		if fallback == 0 {
+			fallback = s
 		}
 		attached := false
 		for _, p := range l.W.Graph.Providers(s) {
@@ -226,7 +214,7 @@ func (l *Lab) pickRemoteVictim() topo.ASN {
 			return s
 		}
 	}
-	return l.W.StubASes()[0]
+	return fallback
 }
 
 // RunSteeringLocalPref executes §7.4's local-preference steering: tag the
@@ -266,10 +254,10 @@ func (l *Lab) RunSteeringLocalPref(hijack bool) (*Result, error) {
 		}
 	}
 	if target == 0 {
-		res.note("no local-pref target reachable through a customer chain; attack not launchable")
+		res.Notef("no local-pref target reachable through a customer chain; attack not launchable")
 		return res, nil
 	}
-	res.note("target AS%d offers %s=%d via customer AS%d", target, svc.Community, svc.Param, via)
+	res.Notef("target AS%d offers %s=%d via customer AS%d", target, svc.Community, svc.Param, via)
 
 	victim := researchPrefix
 	if hijack {
@@ -283,19 +271,19 @@ func (l *Lab) RunSteeringLocalPref(hijack bool) (*Result, error) {
 	}
 	rt, ok := l.W.Net.Router(target).BestRoute(victim)
 	if ok {
-		res.note("target LG: %s", rt)
+		res.Notef("target LG: %s", rt)
 		// Success: either the tagged path carries the lowered pref, or
 		// the target moved its best route off the tagged path entirely
 		// (the fallback worked).
 		if rt.LocalPref == svc.Param {
 			res.Success = true
-			res.note("requested 'customer fallback' preference %d is installed", svc.Param)
+			res.Notef("requested 'customer fallback' preference %d is installed", svc.Param)
 		} else if !rt.ASPath.Contains(uint32(via)) {
 			res.Success = true
-			res.note("best path moved away from AS%d after depreferencing", via)
+			res.Notef("best path moved away from AS%d after depreferencing", via)
 		}
 	} else {
-		res.note("target has no route for %s", victim)
+		res.Notef("target has no route for %s", victim)
 	}
 	if err := l.Withdraw(inj, victim); err != nil {
 		return nil, err
@@ -316,29 +304,12 @@ func (l *Lab) RunSteeringPrepend(hijack bool) (*Result, error) {
 		res.Insights = append(res.Insights, "IRR origin validation is typically checked but can be circumvented")
 	}
 
-	var target, via topo.ASN
-	var svc policy.Service
-	for _, up := range inj.Upstreams {
-		for _, prov := range l.W.Graph.Providers(up) {
-			for _, s := range l.W.Catalogs[prov].Services {
-				if s.Kind == policy.SvcPrepend && s.Param >= 2 {
-					target, via, svc = prov, up, s
-					break
-				}
-			}
-			if target != 0 {
-				break
-			}
-		}
-		if target != 0 {
-			break
-		}
-	}
+	target, via, svc := l.findPrependTarget(2)
 	if target == 0 {
-		res.note("no prepend target reachable through a customer chain; attack not launchable")
+		res.Notef("no prepend target reachable through a customer chain; attack not launchable")
 		return res, nil
 	}
-	res.note("target AS%d prepends x%d on %s via customer AS%d", target, svc.Param, svc.Community, via)
+	res.Notef("target AS%d prepends x%d on %s via customer AS%d", target, svc.Param, svc.Community, via)
 
 	victim := researchPrefix
 	if hijack {
@@ -365,12 +336,12 @@ func (l *Lab) RunSteeringPrepend(hijack bool) (*Result, error) {
 		}
 		if count == int(svc.Param)+1 {
 			res.Success = true
-			res.note("AS%d exports to AS%d with path [%s] (%d copies)", target, nb, adv.ASPath, count)
+			res.Notef("AS%d exports to AS%d with path [%s] (%d copies)", target, nb, adv.ASPath, count)
 			break
 		}
 	}
 	if !res.Success {
-		res.note("no prepended export observed at the target")
+		res.Notef("no prepended export observed at the target")
 	}
 	if err := l.Withdraw(inj, victim); err != nil {
 		return nil, err
@@ -405,7 +376,7 @@ func (l *Lab) RunRouteManipulation(hijack bool) (*Result, error) {
 	if attackee == 0 {
 		return nil, fmt.Errorf("attack: route server has no other members")
 	}
-	res.note("route server AS%d (%s), attackee member AS%d", rs.ASN(), rs.Order(), attackee)
+	res.Notef("route server AS%d (%s), attackee member AS%d", rs.ASN(), rs.Order(), attackee)
 
 	victim := peeringPrefix
 	if hijack {
@@ -413,7 +384,7 @@ func (l *Lab) RunRouteManipulation(hijack bool) (*Result, error) {
 		// from the research injector? PEERING AUP forbids it; emulate by
 		// using a prefix we control as the "hijacked" stand-in and note
 		// the constraint.
-		res.note("PEERING AUP forbids true hijacks; using controlled prefix as stand-in (§7.1)")
+		res.Notef("PEERING AUP forbids true hijacks; using controlled prefix as stand-in (§7.1)")
 	}
 
 	// The attackee may also learn the prefix over ordinary transit, so
@@ -430,11 +401,11 @@ func (l *Lab) RunRouteManipulation(hijack bool) (*Result, error) {
 		return nil, err
 	}
 	if !rsAdvertises() {
-		res.note("route server never redistributed the selectively announced route")
+		res.Notef("route server never redistributed the selectively announced route")
 		l.Withdraw(inj, victim)
 		return res, nil
 	}
-	res.note("route server advertises %s to attackee AS%d", victim, attackee)
+	res.Notef("route server advertises %s to attackee AS%d", victim, attackee)
 
 	// Step 2: add the conflicting suppress community.
 	if err := l.Withdraw(inj, victim); err != nil {
@@ -445,9 +416,9 @@ func (l *Lab) RunRouteManipulation(hijack bool) (*Result, error) {
 	}
 	if !rsAdvertises() {
 		res.Success = true
-		res.note("conflicting communities: suppress evaluated first, attackee lost the route")
+		res.Notef("conflicting communities: suppress evaluated first, attackee lost the route")
 	} else {
-		res.note("attackee still has the route; evaluation order is announce-first")
+		res.Notef("attackee still has the route; evaluation order is announce-first")
 	}
 	if err := l.Withdraw(inj, victim); err != nil {
 		return nil, err

@@ -180,6 +180,21 @@ func TestChurnProducesEvents(t *testing.T) {
 	}
 }
 
+func TestPreset(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Stubs == 0 {
+			t.Fatalf("preset %q has no stubs", name)
+		}
+	}
+	if _, err := Preset("galactic"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
 func TestRegistryGroundTruth(t *testing.T) {
 	w := buildTiny(t)
 	if len(w.Registry.Verified) == 0 {

@@ -11,6 +11,8 @@
 package gen
 
 import (
+	"fmt"
+
 	"bgpworms/internal/topo"
 )
 
@@ -87,6 +89,25 @@ type Params struct {
 	// community (the ~400 private ASes of Table 2).
 	PPrivateTag float64
 }
+
+// Preset returns the named scale preset ("tiny", "small", "medium") —
+// the single source of truth for the -scale flags and the scenario
+// sweep's scale dimension.
+func Preset(name string) (Params, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "small":
+		return Small(), nil
+	case "medium":
+		return Medium(), nil
+	default:
+		return Params{}, fmt.Errorf("gen: unknown scale %q (want one of %v)", name, PresetNames())
+	}
+}
+
+// PresetNames lists the scale presets Preset accepts, smallest first.
+func PresetNames() []string { return []string{"tiny", "small", "medium"} }
 
 // Tiny is the unit-test scale: converges in tens of milliseconds.
 func Tiny() Params {

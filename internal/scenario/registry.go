@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bgpworms/internal/stats"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Scenario{}
+)
+
+// Register adds s to the global registry. It panics on nil Run, empty
+// name, or duplicate registration — registration happens from package
+// init, where a bad catalog should be fatal.
+func Register(s *Scenario) {
+	if s == nil || s.Name == "" || s.Run == nil {
+		panic("scenario: Register requires a name and a Run func")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Get returns the registered scenario by name.
+func Get(name string) (*Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns every registered scenario name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered scenario, sorted by name.
+func All() []*Scenario {
+	names := Names()
+	out := make([]*Scenario, 0, len(names))
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, name := range names {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// RenderCatalog renders the registry as a text table (attacklab -list).
+func RenderCatalog(scenarios []*Scenario) string {
+	t := stats.NewTable("Name", "Section", "Difficulty", "Params", "Summary")
+	for _, s := range scenarios {
+		params := ""
+		for i, p := range s.Params {
+			if i > 0 {
+				params += ","
+			}
+			params += p.Name
+		}
+		if params == "" {
+			params = "-"
+		}
+		t.Row(s.Name, s.Section, s.Difficulty.String(), params, s.Summary)
+	}
+	return t.String()
+}

@@ -1,0 +1,126 @@
+package scenario_test
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	_ "bgpworms/internal/attack" // registers the builtin scenarios
+	"bgpworms/internal/scenario"
+)
+
+func TestRegistryPopulation(t *testing.T) {
+	names := scenario.Names()
+	if len(names) < 7 {
+		t.Fatalf("registry has %d scenarios, want >= 7: %v", len(names), names)
+	}
+	for _, want := range []string{
+		// The Table 3 matrix.
+		"rtbh", "steering-localpref", "steering-prepend", "route-manipulation",
+		// §7.6 and the extensions beyond the paper.
+		"blackhole-sweep", "propagation-distance", "blackhole-squatting",
+		"selective-prepend", "route-leak-amplification",
+	} {
+		if _, ok := scenario.Get(want); !ok {
+			t.Fatalf("scenario %q not registered (have %v)", want, names)
+		}
+	}
+	// Names must come back sorted for stable catalogs.
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestCatalogSelfDescription(t *testing.T) {
+	for _, s := range scenario.All() {
+		if s.Title == "" || s.Section == "" || s.Summary == "" {
+			t.Fatalf("scenario %q lacks catalog metadata: %+v", s.Name, s)
+		}
+		if !strings.Contains(s.Section, "§") {
+			t.Fatalf("scenario %q cites no paper section: %q", s.Name, s.Section)
+		}
+		for _, p := range s.Params {
+			if p.Name == "" || p.Help == "" {
+				t.Fatalf("scenario %q has an undocumented parameter: %+v", s.Name, p)
+			}
+			if err := s.Validate(scenario.Values{p.Name: p.Default}); err != nil {
+				t.Fatalf("scenario %q default for %s does not validate: %v", s.Name, p.Name, err)
+			}
+		}
+	}
+	if out := scenario.RenderCatalog(scenario.All()); out == "" {
+		t.Fatal("catalog render empty")
+	}
+	// The catalog must serialize for attacklab -list -json.
+	b, err := json.Marshal(scenario.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"difficulty":"easy"`) {
+		t.Fatalf("difficulty not serialized as a name: %s", b)
+	}
+}
+
+// TestREADMECatalogMatchesRegistry keeps the README's scenario-catalog
+// table (generated via `attacklab -list -json`) from drifting out of
+// sync with the registry.
+func TestREADMECatalogMatchesRegistry(t *testing.T) {
+	b, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	all := scenario.All()
+	for _, s := range all {
+		row := "| `" + s.Name + "` | " + s.Section + " | " + s.Difficulty.String() + " |"
+		if !strings.Contains(text, row) {
+			t.Errorf("README catalog row for %q missing or stale (want a row starting %q); regenerate with attacklab -list -json", s.Name, row)
+		}
+	}
+	if got := strings.Count(text, "\n| `"); got != len(all) {
+		t.Errorf("README catalog has %d rows, registry has %d scenarios; regenerate with attacklab -list -json", got, len(all))
+	}
+}
+
+func TestValidateRejectsBadValues(t *testing.T) {
+	s, _ := scenario.Get("rtbh")
+	if err := s.Validate(scenario.Values{"hijack": "yes-please"}); err == nil {
+		t.Fatal("bad bool accepted")
+	}
+	if err := s.Validate(scenario.Values{"no-such-param": "1"}); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if err := s.Validate(scenario.Values{"hijack": "true"}); err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := scenario.Get("selective-prepend")
+	if err := sp.Validate(scenario.Values{"min-prepend": "two"}); err == nil {
+		t.Fatal("bad int accepted")
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if _, err := scenario.Run("no-such-scenario", nil); err == nil {
+		t.Fatal("unknown scenario ran")
+	}
+}
+
+func TestRunWithDefaults(t *testing.T) {
+	res, err := scenario.Run("rtbh", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || res.Hijack {
+		t.Fatalf("rtbh defaults: success=%v hijack=%v %v", res.Success, res.Hijack, res.Evidence)
+	}
+	res, err = scenario.Run("rtbh", &scenario.Context{Values: scenario.Values{"hijack": "true"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || !res.Hijack {
+		t.Fatalf("rtbh hijack variant: success=%v hijack=%v %v", res.Success, res.Hijack, res.Evidence)
+	}
+}

@@ -1,0 +1,233 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+
+	"bgpworms/internal/conc"
+	"bgpworms/internal/gen"
+	"bgpworms/internal/stats"
+)
+
+// Grid is a sweep specification: the cross product of every dimension.
+// Empty dimensions default to a single canonical value, so the zero Grid
+// (plus at least one scenario name, or none for "all registered") is
+// runnable.
+type Grid struct {
+	// Scenarios are registry names; empty means every registered scenario.
+	Scenarios []string `json:"scenarios"`
+	// Scales are gen presets ("tiny", "small", "medium"); default tiny.
+	Scales []string `json:"scales"`
+	// Seeds are generator seeds; default {1}.
+	Seeds []int64 `json:"seeds"`
+	// EngineWorkers fans gen.Params.Workers — the simnet engine
+	// parallelism per cell; default {1} (the serial FIFO engine).
+	EngineWorkers []int `json:"engine_workers"`
+	// CommunitySets names registry slices for candidate-driven scenarios
+	// ("verified", "likely", "all"); default {"verified"}.
+	CommunitySets []string `json:"community_sets"`
+	// VPs is the Atlas vantage-point count per cell; default 12.
+	VPs int `json:"vps"`
+	// Values applies fixed parameter overrides to every cell.
+	Values Values `json:"values,omitempty"`
+}
+
+func (g Grid) withDefaults() Grid {
+	if len(g.Scenarios) == 0 {
+		g.Scenarios = Names()
+	}
+	if len(g.Scales) == 0 {
+		g.Scales = []string{DefaultScale}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []int64{1}
+	}
+	if len(g.EngineWorkers) == 0 {
+		g.EngineWorkers = []int{1}
+	}
+	if len(g.CommunitySets) == 0 {
+		g.CommunitySets = []string{DefaultCommunitySet}
+	}
+	if g.VPs == 0 {
+		g.VPs = DefaultVPs
+	}
+	return g
+}
+
+// Cell is one grid point and, after the sweep, its outcome.
+type Cell struct {
+	Scenario      string  `json:"scenario"`
+	Scale         string  `json:"scale"`
+	Seed          int64   `json:"seed"`
+	EngineWorkers int     `json:"engine_workers"`
+	CommunitySet  string  `json:"community_set"`
+	Result        *Result `json:"result,omitempty"`
+	Err           string  `json:"error,omitempty"`
+}
+
+// Cells enumerates the grid in canonical order (scenario, scale, seed,
+// engine workers, community set — outermost first) and validates every
+// dimension value up front.
+func (g Grid) Cells() ([]Cell, error) {
+	g = g.withDefaults()
+	for _, name := range g.Scenarios {
+		if _, ok := Get(name); !ok {
+			return nil, fmt.Errorf("scenario: sweep names unknown scenario %q", name)
+		}
+	}
+	// Fixed Values apply per cell to scenarios that declare the
+	// parameter; scenarios without it ignore it, so one -p flag can
+	// parameterize a mixed grid. A name no swept scenario declares is a
+	// typo and rejected up front; a declared value must parse everywhere
+	// it applies.
+	for name, raw := range g.Values {
+		declared := false
+		for _, sn := range g.Scenarios {
+			s := mustGet(sn)
+			if _, ok := s.Param(name); !ok {
+				continue
+			}
+			declared = true
+			if err := s.Validate(Values{name: raw}); err != nil {
+				return nil, err
+			}
+		}
+		if !declared {
+			return nil, fmt.Errorf("scenario: no swept scenario declares parameter %q", name)
+		}
+	}
+	for _, scale := range g.Scales {
+		if _, err := gen.Preset(scale); err != nil {
+			return nil, err
+		}
+	}
+	var cells []Cell
+	for _, name := range g.Scenarios {
+		for _, scale := range g.Scales {
+			for _, seed := range g.Seeds {
+				for _, ew := range g.EngineWorkers {
+					for _, set := range g.CommunitySets {
+						cells = append(cells, Cell{
+							Scenario: name, Scale: scale, Seed: seed,
+							EngineWorkers: ew, CommunitySet: set,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+func mustGet(name string) *Scenario {
+	s, _ := Get(name)
+	return s
+}
+
+// SweepReport folds per-cell Results into an aggregate. Cells keep grid
+// order, so the report is bit-identical for any harness worker count.
+type SweepReport struct {
+	Cells     []Cell `json:"cells"`
+	Ran       int    `json:"ran"`
+	Succeeded int    `json:"succeeded"`
+	Failed    int    `json:"failed"`
+	Errored   int    `json:"errored"`
+	// AsExpected counts cells whose Success matches the scenario's
+	// declared Table-3 expectation for the variant that ran.
+	AsExpected int `json:"as_expected"`
+}
+
+// Sweep executes every grid cell over a pool of at most workers harness
+// goroutines (0 or negative: one per CPU). Each cell builds its own lab
+// from (scale, seed, engine workers), so cells share no mutable state;
+// results land at their grid index and the fold runs in grid order —
+// the report is therefore bit-identical across harness worker counts.
+func Sweep(g Grid, workers int) (*SweepReport, error) {
+	g = g.withDefaults()
+	cells, err := g.Cells()
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	conc.Do(len(cells), workers, func(i int) {
+		runCell(&cells[i], g)
+	})
+	rep := &SweepReport{Cells: cells, Ran: len(cells)}
+	for i := range cells {
+		c := &cells[i]
+		switch {
+		case c.Err != "":
+			rep.Errored++
+		case c.Result != nil && c.Result.Success:
+			rep.Succeeded++
+		default:
+			rep.Failed++
+		}
+		if c.Result != nil {
+			exp := mustGet(c.Scenario).Expected.Plain
+			if c.Result.Hijack {
+				exp = mustGet(c.Scenario).Expected.Hijack
+			}
+			if c.Result.Success == exp {
+				rep.AsExpected++
+			}
+		}
+	}
+	return rep, nil
+}
+
+func runCell(c *Cell, g Grid) {
+	p, err := gen.Preset(c.Scale)
+	if err != nil {
+		c.Err = err.Error()
+		return
+	}
+	p.Seed = c.Seed
+	p.Workers = c.EngineWorkers
+	// Pass only the parameters this cell's scenario declares, so fixed
+	// Values can span a mixed-scenario grid.
+	var vals Values
+	if s := mustGet(c.Scenario); s != nil {
+		for name, raw := range g.Values {
+			if _, ok := s.Param(name); ok {
+				if vals == nil {
+					vals = Values{}
+				}
+				vals[name] = raw
+			}
+		}
+	}
+	ctx := &Context{Gen: p, VPs: g.VPs, CommunitySet: c.CommunitySet, Values: vals}
+	res, err := Run(c.Scenario, ctx)
+	if err != nil {
+		c.Err = err.Error()
+		return
+	}
+	c.Result = res
+}
+
+// RenderSweep renders the report as a text table, one row per cell.
+func RenderSweep(r *SweepReport) string {
+	t := stats.NewTable("Scenario", "Scale", "Seed", "EngWorkers", "Set", "Success", "Note")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		note := ""
+		switch {
+		case c.Err != "":
+			note = "error: " + c.Err
+		case c.Result != nil && len(c.Result.Evidence) > 0:
+			note = c.Result.Evidence[0]
+		}
+		success := false
+		if c.Result != nil {
+			success = c.Result.Success
+		}
+		t.Row(c.Scenario, c.Scale, c.Seed, c.EngineWorkers, c.CommunitySet, success, note)
+	}
+	out := t.String()
+	out += fmt.Sprintf("\ncells=%d succeeded=%d failed=%d errored=%d as-expected=%d\n",
+		r.Ran, r.Succeeded, r.Failed, r.Errored, r.AsExpected)
+	return out
+}

@@ -1,0 +1,119 @@
+package scenario_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	_ "bgpworms/internal/attack" // registers the builtin scenarios
+	"bgpworms/internal/scenario"
+)
+
+func TestGridCellEnumeration(t *testing.T) {
+	g := scenario.Grid{
+		Scenarios:     []string{"rtbh", "propagation-distance"},
+		Scales:        []string{"tiny"},
+		Seeds:         []int64{1, 2},
+		EngineWorkers: []int{1, 4},
+		CommunitySets: []string{"verified"},
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*1*2*2*1 {
+		t.Fatalf("cells=%d", len(cells))
+	}
+	// Canonical order: scenario outermost, then scale, seed, workers, set.
+	if cells[0].Scenario != "rtbh" || cells[0].Seed != 1 || cells[0].EngineWorkers != 1 {
+		t.Fatalf("cell 0 = %+v", cells[0])
+	}
+	if cells[3].Scenario != "rtbh" || cells[3].Seed != 2 || cells[3].EngineWorkers != 4 {
+		t.Fatalf("cell 3 = %+v", cells[3])
+	}
+	if cells[4].Scenario != "propagation-distance" {
+		t.Fatalf("cell 4 = %+v", cells[4])
+	}
+}
+
+func TestGridRejectsUnknownDimensions(t *testing.T) {
+	if _, err := (scenario.Grid{Scenarios: []string{"nope"}}).Cells(); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := (scenario.Grid{Scales: []string{"galactic"}}).Cells(); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if _, err := (scenario.Grid{
+		Scenarios: []string{"rtbh"},
+		Values:    scenario.Values{"bogus": "1"},
+	}).Cells(); err == nil {
+		t.Fatal("unknown fixed value accepted")
+	}
+}
+
+// TestSweepDeterminismAcrossWorkers is the acceptance gate: the rendered
+// sweep report must be bit-identical whether one harness worker or eight
+// execute the grid.
+func TestSweepDeterminismAcrossWorkers(t *testing.T) {
+	g := scenario.Grid{
+		Scenarios: []string{
+			"rtbh", "route-manipulation", "propagation-distance", "blackhole-squatting",
+		},
+		Scales: []string{"tiny"},
+		Seeds:  []int64{1, 2},
+	}
+	one, err := scenario.Sweep(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := scenario.Sweep(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := json.Marshal(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := json.Marshal(eight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatalf("sweep output differs across harness workers:\nworkers=1: %s\nworkers=8: %s", b1, b8)
+	}
+	if one.Ran != 8 || one.Ran != one.Succeeded+one.Failed+one.Errored {
+		t.Fatalf("report counts inconsistent: %+v", one)
+	}
+	if one.Errored != 0 {
+		t.Fatalf("cells errored: %s", b1)
+	}
+	if scenario.RenderSweep(one) == "" {
+		t.Fatal("render empty")
+	}
+}
+
+// TestSweepEngineWorkerInvariance pins the simnet guarantee the sweep
+// leans on: under the parallel engine, scenario outcomes are invariant
+// to the engine worker count.
+func TestSweepEngineWorkerInvariance(t *testing.T) {
+	g := scenario.Grid{
+		Scenarios:     []string{"rtbh"},
+		EngineWorkers: []int{2, 8},
+	}
+	rep, err := scenario.Sweep(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells=%d", len(rep.Cells))
+	}
+	a, b := rep.Cells[0], rep.Cells[1]
+	if a.Err != "" || b.Err != "" {
+		t.Fatalf("cell errors: %q %q", a.Err, b.Err)
+	}
+	ja, _ := json.Marshal(a.Result)
+	jb, _ := json.Marshal(b.Result)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("engine workers changed the outcome:\nw=2: %s\nw=8: %s", ja, jb)
+	}
+}

@@ -3,6 +3,14 @@
 // resolvable data plane (forward / traceroute / ping over the converged
 // FIBs), looking-glass views, and a session tap that collectors use to
 // record MRT-faithful update streams.
+//
+// Two engines share the Network API: the serial FIFO queue (default)
+// and a round-based parallel engine (SetWorkers > 1) whose convergence
+// counts, tap ordering, and final RIBs are invariant across worker
+// counts under a fixed seed. That invariance is what lets the layers
+// above — gen.Params.Workers, core.Pipeline, and the scenario sweep's
+// engine-workers grid dimension — change parallelism without changing
+// results (see ARCHITECTURE.md, "Determinism contracts").
 package simnet
 
 import (
@@ -31,8 +39,8 @@ type Network struct {
 	taps    []UpdateTap
 	steps   int
 	maxWork int
-	// noDedup disables work-item coalescing (ablation knob; see
-	// DESIGN.md "event-queue convergence").
+	// noDedup disables work-item coalescing (ablation knob; see the
+	// event-queue convergence benchmarks in bench_test.go).
 	noDedup bool
 	// workers selects the engine: <=1 serial FIFO, >1 the round-based
 	// parallel engine (see parallel.go).
