@@ -6,7 +6,7 @@ GO      ?= go
 # (BENCH_ci.json), committed trajectory points use BENCH_pr<N>.json.
 BENCH_OUT ?= BENCH_ci.json
 
-.PHONY: build test race bench bench-smoke lint fmt examples ci
+.PHONY: build test race bench bench-smoke lint fmt examples watch-smoke ci
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,11 @@ examples:
 		$(GO) run ./$$d >/dev/null; \
 	done
 
+# watch-smoke boots wormwatchd, replays an attack scenario through the
+# live engine tap, and asserts /alerts serves at least one alert.
+watch-smoke:
+	./ci/watchsmoke.sh
+
 lint:
 	@fmtout="$$(gofmt -l .)"; \
 	if [ -n "$$fmtout" ]; then \
@@ -42,4 +47,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint race examples bench
+ci: build lint race examples watch-smoke bench

@@ -6,38 +6,64 @@
 //
 //	bgpcat file.mrt [file2.mrt ...]
 //	genesis -out dir && bgpcat dir/updates.RIS-00.mrt
+//	bgpcat -follow live.mrt     # tail a growing archive (^C to stop)
 //
-// With no arguments it reads one stream from stdin.
+// With no arguments it reads one stream from stdin. -follow keeps
+// reading at end of file, printing records as a live writer appends
+// them (tail -f for MRT).
 package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/mrt"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	follow := flag.Bool("follow", false, "keep reading at EOF, printing records as the file grows")
+	poll := flag.Duration("poll", 200*time.Millisecond, "poll interval for -follow")
+	flag.Parse()
+	args := flag.Args()
+
+	if len(args) == 0 {
+		if *follow {
+			// A pipe's EOF is final; tailing stdin would spin forever.
+			fail(errors.New("-follow tails a file, not stdin"))
+		}
 		if err := dump(os.Stdin, "stdin"); err != nil {
 			fail(err)
 		}
 		return
 	}
-	for _, path := range os.Args[1:] {
+	if *follow && len(args) > 1 {
+		fail(errors.New("-follow tails a single file"))
+	}
+	for _, path := range args {
 		f, err := os.Open(path)
 		if err != nil {
 			fail(err)
 		}
-		err = dump(f, path)
+		err = dump(stream(f, *follow, *poll), path)
 		f.Close()
 		if err != nil {
 			fail(err)
 		}
 	}
+}
+
+// stream wraps r in a tail reader when following; the tail ends only
+// when the process does.
+func stream(r io.Reader, follow bool, poll time.Duration) io.Reader {
+	if !follow {
+		return r
+	}
+	return mrt.NewTailReader(r, poll)
 }
 
 func fail(err error) {

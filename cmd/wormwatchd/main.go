@@ -1,0 +1,414 @@
+// Command wormwatchd is the long-running detection daemon: it feeds the
+// streaming watch engine from an update source and serves the engine's
+// state as JSON while ingesting.
+//
+// Endpoints:
+//
+//	GET /healthz      liveness + ingest counters (never cached)
+//	GET /stats        engine statistics snapshot
+//	GET /alerts       every alert so far, ingest order; ?detector= filters
+//	GET /prefix/{p}   window state and alerts for one prefix
+//
+// Feed modes (combine freely; each runs on its own goroutine):
+//
+//	-scenario rtbh      replay a registered attack scenario through a
+//	                    live engine tap (the whole simulated world is
+//	                    observed, world construction included)
+//	-mrt file|dir       stream MRT update archives (a directory means
+//	                    every updates.*.mrt under it)
+//	-follow             with -mrt FILE: tail the file as it grows
+//
+// Example:
+//
+//	wormwatchd -addr 127.0.0.1:8571 -scenario rtbh &
+//	curl -s http://127.0.0.1:8571/alerts | jq .
+//
+// Responses are rendered once per engine change and then served from a
+// cached snapshot, so concurrent readers cost one JSON encoding, not
+// one per request.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/netip"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	_ "bgpworms/internal/attack" // registers the builtin scenarios
+	"bgpworms/internal/gen"
+	"bgpworms/internal/mrt"
+	"bgpworms/internal/scenario"
+	"bgpworms/internal/watch"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8571", "HTTP listen address")
+		scen      = flag.String("scenario", "", "replay a registered attack scenario through the engine")
+		scale     = flag.String("scale", "", "gen preset for -scenario (tiny, small, medium; default tiny)")
+		seed      = flag.Int64("seed", 0, "generator seed for -scenario (default 1)")
+		mrtPath   = flag.String("mrt", "", "MRT update archive to stream (file, or dir of updates.*.mrt)")
+		follow    = flag.Bool("follow", false, "with -mrt FILE: keep reading as the file grows")
+		shards    = flag.Int("shards", 0, "engine prefix shards (0 = one per CPU)")
+		window    = flag.Duration("window", 0, "detection window horizon (default 15m)")
+		winEvts   = flag.Int("window-events", 0, "per-prefix ring capacity (default 32)")
+		maxAlerts = flag.Int("max-alerts", 0, "retained alert cap (0 = default 100000, negative = unlimited)")
+		detNames  = flag.String("detectors", "", "comma-separated detector subset (default: all registered)")
+	)
+	flag.Parse()
+
+	// Validate feed parameters before the listener comes up, so a typo
+	// fails the process instead of leaving a healthy-looking daemon
+	// with no feed.
+	if *scen != "" {
+		if _, ok := scenario.Get(*scen); !ok {
+			fail(fmt.Errorf("unknown scenario %q (have %v)", *scen, scenario.Names()))
+		}
+	}
+	if *scale != "" {
+		if _, err := gen.Preset(*scale); err != nil {
+			fail(err)
+		}
+	}
+
+	cfg := watch.Config{Shards: *shards, Window: *window, WindowEvents: *winEvts, MaxAlerts: *maxAlerts}
+	if *detNames != "" {
+		for _, name := range strings.Split(*detNames, ",") {
+			d, ok := watch.LookupDetector(strings.TrimSpace(name))
+			if !ok {
+				fail(fmt.Errorf("unknown detector %q (have %v)", name, watch.DetectorNames()))
+			}
+			cfg.Detectors = append(cfg.Detectors, d)
+		}
+	}
+	eng := watch.NewEngine(cfg)
+
+	srv := newServer(eng)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
+	go func() {
+		log.Printf("wormwatchd: listening on http://%s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}()
+
+	var feeds sync.WaitGroup
+	if *scen != "" {
+		feeds.Add(1)
+		go func() {
+			defer feeds.Done()
+			replayScenario(eng, *scen, *scale, *seed)
+		}()
+	}
+	// The tail reader is created here, before the feed goroutine starts,
+	// so shutdown can always reach Stop — otherwise a signal racing feed
+	// startup could leave IngestMRT blocked in the tail forever.
+	var tail *mrt.TailReader
+	if *mrtPath != "" {
+		paths, tailable, err := mrtInputs(*mrtPath)
+		if err != nil {
+			fail(err)
+		}
+		if *follow && !tailable {
+			fail(fmt.Errorf("-follow needs a single MRT file, not a directory"))
+		}
+		if *follow {
+			f, err := os.Open(paths[0])
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			tail = mrt.NewTailReader(f, 200*time.Millisecond)
+		}
+		feeds.Add(1)
+		go func() {
+			defer feeds.Done()
+			for _, p := range paths {
+				if stopping.Load() {
+					return // shutdown between archives
+				}
+				src := "mrt:" + filepath.Base(p)
+				var n int
+				var err error
+				if tail != nil {
+					n, err = eng.IngestMRT(tail, src)
+				} else {
+					f, err2 := os.Open(p)
+					if err2 != nil {
+						log.Printf("wormwatchd: skipping %s: %v", p, err2)
+						continue
+					}
+					n, err = eng.IngestMRT(f, src)
+					f.Close()
+				}
+				if err != nil {
+					// Keep whatever decoded before the error and move on
+					// to the next archive; the log is the record of the
+					// partial ingest.
+					log.Printf("wormwatchd: %s: %d events, then: %v", p, n, err)
+					continue
+				}
+				log.Printf("wormwatchd: %s: %d events ingested", p, n)
+			}
+			eng.Flush()
+		}()
+	}
+
+	// While any feed is live, surface partial batches on a heartbeat:
+	// without it a slow -follow source could sit under the engine's
+	// batching granularity and never show its alerts.
+	flusherDone := make(chan struct{})
+	feeds.Add(1)
+	go func() {
+		defer feeds.Done()
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-flusherDone:
+				return
+			case <-tick.C:
+				eng.Flush()
+			}
+		}
+	}()
+
+	stop := make(chan os.Signal, 2)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("wormwatchd: shutting down (again or wait %s to force)", forceExitAfter)
+	stopping.Store(true)
+	if tail != nil {
+		tail.Stop()
+	}
+	close(flusherDone)
+	// Graceful drain can only stop feeds at their boundaries (a scenario
+	// replay or a single large archive runs to completion); a second
+	// signal or the deadline forces exit so supervisors never hang on us.
+	go func() {
+		deadline := time.After(forceExitAfter)
+		select {
+		case <-stop:
+		case <-deadline:
+		}
+		log.Printf("wormwatchd: forced exit with feeds still running")
+		os.Exit(1)
+	}()
+	feeds.Wait()
+	eng.Close()
+	_ = httpSrv.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wormwatchd:", err)
+	os.Exit(1)
+}
+
+// stopping flips at the first shutdown signal; feed loops check it at
+// their boundaries.
+var stopping atomic.Bool
+
+// forceExitAfter bounds a graceful shutdown whose feeds cannot be
+// interrupted mid-item.
+const forceExitAfter = 15 * time.Second
+
+// replayScenario drives a registered scenario with a live (lossy,
+// non-blocking) engine tap and logs the Table-3 outcome.
+func replayScenario(eng *watch.Engine, name, scale string, seed int64) {
+	ctx := &scenario.Context{Tap: eng.LiveTap("scenario:" + name)}
+	if scale != "" {
+		p, err := gen.Preset(scale)
+		if err != nil {
+			log.Printf("wormwatchd: %v", err)
+			return
+		}
+		ctx.Gen = p
+	}
+	if seed != 0 {
+		if ctx.Gen.Stubs == 0 {
+			ctx.Gen, _ = gen.Preset(scenario.DefaultScale)
+		}
+		ctx.Gen.Seed = seed
+	}
+	res, err := scenario.Run(name, ctx)
+	if err != nil {
+		log.Printf("wormwatchd: scenario %s: %v", name, err)
+		return
+	}
+	eng.Flush()
+	st := eng.Stats()
+	log.Printf("wormwatchd: scenario %s success=%v; %d events, %d dropped, %d alerts",
+		name, res.Success, st.Ingested, st.Dropped, st.Alerts)
+}
+
+// mrtInputs expands -mrt into concrete archive paths; tailable reports
+// whether the input was a single file (the only -follow shape).
+func mrtInputs(path string) (paths []string, tailable bool, err error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if !info.IsDir() {
+		return []string{path}, true, nil
+	}
+	paths, err = filepath.Glob(filepath.Join(path, "updates.*.mrt"))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(paths) == 0 {
+		return nil, false, fmt.Errorf("no updates.*.mrt files in %s", path)
+	}
+	sort.Strings(paths)
+	return paths, false, nil
+}
+
+// server wraps the engine with version-keyed JSON snapshot caches: a
+// response body is rendered once per engine change and shared by every
+// concurrent reader at that version.
+type server struct {
+	eng    *watch.Engine
+	start  time.Time
+	alerts snapshotCache
+	stats  snapshotCache
+}
+
+func newServer(eng *watch.Engine) *server {
+	return &server{eng: eng, start: time.Now()}
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/healthz", s.handleHealthz)
+	m.HandleFunc("/stats", s.handleStats)
+	m.HandleFunc("/alerts", s.handleAlerts)
+	m.HandleFunc("/prefix/", s.handlePrefix)
+	return m
+}
+
+// snapshotCache is a version-keyed rendered-JSON cache safe for
+// concurrent readers: the fast path is a shared read lock and a byte
+// slice copy-free write.
+type snapshotCache struct {
+	mu      sync.RWMutex
+	version uint64
+	valid   bool
+	body    []byte
+}
+
+func (c *snapshotCache) get(version uint64, render func() ([]byte, error)) ([]byte, error) {
+	c.mu.RLock()
+	if c.valid && c.version == version {
+		body := c.body
+		c.mu.RUnlock()
+		return body, nil
+	}
+	c.mu.RUnlock()
+	body, err := render()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	// Last writer at the newest version wins; stale renders are simply
+	// not cached over a fresher one.
+	if !c.valid || version >= c.version {
+		c.version, c.valid, c.body = version, true, body
+	}
+	c.mu.Unlock()
+	return body, nil
+}
+
+func writeJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		w.Write([]byte("\n"))
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	body, _ := json.Marshal(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"ingested":       st.Ingested,
+		"dropped":        st.Dropped,
+		"alerts":         st.Alerts,
+	})
+	writeJSON(w, body)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	body, err := s.stats.get(s.eng.Version(), func() ([]byte, error) {
+		return json.MarshalIndent(s.eng.Stats(), "", "  ")
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// alertsPayload is the /alerts response shape.
+type alertsPayload struct {
+	Count  int           `json:"count"`
+	Alerts []watch.Alert `json:"alerts"`
+}
+
+func (s *server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if det := r.URL.Query().Get("detector"); det != "" {
+		// Filtered views are per-query; only the full view is cached.
+		var filtered []watch.Alert
+		for _, a := range s.eng.Alerts() {
+			if a.Detector == det {
+				filtered = append(filtered, a)
+			}
+		}
+		body, err := json.MarshalIndent(alertsPayload{Count: len(filtered), Alerts: filtered}, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, body)
+		return
+	}
+	body, err := s.alerts.get(s.eng.Version(), func() ([]byte, error) {
+		alerts := s.eng.Alerts()
+		return json.MarshalIndent(alertsPayload{Count: len(alerts), Alerts: alerts}, "", "  ")
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, body)
+}
+
+func (s *server) handlePrefix(w http.ResponseWriter, r *http.Request) {
+	raw := strings.TrimPrefix(r.URL.Path, "/prefix/")
+	p, err := netip.ParsePrefix(raw)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad prefix %q: %v", raw, err), http.StatusBadRequest)
+		return
+	}
+	info, ok := s.eng.PrefixInfo(p)
+	if !ok {
+		http.Error(w, fmt.Sprintf("prefix %s not tracked", p), http.StatusNotFound)
+		return
+	}
+	body, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, body)
+}

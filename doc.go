@@ -18,11 +18,14 @@
 // consumes those archives and computes every table and figure of §4.
 // Above the simulator, internal/attack builds injection-platform labs
 // and internal/scenario catalogs every attack for enumeration,
-// parameterized runs, and grid sweeps. The cmd/ tree exposes the
+// parameterized runs, and grid sweeps; internal/watch ingests live
+// update feeds (simnet taps, collector exports, MRT streams) into a
+// sharded sliding-window detection engine. The cmd/ tree exposes the
 // halves as binaries: genesis writes archives, worms analyses them,
-// attacklab lists/runs/sweeps the §5–§7 scenarios, and bgpcat
-// pretty-prints MRT. ARCHITECTURE.md maps every paper section to its
-// package.
+// attacklab lists/runs/sweeps the §5–§7 scenarios, bgpcat
+// pretty-prints MRT (with -follow tailing growing archives), and
+// wormwatchd serves the detection engine's alerts over HTTP while
+// ingesting. ARCHITECTURE.md maps every paper section to its package.
 //
 // # Concurrency
 //

@@ -88,6 +88,7 @@ type Collector struct {
 	peers map[topo.ASN]Peer
 	node  *router.Router
 	obs   []Observation
+	subs  []func(Observation)
 	clock time.Time
 	seq   int
 }
@@ -169,11 +170,21 @@ func (c *Collector) Attach(n *simnet.Network) error {
 		if rt != nil {
 			cp = rt.Clone()
 		}
-		c.obs = append(c.obs, Observation{
-			Seq: c.seq, Time: c.clock, PeerAS: from, Prefix: prefix, Route: cp,
-		})
+		ob := Observation{Seq: c.seq, Time: c.clock, PeerAS: from, Prefix: prefix, Route: cp}
+		c.obs = append(c.obs, ob)
+		for _, fn := range c.subs {
+			fn(ob)
+		}
 	})
 	return nil
+}
+
+// OnObservation subscribes fn to the collector's live export: it runs
+// for every observation recorded from now on, in sequence order, on the
+// simulation goroutine. Streaming consumers (the watch engine) attach
+// here instead of polling Observations.
+func (c *Collector) OnObservation(fn func(Observation)) {
+	c.subs = append(c.subs, fn)
 }
 
 // partialKeeps deterministically keeps ~half the prefixes of a partial

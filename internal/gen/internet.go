@@ -77,6 +77,9 @@ func Build(p Params) (*Internet, error) {
 	}
 	w.buildGraph()
 	w.buildNetwork()
+	if p.Tap != nil {
+		w.Net.Tap(p.Tap)
+	}
 	if err := w.attachIXPs(); err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ package gen
 import (
 	"fmt"
 
+	"bgpworms/internal/simnet"
 	"bgpworms/internal/topo"
 )
 
@@ -88,6 +89,13 @@ type Params struct {
 	// PPrivateTag is the probability an origin adds a private-ASN
 	// community (the ~400 private ASes of Table 2).
 	PPrivateTag float64
+
+	// Tap, when non-nil, is registered on the network before the first
+	// origin announcement, so it observes the complete update stream:
+	// world construction, churn, and everything a scenario does after.
+	// The streaming detection engine (internal/watch) attaches here.
+	// Function-valued: excluded from JSON; sweeps leave it nil.
+	Tap simnet.UpdateTap `json:"-"`
 }
 
 // Preset returns the named scale preset ("tiny", "small", "medium") —

@@ -1,0 +1,64 @@
+package mrt
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// TailReader adapts a growing input — typically an MRT archive a
+// collector is still appending to — into a live byte stream: where the
+// underlying reader reports io.EOF, TailReader polls for appended bytes
+// instead, so a Reader layered on top blocks at end-of-archive and
+// resumes when new records land (bgpcat -follow, wormwatchd -mrt
+// -follow).
+//
+// Stop ends the tail: pending and subsequent Reads drain whatever bytes
+// remain, then return io.EOF like an ordinary file.
+type TailReader struct {
+	r    io.Reader
+	poll time.Duration
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewTailReader wraps r, polling every poll interval at end-of-input
+// (<= 0 means 200ms).
+func NewTailReader(r io.Reader, poll time.Duration) *TailReader {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	return &TailReader{r: r, poll: poll, stop: make(chan struct{})}
+}
+
+// Read implements io.Reader with EOF converted into a poll-and-retry
+// loop until Stop.
+func (t *TailReader) Read(p []byte) (int, error) {
+	for {
+		n, err := t.r.Read(p)
+		if n > 0 {
+			return n, nil
+		}
+		if err != nil && !errors.Is(err, io.EOF) {
+			return 0, err
+		}
+		select {
+		case <-t.stop:
+			// Stopped: drain any bytes that raced the stop, then EOF.
+			n, err := t.r.Read(p)
+			if n > 0 {
+				return n, nil
+			}
+			if err != nil && !errors.Is(err, io.EOF) {
+				return 0, err
+			}
+			return 0, io.EOF
+		case <-time.After(t.poll):
+		}
+	}
+}
+
+// Stop ends the tail; safe to call from any goroutine and more than
+// once.
+func (t *TailReader) Stop() { t.once.Do(func() { close(t.stop) }) }

@@ -1,0 +1,120 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// appendRecord writes one sample record to the end of path.
+func appendRecord(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := NewWriter(f).Write(sampleMessage(false)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailReaderFollowsGrowingFile is the bgpcat -follow contract: a
+// Reader over a TailReader blocks at end-of-archive and resumes when a
+// writer appends, instead of returning io.EOF.
+func TestTailReaderFollowsGrowingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "updates.live.mrt")
+	appendRecord(t, path)
+	appendRecord(t, path)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr := NewTailReader(f, time.Millisecond)
+	mr := NewReader(tr)
+
+	recs := make(chan Record, 8)
+	errs := make(chan error, 1)
+	go func() {
+		for {
+			rec, err := mr.Next()
+			if err != nil {
+				errs <- err
+				return
+			}
+			recs <- rec
+		}
+	}()
+
+	read := func(what string) Record {
+		t.Helper()
+		select {
+		case rec := <-recs:
+			return rec
+		case err := <-errs:
+			t.Fatalf("%s: reader ended: %v", what, err)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s: timed out", what)
+		}
+		return nil
+	}
+
+	read("first pre-written record")
+	read("second pre-written record")
+
+	// The reader is now blocked mid-tail; a live writer appends.
+	appendRecord(t, path)
+	if rec := read("appended record"); rec.RecordType() != TypeBGP4MP {
+		t.Fatalf("appended record type = %d", rec.RecordType())
+	}
+
+	// Stop ends the stream like an ordinary EOF.
+	tr.Stop()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("after Stop: %v, want io.EOF", err)
+		}
+	case rec := <-recs:
+		t.Fatalf("unexpected record after Stop: %v", rec)
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop did not end the stream")
+	}
+}
+
+// TestTailReaderDrainsRaceWithStop pins the drain-on-stop behaviour:
+// bytes written before Stop are still delivered.
+func TestTailReaderDrainsRaceWithStop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(sampleMessage(false)); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTailReader(&buf, time.Millisecond)
+	tr.Stop() // stopped before the first read: content must still drain
+	mr := NewReader(tr)
+	if _, err := mr.Next(); err != nil {
+		t.Fatalf("pre-stop bytes lost: %v", err)
+	}
+	if _, err := mr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF after drain, got %v", err)
+	}
+}
+
+// TestTailReaderPropagatesErrors pins that non-EOF errors pass through.
+func TestTailReaderPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	tr := NewTailReader(errReader{boom}, time.Millisecond)
+	if _, err := tr.Read(make([]byte, 16)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }

@@ -19,6 +19,7 @@ import (
 	"strconv"
 
 	"bgpworms/internal/gen"
+	"bgpworms/internal/simnet"
 )
 
 // Difficulty grades a scenario as the paper's Table 3 does.
@@ -193,6 +194,11 @@ type Context struct {
 	CommunitySet string
 	// Values overrides scenario parameters.
 	Values Values
+	// Tap, when non-nil, observes every update delivery in the
+	// scenario's simulated network — world construction included (it is
+	// plumbed through Gen.Tap, surviving the scale default). The watch
+	// engine attaches here to detect the attack it is replaying.
+	Tap simnet.UpdateTap
 
 	scenario *Scenario
 }
@@ -208,6 +214,9 @@ func (c *Context) withDefaults(s *Scenario) *Context {
 	}
 	if out.CommunitySet == "" {
 		out.CommunitySet = DefaultCommunitySet
+	}
+	if out.Tap != nil {
+		out.Gen.Tap = out.Tap
 	}
 	return &out
 }

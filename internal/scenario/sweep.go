@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 
 	"bgpworms/internal/conc"
 	"bgpworms/internal/gen"
@@ -63,6 +64,12 @@ type Cell struct {
 	CommunitySet  string  `json:"community_set"`
 	Result        *Result `json:"result,omitempty"`
 	Err           string  `json:"error,omitempty"`
+	// Expected is the scenario's declared Table-3 outcome for the
+	// variant that ran (Result.Hijack selects plain vs hijack), and
+	// AsExpected grades Result.Success against it, making sweep JSON
+	// self-describing. Both are meaningful only when Result is set.
+	Expected   bool `json:"expected"`
+	AsExpected bool `json:"as_expected"`
 }
 
 // Cells enumerates the grid in canonical order (scenario, scale, seed,
@@ -170,7 +177,9 @@ func Sweep(g Grid, workers int) (*SweepReport, error) {
 			if c.Result.Hijack {
 				exp = mustGet(c.Scenario).Expected.Hijack
 			}
-			if c.Result.Success == exp {
+			c.Expected = exp
+			c.AsExpected = c.Result.Success == exp
+			if c.AsExpected {
 				rep.AsExpected++
 			}
 		}
@@ -210,7 +219,7 @@ func runCell(c *Cell, g Grid) {
 
 // RenderSweep renders the report as a text table, one row per cell.
 func RenderSweep(r *SweepReport) string {
-	t := stats.NewTable("Scenario", "Scale", "Seed", "EngWorkers", "Set", "Success", "Note")
+	t := stats.NewTable("Scenario", "Scale", "Seed", "EngWorkers", "Set", "Success", "Expected", "Note")
 	for i := range r.Cells {
 		c := &r.Cells[i]
 		note := ""
@@ -221,10 +230,12 @@ func RenderSweep(r *SweepReport) string {
 			note = c.Result.Evidence[0]
 		}
 		success := false
+		expected := "-"
 		if c.Result != nil {
 			success = c.Result.Success
+			expected = strconv.FormatBool(c.Expected)
 		}
-		t.Row(c.Scenario, c.Scale, c.Seed, c.EngineWorkers, c.CommunitySet, success, note)
+		t.Row(c.Scenario, c.Scale, c.Seed, c.EngineWorkers, c.CommunitySet, success, expected, note)
 	}
 	out := t.String()
 	out += fmt.Sprintf("\ncells=%d succeeded=%d failed=%d errored=%d as-expected=%d\n",

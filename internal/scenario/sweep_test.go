@@ -92,6 +92,56 @@ func TestSweepDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestSweepCellExpectations pins the self-describing report rows: every
+// run cell carries the scenario's declared Table-3 expectation for the
+// variant that ran, graded against the actual outcome, and the report
+// total agrees with the per-cell grades.
+func TestSweepCellExpectations(t *testing.T) {
+	g := scenario.Grid{
+		Scenarios: []string{"rtbh", "route-leak-amplification"},
+		Values:    scenario.Values{"hijack": "true"},
+	}
+	rep, err := scenario.Sweep(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asExpected := 0
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Err != "" || c.Result == nil {
+			t.Fatalf("cell %d errored: %q", i, c.Err)
+		}
+		s, _ := scenario.Get(c.Scenario)
+		want := s.Expected.Plain
+		if c.Result.Hijack {
+			want = s.Expected.Hijack
+		}
+		if c.Expected != want {
+			t.Fatalf("cell %s: Expected=%v, scenario declares %v (hijack=%v)",
+				c.Scenario, c.Expected, want, c.Result.Hijack)
+		}
+		if c.AsExpected != (c.Result.Success == c.Expected) {
+			t.Fatalf("cell %s: AsExpected=%v inconsistent with Success=%v Expected=%v",
+				c.Scenario, c.AsExpected, c.Result.Success, c.Expected)
+		}
+		if c.AsExpected {
+			asExpected++
+		}
+	}
+	if rep.AsExpected != asExpected {
+		t.Fatalf("report AsExpected=%d, cells say %d", rep.AsExpected, asExpected)
+	}
+	b, err := json.Marshal(rep.Cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"expected"`, `"as_expected"`} {
+		if !bytes.Contains(b, []byte(key)) {
+			t.Fatalf("cell JSON missing %s: %s", key, b)
+		}
+	}
+}
+
 // TestSweepEngineWorkerInvariance pins the simnet guarantee the sweep
 // leans on: under the parallel engine, scenario outcomes are invariant
 // to the engine worker count.

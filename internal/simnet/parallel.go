@@ -118,7 +118,9 @@ func (n *Network) runRounds(workers int) (int, error) {
 			delivered++
 			n.steps++
 			for _, t := range n.taps {
-				t(d.from, d.to, d.prefix, d.rt)
+				if t != nil {
+					t(d.from, d.to, d.prefix, d.rt)
+				}
 			}
 			if delivered > n.maxDeliveries() {
 				return delivered, fmt.Errorf("simnet: no convergence after %d deliveries", delivered)

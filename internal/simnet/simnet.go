@@ -118,8 +118,23 @@ func (n *Network) Connect(a, b topo.ASN, rel topo.Rel) error {
 	return nil
 }
 
-// Tap registers an update observer.
-func (n *Network) Tap(t UpdateTap) { n.taps = append(n.taps, t) }
+// Tap registers an update observer and returns a handle for Untap.
+// Both engines fire taps serially in canonical delivery order, so a tap
+// observes a deterministic stream for any worker count.
+func (n *Network) Tap(t UpdateTap) int {
+	n.taps = append(n.taps, t)
+	return len(n.taps) - 1
+}
+
+// Untap detaches the observer registered under id (a no-op for invalid
+// handles). Detaching keeps other handles stable, so short-lived
+// observers — a detection engine watching one attack window, say — can
+// come and go without disturbing collectors.
+func (n *Network) Untap(id int) {
+	if id >= 0 && id < len(n.taps) {
+		n.taps[id] = nil
+	}
+}
 
 // Steps returns the number of update deliveries processed so far.
 func (n *Network) Steps() int { return n.steps }
@@ -211,7 +226,9 @@ func (n *Network) runSerial() (int, error) {
 				delivered++
 				n.steps++
 				for _, t := range n.taps {
-					t(it.asn, nb, it.prefix, out)
+					if t != nil {
+						t(it.asn, nb, it.prefix, out)
+					}
 				}
 				if res, changed := dst.ReceiveUpdate(it.asn, out); res == router.ImportAccepted && changed {
 					n.schedule(nb, it.prefix)
@@ -224,7 +241,9 @@ func (n *Network) runSerial() (int, error) {
 				delivered++
 				n.steps++
 				for _, t := range n.taps {
-					t(it.asn, nb, it.prefix, nil)
+					if t != nil {
+						t(it.asn, nb, it.prefix, nil)
+					}
 				}
 				if dst.ReceiveWithdraw(it.asn, it.prefix) {
 					n.schedule(nb, it.prefix)

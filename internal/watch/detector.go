@@ -1,0 +1,261 @@
+package watch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bgpworms/internal/bgp"
+)
+
+// Detector is one streaming anomaly rule. Observe is called once per
+// event with the prefix's window state as it was before the event; it
+// emits zero or more alerts. Implementations must keep all mutable
+// state inside PrefixState (one Detector instance is shared across
+// every shard), and must be deterministic: the same (state, event) pair
+// always emits the same alerts.
+type Detector interface {
+	// Name is the registry key (kebab-case).
+	Name() string
+	// Describe is a one-line summary for catalogs.
+	Describe() string
+	// Observe inspects one event against its prefix window.
+	Observe(st *PrefixState, ev *Event, emit func(Alert))
+}
+
+var (
+	detMu  sync.RWMutex
+	detReg = map[string]Detector{}
+)
+
+// RegisterDetector adds d to the global registry. It panics on empty
+// names and duplicates — registration happens from package init, where
+// a bad catalog should be fatal (the scenario registry's contract).
+func RegisterDetector(d Detector) {
+	if d == nil || d.Name() == "" {
+		panic("watch: RegisterDetector requires a named detector")
+	}
+	detMu.Lock()
+	defer detMu.Unlock()
+	if _, dup := detReg[d.Name()]; dup {
+		panic(fmt.Sprintf("watch: duplicate detector %q", d.Name()))
+	}
+	detReg[d.Name()] = d
+}
+
+// LookupDetector returns the registered detector by name.
+func LookupDetector(name string) (Detector, bool) {
+	detMu.RLock()
+	defer detMu.RUnlock()
+	d, ok := detReg[name]
+	return d, ok
+}
+
+// DetectorNames returns every registered detector name, sorted.
+func DetectorNames() []string {
+	detMu.RLock()
+	defer detMu.RUnlock()
+	out := make([]string, 0, len(detReg))
+	for name := range detReg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Detectors returns every registered detector, sorted by name — the
+// engine's default detector set.
+func Detectors() []Detector {
+	names := DetectorNames()
+	detMu.RLock()
+	defer detMu.RUnlock()
+	out := make([]Detector, 0, len(names))
+	for _, name := range names {
+		out = append(out, detReg[name])
+	}
+	return out
+}
+
+func init() {
+	RegisterDetector(blackholeOnset{})
+	RegisterDetector(communitySquat{})
+	RegisterDetector(propDistance{threshold: 3})
+	RegisterDetector(routeLeak{})
+}
+
+// blackholeOnset fires when a blackhole-valued community (RFC 7999 or a
+// :666 label) appears on a prefix whose window carried none — the onset
+// of a remote-triggered blackholing episode (§7.3). Subsequent tagged
+// deliveries land inside the window and stay silent, so one episode
+// raises one alert per prefix.
+//
+// Value-pattern matching deliberately over-counts: a squatted :666 on
+// an AS with no RTBH service fires too. That is CommunityWatch's point
+// — only active verification (scenario blackhole-sweep) separates
+// triggers from decoys — and the eval ground truth tolerates it.
+type blackholeOnset struct{}
+
+func (blackholeOnset) Name() string { return "blackhole-onset" }
+func (blackholeOnset) Describe() string {
+	return "a blackhole-valued community appeared on a prefix that had none in the window"
+}
+
+func (blackholeOnset) Observe(st *PrefixState, ev *Event, emit func(Alert)) {
+	if ev.Withdraw {
+		return
+	}
+	var bh bgp.Community
+	found := false
+	for _, c := range ev.Communities {
+		if c.IsBlackhole() {
+			bh, found = c, true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	for i := 0; i < st.Len(); i++ {
+		for _, c := range st.At(i).Communities {
+			if c.IsBlackhole() {
+				return // episode already open
+			}
+		}
+	}
+	emit(Alert{
+		Severity:  Critical,
+		Community: bh.String(),
+		Message:   fmt.Sprintf("blackhole community %s onset (origin AS%d)", bh, ev.Origin()),
+	})
+}
+
+// communitySquat fires when an announcement carries a community whose
+// ASN part names an AS that is neither on the AS path nor well-known,
+// and that the prefix's window has not seen before — the "unexpected
+// ASN per origin" noise class of Krenc et al. and the §7.6 decoy
+// population. Legitimate off-path uses exist (community bundling,
+// action communities aimed upstream), so the severity stays at Warning.
+type communitySquat struct{}
+
+func (communitySquat) Name() string { return "community-squat" }
+func (communitySquat) Describe() string {
+	return "a never-before-seen community names an AS that is not on the path"
+}
+
+func (communitySquat) Observe(st *PrefixState, ev *Event, emit func(Alert)) {
+	if ev.Withdraw {
+		return
+	}
+	for _, c := range ev.Communities {
+		if c.IsWellKnown() || ev.onPath(uint32(c.ASN())) || st.HasCommunity(c) {
+			continue
+		}
+		emit(Alert{
+			Severity:  Warning,
+			Community: c.String(),
+			Message: fmt.Sprintf("community %s names off-path AS%d (origin AS%d announced via AS%d)",
+				c, c.ASN(), ev.Origin(), ev.PeerAS),
+		})
+	}
+}
+
+// propDistance fires when a community is observed more than threshold
+// AS hops beyond the AS it names — the long tail of the Figure 5
+// traveled-distance ECDFs, and the propagation precondition every
+// remote-trigger attack needs (§5.4). The distance is measured on the
+// prepending-stripped path, as §4.1 normalizes.
+type propDistance struct{ threshold int }
+
+func (propDistance) Name() string { return "prop-distance" }
+func (d propDistance) Describe() string {
+	return fmt.Sprintf("a community traveled more than %d AS hops beyond the AS it names", d.threshold)
+}
+
+func (d propDistance) Observe(st *PrefixState, ev *Event, emit func(Alert)) {
+	if ev.Withdraw || len(ev.ASPath) == 0 || len(ev.Communities) == 0 {
+		return
+	}
+	stripped := bgp.Path(ev.ASPath...).StripPrepending()
+	for _, c := range ev.Communities {
+		if c.IsWellKnown() {
+			continue
+		}
+		hops := travelHops(stripped, c)
+		if hops <= d.threshold {
+			continue
+		}
+		// One alert per (prefix, community) while the community stays in
+		// the window: any windowed sighting at spike distance suppresses.
+		repeat := false
+		for i := 0; i < st.Len() && !repeat; i++ {
+			prior := st.At(i)
+			if prior.Withdraw || !prior.Communities.Has(c) {
+				continue
+			}
+			if travelHops(bgp.Path(prior.ASPath...).StripPrepending(), c) > d.threshold {
+				repeat = true
+			}
+		}
+		if repeat {
+			continue
+		}
+		emit(Alert{
+			Severity:  Info,
+			Community: c.String(),
+			Message:   fmt.Sprintf("community %s traveled %d AS hops beyond AS%d", c, hops, c.ASN()),
+		})
+	}
+}
+
+// travelHops returns how many AS hops beyond its naming AS the
+// community has traveled on a nearest-first stripped path (-1 when the
+// naming AS is not on the path).
+func travelHops(stripped []uint32, c bgp.Community) int {
+	for i, a := range stripped {
+		if a == uint32(c.ASN()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// routeLeak fires when an announcement's origin AS differs from every
+// origin the prefix's window has seen — the origin-shift signature a
+// leak or hijack leaves in the update stream (§5.2 crossed with §7.3's
+// IRR-circumvented origination). The window keeps the alert one-shot:
+// once the foreign origin is windowed, repeats stay silent until it
+// ages out.
+type routeLeak struct{}
+
+func (routeLeak) Name() string { return "route-leak" }
+func (routeLeak) Describe() string {
+	return "the origin AS shifted away from every origin in the window"
+}
+
+func (routeLeak) Observe(st *PrefixState, ev *Event, emit func(Alert)) {
+	if ev.Withdraw || len(ev.ASPath) == 0 {
+		return
+	}
+	origin := ev.Origin()
+	var prev uint32
+	seen := false
+	for i := 0; i < st.Len(); i++ {
+		prior := st.At(i)
+		if prior.Withdraw || len(prior.ASPath) == 0 {
+			continue
+		}
+		po := prior.Origin()
+		if po == origin {
+			return // origin already established in the window
+		}
+		prev, seen = po, true
+	}
+	if !seen {
+		return // first sighting: nothing to contradict
+	}
+	emit(Alert{
+		Severity: Critical,
+		Origin:   origin,
+		Message:  fmt.Sprintf("origin shifted to AS%d (window held AS%d) — route-leak/hijack signature", origin, prev),
+	})
+}

@@ -1,0 +1,166 @@
+package watch
+
+import (
+	"fmt"
+	"sort"
+
+	"bgpworms/internal/scenario"
+	"bgpworms/internal/stats"
+)
+
+// This file closes the detect-what-you-attack loop: a registered attack
+// scenario replays through the engine via a session tap, and every
+// detector is scored against the scenario's declared ground truth.
+
+// Truth declares which detectors a scenario's feed is expected to
+// trigger. Must detectors count toward recall; May detectors are
+// tolerated (no false-positive charge) because the scenario's machinery
+// plausibly trips them; anything else that fires is a false positive.
+type Truth struct {
+	Must []string `json:"must"`
+	May  []string `json:"may,omitempty"`
+}
+
+// scenarioTruth maps registry scenario names to detection ground truth.
+// Probe announcements with off-path action communities legitimately
+// trip community-squat and prop-distance, so most entries tolerate
+// both.
+var scenarioTruth = map[string]Truth{
+	// §7.3: the attack is the blackhole community appearing on the
+	// victim prefix. The hijack variant additionally shifts the origin.
+	"rtbh": {
+		Must: []string{"blackhole-onset"},
+		May:  []string{"community-squat", "prop-distance", "route-leak"},
+	},
+	// The leak re-originates a remote stub's prefix: the origin-shift
+	// signature is the attack. The raise community names an off-path AS
+	// until the amplifier propagates it, so squat alerts are expected
+	// noise.
+	"route-leak-amplification": {
+		Must: []string{"route-leak"},
+		May:  []string{"community-squat", "prop-distance"},
+	},
+	// The squat announces a decoy :666 value, which the value-pattern
+	// blackhole detector cannot distinguish from a real trigger — the
+	// §7.6 over-counting, reproduced live.
+	"blackhole-squatting": {
+		Must: []string{"blackhole-onset", "community-squat"},
+		May:  []string{"prop-distance"},
+	},
+	// The sweep announces real triggers and decoys alike.
+	"blackhole-sweep": {
+		Must: []string{"blackhole-onset"},
+		May:  []string{"community-squat", "prop-distance"},
+	},
+}
+
+// ScenarioTruth returns the detection ground truth for a registered
+// scenario (false when the scenario makes no detection claims).
+func ScenarioTruth(name string) (Truth, bool) {
+	t, ok := scenarioTruth[name]
+	return t, ok
+}
+
+// DetectorScore grades one detector against one replayed scenario.
+type DetectorScore struct {
+	Detector string `json:"detector"`
+	Expected bool   `json:"expected"`
+	// Fired counts the detector's alerts during the replay.
+	Fired int `json:"fired"`
+	TP    int `json:"tp"`
+	FP    int `json:"fp"`
+	FN    int `json:"fn"`
+}
+
+// EvalReport is the outcome of replaying one scenario through the
+// engine: the scenario's own Table-3 result plus per-detector scores.
+type EvalReport struct {
+	Scenario string           `json:"scenario"`
+	Result   *scenario.Result `json:"result"`
+	Stats    Stats            `json:"stats"`
+	Alerts   []Alert          `json:"alerts,omitempty"`
+	// Known reports whether the scenario declares detection ground
+	// truth; scores carry TP/FP/FN only when it does.
+	Known  bool            `json:"truth_known"`
+	Scores []DetectorScore `json:"scores"`
+	// Precision and Recall aggregate over the scored detectors
+	// (micro-averaged; 1.0 when nothing was expected or fired).
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+}
+
+// EvalScenario replays the named registered scenario with a lossless
+// engine tap observing the full simulated update stream — world
+// construction, probes, and the attack itself — then scores each
+// detector against the scenario's ground truth. A nil ctx replays with
+// scenario defaults; any caller tap on ctx is replaced.
+func EvalScenario(name string, ctx *scenario.Context, cfg Config) (*EvalReport, error) {
+	if ctx == nil {
+		ctx = &scenario.Context{}
+	}
+	eng := NewEngine(cfg)
+	defer eng.Close()
+	ctx.Tap = eng.BlockingTap("scenario:" + name)
+	res, err := scenario.Run(name, ctx)
+	if err != nil {
+		return nil, err
+	}
+	eng.Flush()
+	rep := &EvalReport{Scenario: name, Result: res, Stats: eng.Stats(), Alerts: eng.Alerts()}
+	truth, known := ScenarioTruth(name)
+	rep.Known = known
+	rep.score(eng.detectors, truth)
+	return rep, nil
+}
+
+func (r *EvalReport) score(dets []Detector, truth Truth) {
+	must := make(map[string]bool, len(truth.Must))
+	for _, d := range truth.Must {
+		must[d] = true
+	}
+	may := make(map[string]bool, len(truth.May))
+	for _, d := range truth.May {
+		may[d] = true
+	}
+	fired := make(map[string]int)
+	for _, a := range r.Alerts {
+		fired[a.Detector]++
+	}
+	var tp, fp, fn int
+	for _, d := range dets {
+		s := DetectorScore{Detector: d.Name(), Fired: fired[d.Name()]}
+		if r.Known {
+			s.Expected = must[s.Detector]
+			switch {
+			case s.Expected && s.Fired > 0:
+				s.TP = 1
+			case s.Expected:
+				s.FN = 1
+			case s.Fired > 0 && !may[s.Detector]:
+				s.FP = 1
+			}
+			tp, fp, fn = tp+s.TP, fp+s.FP, fn+s.FN
+		}
+		r.Scores = append(r.Scores, s)
+	}
+	sort.Slice(r.Scores, func(i, j int) bool { return r.Scores[i].Detector < r.Scores[j].Detector })
+	r.Precision, r.Recall = 1, 1
+	if tp+fp > 0 {
+		r.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		r.Recall = float64(tp) / float64(tp+fn)
+	}
+}
+
+// RenderEval renders the report as a text table plus summary line.
+func RenderEval(r *EvalReport) string {
+	t := stats.NewTable("Detector", "Expected", "Fired", "TP", "FP", "FN")
+	for _, s := range r.Scores {
+		t.Row(s.Detector, s.Expected, s.Fired, s.TP, s.FP, s.FN)
+	}
+	out := t.String()
+	out += fmt.Sprintf("\nscenario=%s success=%v alerts=%d precision=%.2f recall=%.2f\n",
+		r.Scenario, r.Result != nil && r.Result.Success, len(r.Alerts), r.Precision, r.Recall)
+	return out
+}

@@ -1,0 +1,43 @@
+package watch_test
+
+import (
+	"fmt"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/netx"
+	"bgpworms/internal/watch"
+)
+
+// ExampleDetectors lists the builtin detector registry — the catalog
+// wormwatchd runs over every ingested update.
+func ExampleDetectors() {
+	for _, d := range watch.Detectors() {
+		fmt.Printf("%s — %s\n", d.Name(), d.Describe())
+	}
+	// Output:
+	// blackhole-onset — a blackhole-valued community appeared on a prefix that had none in the window
+	// community-squat — a never-before-seen community names an AS that is not on the path
+	// prop-distance — a community traveled more than 3 AS hops beyond the AS it names
+	// route-leak — the origin AS shifted away from every origin in the window
+}
+
+// ExampleEngine_Ingest streams a tiny hand-built feed — a baseline
+// announcement followed by a blackhole-tagged re-announcement — and
+// prints the alert the onset detector raises.
+func ExampleEngine_Ingest() {
+	e := watch.NewEngine(watch.Config{Shards: 2})
+	defer e.Close()
+
+	victim := netx.MustPrefix("203.0.113.9/32")
+	path := []uint32{100, 200}
+	e.Ingest(watch.Event{PeerAS: 100, Prefix: victim, ASPath: path})
+	e.Ingest(watch.Event{PeerAS: 100, Prefix: victim, ASPath: path,
+		Communities: bgp.NewCommunitySet(bgp.C(100, 666))})
+	e.Flush()
+
+	for _, a := range e.Alerts() {
+		fmt.Printf("%s %s %s\n", a.Detector, a.Prefix, a.Message)
+	}
+	// Output:
+	// blackhole-onset 203.0.113.9/32 blackhole community 100:666 onset (origin AS200)
+}

@@ -1,0 +1,111 @@
+package watch
+
+import (
+	"io"
+	"net/netip"
+
+	"bgpworms/internal/collector"
+	"bgpworms/internal/core"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/simnet"
+	"bgpworms/internal/topo"
+)
+
+// This file adapts every update source in the repo onto the engine:
+// MRT byte streams (the wire path the paper's pipeline consumed),
+// collector exports (recorded or live), and simnet session taps (so
+// attack scenarios can drive detection as they run).
+
+// FromUpdate converts a normalized core observation into an Event.
+func FromUpdate(u *core.Update) Event {
+	return Event{
+		Time:        u.Time,
+		Source:      u.Collector,
+		PeerAS:      u.PeerAS,
+		Prefix:      u.Prefix,
+		ASPath:      u.ASPath,
+		Communities: u.Communities,
+		Withdraw:    u.Withdraw,
+	}
+}
+
+// IngestMRT streams a BGP4MP update archive (as written by
+// collector.WriteUpdatesMRT) into the engine via the non-materializing
+// reader, returning how many events were ingested. The source label
+// lands on every event.
+func (e *Engine) IngestMRT(r io.Reader, source string) (int, error) {
+	n := 0
+	_, err := core.StreamMRTUpdates(source, source, r, func(u *core.Update) error {
+		ev := FromUpdate(u)
+		ev.Source = source
+		e.Ingest(ev)
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// IngestObservations replays a collector's recorded observations in
+// sequence order, returning how many events were ingested.
+func (e *Engine) IngestObservations(c *collector.Collector) int {
+	obs := c.Observations()
+	for i := range obs {
+		e.Ingest(eventFromObservation(c, &obs[i]))
+	}
+	return len(obs)
+}
+
+// AttachCollector subscribes the engine to a collector's live export:
+// every observation the collector records from now on is ingested as it
+// happens (blocking ingest — collector recording is already off the
+// simulation hot path).
+func (e *Engine) AttachCollector(c *collector.Collector) {
+	c.OnObservation(func(ob collector.Observation) {
+		e.Ingest(eventFromObservation(c, &ob))
+	})
+}
+
+func eventFromObservation(c *collector.Collector, ob *collector.Observation) Event {
+	ev := Event{
+		Time:   ob.Time,
+		Source: c.Name,
+		PeerAS: uint32(ob.PeerAS),
+		Prefix: ob.Prefix,
+	}
+	if ob.Route == nil {
+		ev.Withdraw = true
+	} else {
+		ev.ASPath = ob.Route.ASPath.Sequence()
+		ev.Communities = ob.Route.Communities.Clone()
+	}
+	return ev
+}
+
+// LiveTap returns a simnet session tap feeding the engine through the
+// non-blocking path: when the engine falls behind, events are dropped
+// and counted (Stats.Dropped) rather than stalling the simulation.
+// Attach via gen.Params.Tap / scenario.Context.Tap to observe a world
+// from its first origin announcement.
+func (e *Engine) LiveTap(source string) simnet.UpdateTap {
+	return e.tap(source, (*Engine).TryIngest)
+}
+
+// BlockingTap is LiveTap with lossless ingest: the simulation waits for
+// the engine instead of dropping. The scenario ground-truth eval uses
+// it, where feed fidelity outranks simulation latency.
+func (e *Engine) BlockingTap(source string) simnet.UpdateTap {
+	return e.tap(source, (*Engine).Ingest)
+}
+
+func (e *Engine) tap(source string, ingest func(*Engine, Event)) simnet.UpdateTap {
+	return func(from, to topo.ASN, prefix netip.Prefix, rt *policy.Route) {
+		ev := Event{Source: source, PeerAS: uint32(from), Prefix: prefix}
+		if rt == nil {
+			ev.Withdraw = true
+		} else {
+			ev.ASPath = rt.ASPath.Sequence()
+			ev.Communities = rt.Communities.Clone()
+		}
+		ingest(e, ev)
+	}
+}

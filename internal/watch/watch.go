@@ -1,0 +1,585 @@
+// Package watch is the online streaming detection subsystem: it ingests
+// a live BGP update feed and answers queries while ingesting, the
+// CommunityWatch direction (Giotsas, 2018) layered on this repo's attack
+// lab. Where internal/core is batch — a month of updates in, the §4
+// figures out — watch maintains per-prefix sliding-window state in
+// prefix-sharded ring buffers and runs a registry of detectors over
+// every observation as it arrives: blackhole-community onset, community
+// squatting, propagation-distance spikes, and route-leak signatures.
+//
+// The engine shares the repo's two load-bearing disciplines:
+//
+//   - prefix sharding (the core.Pipeline shape): each prefix's state
+//     lives wholly inside one shard and detectors read only that state,
+//     so the alert set is bit-identical for any shard count
+//     (TestWatchDeterminismAcrossShards);
+//   - non-blocking ingest for live sources: TryIngest and LiveTap never
+//     block the producer — when the engine falls behind, events are
+//     dropped and counted, so a tapped simnet run cannot stall on its
+//     observer.
+//
+// Feeds come from adapters in feed.go (MRT byte streams via
+// core.StreamMRTUpdates, collector exports, live simnet taps); eval.go
+// closes the loop with scenario ground truth, replaying a registered
+// attack through the engine and scoring each detector's precision and
+// recall.
+package watch
+
+import (
+	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpworms/internal/bgp"
+)
+
+// Event is one normalized routing observation entering the engine: an
+// announcement or withdrawal seen on some feed session.
+type Event struct {
+	// Seq is the engine-assigned ingest sequence number (1-based);
+	// callers leave it zero.
+	Seq uint64 `json:"seq"`
+	// Time is the observation timestamp. Zero means "synthesize": the
+	// engine stamps a logical clock derived from Seq, which keeps
+	// clockless feeds (simnet taps) deterministic.
+	Time time.Time `json:"time"`
+	// Source names the feed the event arrived on.
+	Source string `json:"source,omitempty"`
+	// PeerAS is the session peer (for simnet taps, the exporting AS).
+	PeerAS uint32       `json:"peer_as"`
+	Prefix netip.Prefix `json:"prefix"`
+	// ASPath is nearest-AS-first (peer first, origin last), raw.
+	ASPath []uint32 `json:"as_path,omitempty"`
+	// Communities is the normalized community set.
+	Communities bgp.CommunitySet `json:"communities,omitempty"`
+	// Withdraw marks withdrawals; path and communities are empty.
+	Withdraw bool `json:"withdraw,omitempty"`
+}
+
+// Origin returns the originating AS (0 for empty paths).
+func (ev *Event) Origin() uint32 {
+	if len(ev.ASPath) == 0 {
+		return 0
+	}
+	return ev.ASPath[len(ev.ASPath)-1]
+}
+
+// onPath reports whether asn appears anywhere in the raw AS path.
+func (ev *Event) onPath(asn uint32) bool {
+	for _, a := range ev.ASPath {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// logicalBase anchors the synthesized clock for clockless feeds (the
+// same nominal month the generator uses).
+var logicalBase = time.Date(2018, 4, 1, 0, 0, 0, 0, time.UTC)
+
+// logicalTick is the synthesized inter-event spacing.
+const logicalTick = 37 * time.Millisecond
+
+// Config sizes the engine. The zero value is usable: every field has a
+// default.
+type Config struct {
+	// Shards is the number of prefix shards, each with its own worker
+	// goroutine and state map; 0 means one per available CPU. The alert
+	// set is invariant to this knob.
+	Shards int
+	// WindowEvents caps the per-prefix ring buffer (default 32): the
+	// window holds at most this many recent events.
+	WindowEvents int
+	// Window is the time horizon (default 15m): events older than the
+	// newest arrival minus Window are evicted from the ring.
+	Window time.Duration
+	// BatchSize is the ingest batching granularity (default 128 events
+	// per shard dispatch).
+	BatchSize int
+	// QueueDepth is the per-shard batch queue (default 64 batches);
+	// TryIngest drops when a shard's queue is full.
+	QueueDepth int
+	// MaxAlerts bounds retained alerts so a long-running daemon cannot
+	// grow without limit (default 100000; negative = unlimited). When a
+	// shard's share overflows, its oldest alerts are discarded and
+	// counted in Stats.AlertsTruncated. Shard-count invariance of the
+	// alert set holds as long as the cap is never hit.
+	MaxAlerts int
+	// Detectors overrides the detector list (default: every registered
+	// detector, in name order).
+	Detectors []Detector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.WindowEvents <= 0 {
+		c.WindowEvents = 32
+	}
+	if c.Window <= 0 {
+		c.Window = 15 * time.Minute
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxAlerts == 0 {
+		c.MaxAlerts = 100000
+	}
+	if c.Detectors == nil {
+		c.Detectors = Detectors()
+	}
+	return c
+}
+
+// batch is one unit of shard work: a run of events, or a flush token
+// (ack non-nil) the worker closes once everything before it is applied.
+type batch struct {
+	events []Event
+	ack    chan struct{}
+}
+
+// shard owns a disjoint slice of the prefix space: its state map, its
+// alerts, and one worker goroutine draining its queue. Queries lock mu
+// and read while ingestion continues on the other shards.
+type shard struct {
+	ch chan batch
+	// sendMu serializes batch dispatch into ch (and gates it against
+	// Close). It is never held while e.mu is, so a blocked lossless
+	// sender stalls only its own shard's dispatch — the lossy path
+	// TryLocks and sheds instead of waiting.
+	sendMu sync.Mutex
+	closed bool // guarded by sendMu
+
+	mu         sync.Mutex
+	prefixes   map[netip.Prefix]*PrefixState
+	alerts     []Alert
+	byDetector map[string]uint64
+
+	// emit plumbing, reused across events to keep the hot path
+	// allocation-free.
+	curEv  *Event
+	curDet Detector
+	emit   func(Alert)
+}
+
+// Engine is the streaming detection engine. Create with NewEngine; feed
+// with Ingest / TryIngest or the adapters in feed.go; query Alerts,
+// Stats, and PrefixInfo at any time, including mid-ingest.
+type Engine struct {
+	cfg       Config
+	detectors []Detector
+	shards    []*shard
+	wg        sync.WaitGroup
+	batchPool sync.Pool
+
+	mu      sync.Mutex // ingest path: seq, pending, closed
+	seq     uint64
+	pending [][]Event
+	closed  bool
+
+	ingested  atomic.Uint64
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+	alerts    atomic.Uint64
+	truncated atomic.Uint64
+	version   atomic.Uint64
+}
+
+// NewEngine starts an engine with one worker goroutine per shard. Close
+// releases them.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, detectors: cfg.Detectors}
+	e.batchPool.New = func() any {
+		buf := make([]Event, 0, cfg.BatchSize)
+		return &buf
+	}
+	e.shards = make([]*shard, cfg.Shards)
+	e.pending = make([][]Event, cfg.Shards)
+	for i := range e.shards {
+		s := &shard{
+			ch:         make(chan batch, cfg.QueueDepth),
+			prefixes:   make(map[netip.Prefix]*PrefixState),
+			byDetector: make(map[string]uint64),
+		}
+		maxRetained := -1
+		if cfg.MaxAlerts > 0 {
+			maxRetained = cfg.MaxAlerts/cfg.Shards + 1
+		}
+		s.emit = func(a Alert) {
+			ev := s.curEv
+			a.Seq, a.Time, a.Prefix, a.PeerAS, a.Source = ev.Seq, ev.Time, ev.Prefix, ev.PeerAS, ev.Source
+			if a.Origin == 0 {
+				a.Origin = ev.Origin()
+			}
+			if a.Detector == "" {
+				a.Detector = s.curDet.Name()
+			}
+			if maxRetained > 0 && len(s.alerts) >= maxRetained {
+				// Shed the oldest half of this shard's share: the daemon
+				// stays bounded, recent alerts stay queryable.
+				drop := len(s.alerts) / 2
+				s.alerts = append(s.alerts[:0], s.alerts[drop:]...)
+				e.truncated.Add(uint64(drop))
+			}
+			s.alerts = append(s.alerts, a)
+			s.byDetector[a.Detector]++
+			e.alerts.Add(1)
+		}
+		e.pending[i] = *e.batchPool.Get().(*[]Event)
+		e.shards[i] = s
+		e.wg.Add(1)
+		go e.runShard(s)
+	}
+	return e
+}
+
+// shardOf maps a prefix to its home shard (FNV-1a over address+length,
+// the hashing discipline collector.partialKeeps uses).
+func (e *Engine) shardOf(p netip.Prefix) int {
+	a := p.Addr().As16()
+	h := uint32(2166136261)
+	for _, b := range a {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h = (h ^ uint32(p.Bits())) * 16777619
+	return int(h % uint32(len(e.shards)))
+}
+
+// Ingest feeds one event, blocking if the home shard's queue is full.
+// The engine assigns Seq in call order: feed from a single goroutine
+// (every adapter in feed.go does) and the alert set is deterministic.
+// Ingesting after Close is a silent no-op.
+func (e *Engine) Ingest(ev Event) {
+	e.ingest(ev, true)
+}
+
+// TryIngest feeds one event without ever blocking: when the home
+// shard's queue is full — or its dispatch lock is held by a blocked
+// lossless sender — the shard's pending run is shed and counted in
+// Stats.Dropped (in mixed blocking/non-blocking use, shed runs can
+// include events a blocking feed queued on the same shard). This is
+// the backpressure path live simnet taps ride — a slow engine can
+// never stall the simulation.
+func (e *Engine) TryIngest(ev Event) {
+	e.ingest(ev, false)
+}
+
+func (e *Engine) ingest(ev Event, block bool) {
+	ev.Prefix = ev.Prefix.Masked()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.seq++
+	ev.Seq = e.seq
+	if ev.Time.IsZero() {
+		ev.Time = logicalBase.Add(time.Duration(e.seq) * logicalTick)
+	}
+	si := e.shardOf(ev.Prefix)
+	e.pending[si] = append(e.pending[si], ev)
+	full := len(e.pending[si]) >= e.cfg.BatchSize
+	e.ingested.Add(1)
+	e.mu.Unlock()
+	if full {
+		e.dispatch(e.shards[si], si, block)
+	}
+}
+
+// dispatch detaches the shard's pending run and hands it to the worker.
+// Detach and send happen under the shard's dispatch lock (never under
+// e.mu), which keeps two guarantees at once: a lossless sender blocked
+// on a full shard cannot stall TryIngest — the never-block path live
+// simnet taps ride only TryLocks this lock and sheds on contention —
+// and concurrent producers cannot reorder batches within a shard, since
+// no batch leaves e.pending except in dispatch order (per-shard FIFO is
+// what keeps per-prefix windows chronological).
+func (e *Engine) dispatch(s *shard, si int, block bool) {
+	if block {
+		s.sendMu.Lock()
+	} else if !s.sendMu.TryLock() {
+		e.shedPending(si)
+		return
+	}
+	defer s.sendMu.Unlock()
+	e.mu.Lock()
+	events := e.pending[si]
+	if len(events) == 0 {
+		// Another producer dispatched (or shed) this run first.
+		e.mu.Unlock()
+		return
+	}
+	e.pending[si] = *e.batchPool.Get().(*[]Event)
+	e.mu.Unlock()
+	if s.closed {
+		e.shed(events)
+		return
+	}
+	if block {
+		s.ch <- batch{events: events}
+		return
+	}
+	select {
+	case s.ch <- batch{events: events}:
+	default:
+		e.shed(events)
+	}
+}
+
+// shedPending drops a shard's pending run in place (the lossy path's
+// response to dispatch contention).
+func (e *Engine) shedPending(si int) {
+	e.mu.Lock()
+	n := len(e.pending[si])
+	e.pending[si] = e.pending[si][:0]
+	e.mu.Unlock()
+	e.dropped.Add(uint64(n))
+}
+
+func (e *Engine) shed(events []Event) {
+	e.dropped.Add(uint64(len(events)))
+	buf := events[:0]
+	e.batchPool.Put(&buf)
+}
+
+// runShard is the per-shard worker: it applies batches in arrival order
+// (per-shard FIFO is what makes per-prefix windows chronological).
+func (e *Engine) runShard(s *shard) {
+	defer e.wg.Done()
+	for b := range s.ch {
+		if len(b.events) > 0 {
+			s.mu.Lock()
+			for i := range b.events {
+				e.process(s, &b.events[i])
+			}
+			s.mu.Unlock()
+			e.processed.Add(uint64(len(b.events)))
+			e.version.Add(1)
+			buf := b.events[:0]
+			e.batchPool.Put(&buf)
+		}
+		if b.ack != nil {
+			close(b.ack)
+		}
+	}
+}
+
+// process runs every detector over the event against the prefix's
+// window state (the window holds only *prior* events while detectors
+// run), then folds the event into the window.
+func (e *Engine) process(s *shard, ev *Event) {
+	st := s.prefixes[ev.Prefix]
+	if st == nil {
+		st = newPrefixState(ev.Prefix, e.cfg.WindowEvents)
+		s.prefixes[ev.Prefix] = st
+	}
+	s.curEv = ev
+	for _, d := range e.detectors {
+		s.curDet = d
+		d.Observe(st, ev, s.emit)
+	}
+	st.push(ev, e.cfg.Window)
+}
+
+// Flush dispatches every pending run and blocks until all shards have
+// applied everything ingested before the call. Like dispatch, each
+// shard's detach+send happens under its dispatch lock, so flushes slot
+// into the per-shard FIFO instead of racing concurrent producers.
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	acks := make([]chan struct{}, 0, len(e.shards))
+	for si, s := range e.shards {
+		s.sendMu.Lock()
+		e.mu.Lock()
+		var events []Event
+		if len(e.pending[si]) > 0 {
+			events = e.pending[si]
+			e.pending[si] = *e.batchPool.Get().(*[]Event)
+		}
+		e.mu.Unlock()
+		if s.closed {
+			if events != nil {
+				e.shed(events)
+			}
+			s.sendMu.Unlock()
+			continue
+		}
+		if events != nil {
+			s.ch <- batch{events: events}
+		}
+		a := make(chan struct{})
+		s.ch <- batch{ack: a}
+		s.sendMu.Unlock()
+		acks = append(acks, a)
+	}
+	for _, a := range acks {
+		<-a
+	}
+}
+
+// Close drains everything pending, stops the shard workers, and marks
+// the engine closed. Queries remain valid after Close; further ingest
+// is dropped silently.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for si, s := range e.shards {
+		s.sendMu.Lock()
+		if !s.closed {
+			// closed=true stops new appends, and every dispatch runs
+			// under sendMu, so this detach sees the shard's final run.
+			e.mu.Lock()
+			remaining := e.pending[si]
+			e.pending[si] = nil
+			e.mu.Unlock()
+			if len(remaining) > 0 {
+				s.ch <- batch{events: remaining}
+			}
+			s.closed = true
+			close(s.ch)
+		}
+		s.sendMu.Unlock()
+	}
+	e.wg.Wait()
+}
+
+// Version is a monotone snapshot token: it advances whenever queryable
+// state (processed events, alerts) may have changed. HTTP servers key
+// their render caches on it.
+func (e *Engine) Version() uint64 { return e.version.Load() }
+
+// Alerts snapshots every alert so far, ordered by ingest sequence of
+// the triggering event (detector registration order breaks ties within
+// one event). Safe to call while ingesting.
+func (e *Engine) Alerts() []Alert {
+	var out []Alert
+	for _, s := range e.shards {
+		s.mu.Lock()
+		out = append(out, s.alerts...)
+		s.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Stats is the engine's operational snapshot.
+type Stats struct {
+	Ingested  uint64 `json:"ingested"`
+	Processed uint64 `json:"processed"`
+	// Dropped counts events shed by the non-blocking ingest path when a
+	// shard queue was full.
+	Dropped uint64 `json:"dropped"`
+	Pending uint64 `json:"pending"`
+	Alerts  uint64 `json:"alerts"`
+	// AlertsTruncated counts old alerts discarded under the retention
+	// cap (Config.MaxAlerts).
+	AlertsTruncated uint64            `json:"alerts_truncated"`
+	TrackedPrefixes int               `json:"tracked_prefixes"`
+	Shards          int               `json:"shards"`
+	WindowEvents    int               `json:"window_events"`
+	Window          string            `json:"window"`
+	ByDetector      map[string]uint64 `json:"alerts_by_detector"`
+	Version         uint64            `json:"version"`
+}
+
+// Stats snapshots the counters. Safe to call while ingesting.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Ingested:        e.ingested.Load(),
+		Processed:       e.processed.Load(),
+		Dropped:         e.dropped.Load(),
+		Alerts:          e.alerts.Load(),
+		AlertsTruncated: e.truncated.Load(),
+		Shards:          len(e.shards),
+		WindowEvents:    e.cfg.WindowEvents,
+		Window:          e.cfg.Window.String(),
+		ByDetector:      make(map[string]uint64),
+		Version:         e.version.Load(),
+	}
+	if st.Ingested > st.Processed+st.Dropped {
+		st.Pending = st.Ingested - st.Processed - st.Dropped
+	}
+	for _, s := range e.shards {
+		s.mu.Lock()
+		st.TrackedPrefixes += len(s.prefixes)
+		for k, v := range s.byDetector {
+			st.ByDetector[k] += v
+		}
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// PrefixInfo is the queryable per-prefix view: current window summary
+// plus every alert the prefix has raised.
+type PrefixInfo struct {
+	Prefix netip.Prefix `json:"prefix"`
+	// WindowEvents is the current ring occupancy.
+	WindowEvents int `json:"window_events"`
+	// TotalEvents counts every event ever folded for the prefix.
+	TotalEvents uint64    `json:"total_events"`
+	LastSeq     uint64    `json:"last_seq"`
+	LastTime    time.Time `json:"last_time"`
+	// Origin is the origin AS of the newest windowed announcement.
+	Origin uint32 `json:"origin_as,omitempty"`
+	// Withdrawn reports whether the newest event was a withdrawal.
+	Withdrawn bool `json:"withdrawn"`
+	// Communities is the union over the window, presentation-form.
+	Communities []string `json:"communities,omitempty"`
+	Alerts      []Alert  `json:"alerts,omitempty"`
+}
+
+// PrefixInfo reports the tracked state for p (false if the engine has
+// never processed an event for it). Safe to call while ingesting.
+func (e *Engine) PrefixInfo(p netip.Prefix) (PrefixInfo, bool) {
+	p = p.Masked()
+	s := e.shards[e.shardOf(p)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.prefixes[p]
+	if !ok {
+		return PrefixInfo{}, false
+	}
+	info := PrefixInfo{
+		Prefix:       p,
+		WindowEvents: st.Len(),
+		TotalEvents:  st.total,
+	}
+	var comms bgp.CommunitySet
+	for i := 0; i < st.Len(); i++ {
+		ev := st.At(i)
+		info.LastSeq, info.LastTime, info.Withdrawn = ev.Seq, ev.Time, ev.Withdraw
+		if !ev.Withdraw {
+			info.Origin = ev.Origin()
+		}
+		comms = comms.AddAll(ev.Communities...)
+	}
+	for _, c := range comms {
+		info.Communities = append(info.Communities, c.String())
+	}
+	for _, a := range s.alerts {
+		if a.Prefix == p {
+			info.Alerts = append(info.Alerts, a)
+		}
+	}
+	return info, true
+}
