@@ -24,6 +24,7 @@ import (
 	"bgpworms/internal/netx"
 	"bgpworms/internal/policy"
 	"bgpworms/internal/router"
+	"bgpworms/internal/semantics"
 	"bgpworms/internal/simnet"
 	"bgpworms/internal/topo"
 	"bgpworms/internal/watch"
@@ -583,6 +584,138 @@ func BenchmarkWatchScenarioReplay(b *testing.B) {
 		b.ReportMetric(float64(rep.Stats.Ingested), "events")
 		logOnce(b, i, watch.RenderEval(rep))
 	}
+}
+
+// --- Dictionary-inference benches (PR 4's tentpole) ---
+
+// semanticsFeed builds a synthetic observation mix exercising the full
+// fold: informational tags, blackhole host routes, prepend evidence,
+// steering shapes, private tags — the same population shape as
+// watchFeed, shifted to the semantics Observation type.
+func semanticsFeed(n int) []semantics.Observation {
+	obs := make([]semantics.Observation, n)
+	for i := range obs {
+		pfxIdx := i % 1024
+		peer := uint32(100 + i%7)
+		mid := uint32(1000 + i%29)
+		origin := uint32(10000 + pfxIdx)
+		ob := semantics.Observation{
+			PeerAS: peer,
+			Prefix: netip.PrefixFrom(netx.V4(10, byte(pfxIdx>>8), byte(pfxIdx), 0), 24),
+			ASPath: []uint32{peer, mid, origin},
+		}
+		switch i % 16 {
+		case 13:
+			ob.Prefix = netip.PrefixFrom(netx.V4(10, byte(pfxIdx>>8), byte(pfxIdx), 9), 32)
+			ob.Communities = bgp.NewCommunitySet(bgp.C(uint16(mid), 666))
+		case 14:
+			ob.ASPath = []uint32{peer, mid, mid, origin}
+			ob.Communities = bgp.NewCommunitySet(bgp.C(uint16(mid), 101))
+		default:
+			ob.Communities = bgp.NewCommunitySet(bgp.C(uint16(origin), 100), bgp.C(uint16(mid), 1000))
+		}
+		obs[i] = ob
+	}
+	return obs
+}
+
+// BenchmarkSemanticsIngest measures the dictionary engine's sustained
+// fold throughput: one op pushes a block of 1024 observations through
+// Ingest, and the obs/sec metric is the number the ISSUE-4 sizing claim
+// rests on (>= 1M observations/sec; see BENCH_pr4.json).
+func BenchmarkSemanticsIngest(b *testing.B) {
+	feed := semanticsFeed(1024)
+	e := semantics.NewEngine(semantics.Config{})
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range feed {
+			e.Ingest(feed[j])
+		}
+	}
+	e.Flush()
+	b.ReportMetric(float64(b.N*len(feed))/b.Elapsed().Seconds(), "obs/sec")
+	b.StopTimer()
+	if snap := e.Snapshot(); snap.Len() == 0 {
+		b.Fatal("empty dictionary")
+	}
+}
+
+// BenchmarkSemanticsIngestWorkers scales the same feed across worker
+// counts (the snapshot is invariant; only wall clock moves).
+func BenchmarkSemanticsIngestWorkers(b *testing.B) {
+	feed := semanticsFeed(1024)
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := semantics.NewEngine(semantics.Config{Workers: workers})
+			defer e.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range feed {
+					e.Ingest(feed[j])
+				}
+			}
+			e.Flush()
+			b.ReportMetric(float64(b.N*len(feed))/b.Elapsed().Seconds(), "obs/sec")
+		})
+	}
+}
+
+// BenchmarkClassify measures the fused snapshot pass — partial-merge
+// plus per-entry classification — over a populated engine. Each op
+// ingests one observation to invalidate the version cache, so the
+// measured work is a full merge+classify of the dictionary.
+func BenchmarkClassify(b *testing.B) {
+	feed := semanticsFeed(64 * 1024)
+	e := semantics.NewEngine(semantics.Config{})
+	defer e.Close()
+	for i := range feed {
+		e.Ingest(feed[i])
+	}
+	e.Flush()
+	entries := e.Snapshot().Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Ingest(feed[i%len(feed)])
+		if e.Snapshot().Len() == 0 {
+			b.Fatal("empty dictionary")
+		}
+	}
+	b.ReportMetric(float64(entries)*float64(b.N)/b.Elapsed().Seconds(), "entries_classified/sec")
+}
+
+// BenchmarkWatchIngestWithSemantics re-runs the watch ingest hot path
+// in the full wormwatchd steady state: dictionary mirroring on, and
+// the dict-aware detectors consulting a snapshot already trained on
+// the same feed (so their lookups mostly hit, as in a warmed daemon).
+func BenchmarkWatchIngestWithSemantics(b *testing.B) {
+	events := watchFeed(1024)
+	sem := semantics.NewEngine(semantics.Config{})
+	defer sem.Close()
+	holder := &semantics.Holder{}
+	// Warm the dictionary exactly as the daemon's heartbeat would.
+	trainer := watch.NewEngine(watch.Config{Semantics: sem})
+	for j := range events {
+		trainer.Ingest(events[j])
+	}
+	trainer.Close()
+	holder.Store(sem.Snapshot())
+	e := watch.NewEngine(watch.Config{Semantics: sem, Dict: holder})
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range events {
+			e.Ingest(events[j])
+		}
+	}
+	e.Flush()
+	b.ReportMetric(float64(b.N*len(events))/b.Elapsed().Seconds(), "updates/sec")
 }
 
 // --- Ablation benches (engine design choices) ---

@@ -42,4 +42,22 @@ if [ "${count:-0}" -lt 1 ]; then
     echo "watchsmoke: FAIL — no alerts after scenario replay"
     exit 1
 fi
-echo "watchsmoke: OK — $count alerts from scenario $SCENARIO"
+
+# Dictionary endpoints: the same replay must have inferred a community
+# dictionary; /dict names the ASes, /dict/{asn} serves one of them.
+echo "== /dict/stats"
+curl -fsS "http://$ADDR/dict/stats"
+comms=$(curl -fsS "http://$ADDR/dict/stats" | sed -n 's/.*"communities": *\([0-9]*\).*/\1/p' | head -1)
+if [ "${comms:-0}" -lt 1 ]; then
+    echo "watchsmoke: FAIL — dictionary inference produced no communities"
+    exit 1
+fi
+asn=$(curl -fsS "http://$ADDR/dict" | sed -n 's/.*"asn": *\([0-9]*\).*/\1/p' | head -1)
+if [ -z "$asn" ]; then
+    echo "watchsmoke: FAIL — /dict index lists no ASes"
+    exit 1
+fi
+echo "== /dict/$asn"
+curl -fsS "http://$ADDR/dict/$asn" | head -30
+
+echo "watchsmoke: OK — $count alerts, $comms dictionary communities from scenario $SCENARIO"

@@ -1,16 +1,20 @@
 // Command bgpcat decodes MRT files (BGP4MP update streams and
 // TABLE_DUMP_V2 RIB snapshots) to human-readable text, in the spirit of
-// bgpdump.
+// bgpdump. Well-known communities render by their RFC names (NO_EXPORT,
+// BLACKHOLE, …).
 //
 // Usage:
 //
 //	bgpcat file.mrt [file2.mrt ...]
 //	genesis -out dir && bgpcat dir/updates.RIS-00.mrt
-//	bgpcat -follow live.mrt     # tail a growing archive (^C to stop)
+//	bgpcat -follow live.mrt               # tail a growing archive (^C to stop)
+//	bgpcat -community 3356:666 file.mrt   # only routes carrying that community
+//	bgpcat -community blackhole file.mrt  # symbolic names work too
 //
 // With no arguments it reads one stream from stdin. -follow keeps
 // reading at end of file, printing records as a live writer appends
-// them (tail -f for MRT).
+// them (tail -f for MRT). -community asn:value prints only announced
+// routes (and RIB entries) carrying that community.
 package main
 
 import (
@@ -28,15 +32,25 @@ import (
 func main() {
 	follow := flag.Bool("follow", false, "keep reading at EOF, printing records as the file grows")
 	poll := flag.Duration("poll", 200*time.Millisecond, "poll interval for -follow")
+	commFlag := flag.String("community", "", `only print routes carrying this community ("asn:value" or a well-known name)`)
 	flag.Parse()
 	args := flag.Args()
+
+	var p printer
+	if *commFlag != "" {
+		c, err := bgp.ParseCommunity(*commFlag)
+		if err != nil {
+			fail(err)
+		}
+		p.filter, p.hasFilter = c, true
+	}
 
 	if len(args) == 0 {
 		if *follow {
 			// A pipe's EOF is final; tailing stdin would spin forever.
 			fail(errors.New("-follow tails a file, not stdin"))
 		}
-		if err := dump(os.Stdin, "stdin"); err != nil {
+		if err := p.dump(os.Stdin, "stdin"); err != nil {
 			fail(err)
 		}
 		return
@@ -49,7 +63,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		err = dump(stream(f, *follow, *poll), path)
+		err = p.dump(stream(f, *follow, *poll), path)
 		f.Close()
 		if err != nil {
 			fail(err)
@@ -71,9 +85,22 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func dump(r io.Reader, name string) error {
+// printer renders records, optionally keeping only routes carrying one
+// community.
+type printer struct {
+	filter    bgp.Community
+	hasFilter bool
+	matched   int
+}
+
+func (p *printer) keep(cs bgp.CommunitySet) bool {
+	return !p.hasFilter || cs.Has(p.filter)
+}
+
+func (p *printer) dump(r io.Reader, name string) error {
 	mr := mrt.NewReader(r)
 	n := 0
+	start := p.matched // per-file delta: matched accumulates across files
 	for {
 		rec, err := mr.Next()
 		if errors.Is(err, io.EOF) {
@@ -83,42 +110,67 @@ func dump(r io.Reader, name string) error {
 			return fmt.Errorf("%s: record %d: %w", name, n, err)
 		}
 		n++
-		printRecord(rec, mr.PeerTable())
+		p.printRecord(rec, mr.PeerTable())
+	}
+	if p.hasFilter {
+		fmt.Printf("# %s: %d records, %d routes carrying %s\n", name, n, p.matched-start, p.filter.Display())
+		return nil
 	}
 	fmt.Printf("# %s: %d records\n", name, n)
 	return nil
 }
 
-func printRecord(rec mrt.Record, peers []mrt.PeerEntry) {
+func (p *printer) printRecord(rec mrt.Record, peers []mrt.PeerEntry) {
 	ts := rec.Time().Format("2006-01-02 15:04:05")
 	switch m := rec.(type) {
 	case *mrt.BGP4MPMessage:
 		u, ok := m.Message.(*bgp.Update)
 		if !ok {
-			fmt.Printf("%s|BGP4MP|AS%d|%s|type=%d\n", ts, m.PeerAS, m.PeerIP, m.Message.Type())
+			if !p.hasFilter {
+				fmt.Printf("%s|BGP4MP|AS%d|%s|type=%d\n", ts, m.PeerAS, m.PeerIP, m.Message.Type())
+			}
 			return
 		}
-		for _, p := range u.AllAnnounced() {
-			fmt.Printf("%s|A|%s|AS%d|%s|%s|%s|%s\n",
-				ts, m.PeerIP, m.PeerAS, p, u.Attrs.ASPath, u.Attrs.Origin, u.Attrs.Communities)
+		if p.keep(u.Attrs.Communities) {
+			for _, pfx := range u.AllAnnounced() {
+				if p.hasFilter {
+					p.matched++
+				}
+				fmt.Printf("%s|A|%s|AS%d|%s|%s|%s|%s\n",
+					ts, m.PeerIP, m.PeerAS, pfx, u.Attrs.ASPath, u.Attrs.Origin, u.Attrs.Communities.Display())
+			}
 		}
-		for _, p := range u.AllWithdrawn() {
-			fmt.Printf("%s|W|%s|AS%d|%s\n", ts, m.PeerIP, m.PeerAS, p)
+		if !p.hasFilter {
+			for _, pfx := range u.AllWithdrawn() {
+				fmt.Printf("%s|W|%s|AS%d|%s\n", ts, m.PeerIP, m.PeerAS, pfx)
+			}
 		}
 	case *mrt.StateChange:
-		fmt.Printf("%s|STATE|AS%d|%s|%d->%d\n", ts, m.PeerAS, m.PeerIP, m.OldState, m.NewState)
+		if !p.hasFilter {
+			fmt.Printf("%s|STATE|AS%d|%s|%d->%d\n", ts, m.PeerAS, m.PeerIP, m.OldState, m.NewState)
+		}
 	case *mrt.PeerIndexTable:
-		fmt.Printf("%s|PEER_INDEX_TABLE|%s|%q|%d peers\n", ts, m.CollectorID, m.ViewName, len(m.Peers))
+		if !p.hasFilter {
+			fmt.Printf("%s|PEER_INDEX_TABLE|%s|%q|%d peers\n", ts, m.CollectorID, m.ViewName, len(m.Peers))
+		}
 	case *mrt.RIB:
 		for _, e := range m.Entries {
+			if !p.keep(e.Attrs.Communities) {
+				continue
+			}
+			if p.hasFilter {
+				p.matched++
+			}
 			peer := fmt.Sprintf("idx%d", e.PeerIndex)
 			if int(e.PeerIndex) < len(peers) {
 				peer = fmt.Sprintf("AS%d", peers[e.PeerIndex].AS)
 			}
 			fmt.Printf("%s|TABLE_DUMP_V2|%s|%s|%s|%s\n",
-				ts, m.Prefix, peer, e.Attrs.ASPath, e.Attrs.Communities)
+				ts, m.Prefix, peer, e.Attrs.ASPath, e.Attrs.Communities.Display())
 		}
 	default:
-		fmt.Printf("%s|UNKNOWN|type=%d subtype=%d\n", ts, rec.RecordType(), rec.RecordSubtype())
+		if !p.hasFilter {
+			fmt.Printf("%s|UNKNOWN|type=%d subtype=%d\n", ts, rec.RecordType(), rec.RecordSubtype())
+		}
 	}
 }

@@ -1,0 +1,170 @@
+// Command commdict infers per-AS community dictionaries from an update
+// source and prints them with usage classes — the CLI face of
+// internal/semantics.
+//
+// Two feed modes:
+//
+//	commdict -mrt dir|file.mrt          infer from MRT update archives
+//	commdict -scenario rtbh             replay a registered attack
+//	                                    scenario and score the inferred
+//	                                    dictionary against the world's
+//	                                    ground truth
+//
+// Examples:
+//
+//	genesis -scale tiny -out /tmp/gdata
+//	commdict -mrt /tmp/gdata                  # whole dictionary
+//	commdict -mrt /tmp/gdata -asn 1003        # one AS's vocabulary
+//	commdict -scenario blackhole-squatting    # inference vs ground truth
+//	commdict -mrt /tmp/gdata -json | jq .
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	_ "bgpworms/internal/attack" // registers the builtin scenarios
+	"bgpworms/internal/core"
+	"bgpworms/internal/gen"
+	"bgpworms/internal/scenario"
+	"bgpworms/internal/semantics"
+	"bgpworms/internal/watch"
+)
+
+func main() {
+	var (
+		mrtPath = flag.String("mrt", "", "MRT update archive to infer from (file, or dir of updates.*.mrt)")
+		scen    = flag.String("scenario", "", "replay a registered attack scenario and score inference against ground truth")
+		scale   = flag.String("scale", "", "gen preset for -scenario (tiny, small, medium; default tiny)")
+		seed    = flag.Int64("seed", 0, "generator seed for -scenario (default 1)")
+		workers = flag.Int("workers", 0, "inference workers (0 = one per CPU)")
+		asn     = flag.Int("asn", -1, "print only this AS's dictionary")
+		asJSON  = flag.Bool("json", false, "emit JSON instead of tables")
+	)
+	flag.Parse()
+
+	switch {
+	case *scen != "" && *mrtPath != "":
+		fail(fmt.Errorf("-mrt and -scenario are exclusive"))
+	case *scen != "":
+		runScenario(*scen, *scale, *seed, *workers, *asn, *asJSON)
+	case *mrtPath != "":
+		runMRT(*mrtPath, *workers, *asn, *asJSON)
+	default:
+		fail(fmt.Errorf("need -mrt or -scenario (see -h)"))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "commdict:", err)
+	os.Exit(1)
+}
+
+// jsonPayload is the -json output shape.
+type jsonPayload struct {
+	Stats   semantics.Stats       `json:"stats"`
+	Score   *semantics.Score      `json:"score,omitempty"`
+	Entries []*semantics.Entry    `json:"entries"`
+	Eval    *watch.DictEvalReport `json:"eval,omitempty"`
+}
+
+func emit(snap *semantics.Snapshot, stats semantics.Stats, rep *watch.DictEvalReport, asn int, asJSON bool) {
+	if asJSON {
+		payload := jsonPayload{Stats: stats, Eval: rep}
+		if rep != nil {
+			payload.Score = &rep.Score
+		}
+		if asn >= 0 {
+			payload.Entries = snap.AS(uint16(asn))
+		} else {
+			payload.Entries = snap.Entries()
+		}
+		b, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Print(semantics.RenderDictionary(snap, asn))
+	if rep != nil {
+		fmt.Println()
+		fmt.Print(watch.RenderDictEval(rep))
+	}
+}
+
+func runScenario(name, scale string, seed int64, workers, asn int, asJSON bool) {
+	ctx := &scenario.Context{}
+	if scale != "" {
+		p, err := gen.Preset(scale)
+		if err != nil {
+			fail(err)
+		}
+		ctx.Gen = p
+	}
+	if seed != 0 {
+		if ctx.Gen.Stubs == 0 {
+			ctx.Gen, _ = gen.Preset(scenario.DefaultScale)
+		}
+		ctx.Gen.Seed = seed
+	}
+	rep, snap, err := watch.EvalDictionaryScenario(name, ctx, semantics.Config{Workers: workers})
+	if err != nil {
+		fail(err)
+	}
+	emit(snap, rep.Stats, rep, asn, asJSON)
+}
+
+func runMRT(path string, workers, asn int, asJSON bool) {
+	paths, err := mrtInputs(path)
+	if err != nil {
+		fail(err)
+	}
+	eng := semantics.NewEngine(semantics.Config{Workers: workers})
+	defer eng.Close()
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fail(err)
+		}
+		_, err = core.StreamMRTUpdates("mrt", filepath.Base(p), f, func(u *core.Update) error {
+			if u.Withdraw {
+				return nil
+			}
+			eng.Ingest(semantics.Observation{
+				Time: u.Time, PeerAS: u.PeerAS, Prefix: u.Prefix,
+				ASPath: u.ASPath, Communities: u.Communities,
+			})
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", p, err))
+		}
+	}
+	emit(eng.Snapshot(), eng.Stats(), nil, asn, asJSON)
+}
+
+// mrtInputs expands the -mrt argument into concrete archive paths.
+func mrtInputs(path string) ([]string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{path}, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(path, "updates.*.mrt"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no updates.*.mrt files in %s", path)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -8,6 +8,15 @@
 //	GET /stats        engine statistics snapshot
 //	GET /alerts       every alert so far, ingest order; ?detector= filters
 //	GET /prefix/{p}   window state and alerts for one prefix
+//	GET /dict         index of ASes with inferred dictionary entries
+//	GET /dict/stats   dictionary-inference engine statistics
+//	GET /dict/{asn}   one AS's inferred community dictionary
+//
+// Unless -dict=false, every ingested event also feeds a semantics
+// dictionary-inference engine; its snapshots power the /dict endpoints
+// and the dictionary-aware detectors (dict-squat,
+// unknown-action-community), whose dictionary refreshes on the flush
+// heartbeat.
 //
 // Feed modes (combine freely; each runs on its own goroutine):
 //
@@ -39,6 +48,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,6 +59,7 @@ import (
 	"bgpworms/internal/gen"
 	"bgpworms/internal/mrt"
 	"bgpworms/internal/scenario"
+	"bgpworms/internal/semantics"
 	"bgpworms/internal/watch"
 )
 
@@ -65,6 +76,8 @@ func main() {
 		winEvts   = flag.Int("window-events", 0, "per-prefix ring capacity (default 32)")
 		maxAlerts = flag.Int("max-alerts", 0, "retained alert cap (0 = default 100000, negative = unlimited)")
 		detNames  = flag.String("detectors", "", "comma-separated detector subset (default: all registered)")
+		dict      = flag.Bool("dict", true, "infer per-AS community dictionaries and enable the dictionary-aware detectors")
+		dictWk    = flag.Int("dict-workers", 0, "dictionary-inference workers (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -83,6 +96,17 @@ func main() {
 	}
 
 	cfg := watch.Config{Shards: *shards, Window: *window, WindowEvents: *winEvts, MaxAlerts: *maxAlerts}
+	// The dictionary stack: a semantics engine fed by event mirroring,
+	// and a holder the detectors read — refreshed on the flush heartbeat,
+	// so detection always consults a recent frozen snapshot.
+	var sem *semantics.Engine
+	var holder *semantics.Holder
+	if *dict {
+		sem = semantics.NewEngine(semantics.Config{Workers: *dictWk})
+		holder = &semantics.Holder{}
+		cfg.Semantics = sem
+		cfg.Dict = holder
+	}
 	if *detNames != "" {
 		for _, name := range strings.Split(*detNames, ",") {
 			d, ok := watch.LookupDetector(strings.TrimSpace(name))
@@ -91,10 +115,12 @@ func main() {
 			}
 			cfg.Detectors = append(cfg.Detectors, d)
 		}
+		// An explicit -detectors subset is respected verbatim: the
+		// dictionary-aware pair joins only the default set.
 	}
 	eng := watch.NewEngine(cfg)
 
-	srv := newServer(eng)
+	srv := newServer(eng, sem, holder)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
 	go func() {
 		log.Printf("wormwatchd: listening on http://%s", *addr)
@@ -180,6 +206,12 @@ func main() {
 				return
 			case <-tick.C:
 				eng.Flush()
+				if sem != nil {
+					// Snapshot caches by version: a quiet engine makes
+					// this a no-op, a busy one refreshes the detectors'
+					// dictionary.
+					holder.Store(sem.Snapshot())
+				}
 			}
 		}
 	}()
@@ -207,6 +239,9 @@ func main() {
 	}()
 	feeds.Wait()
 	eng.Close()
+	if sem != nil {
+		sem.Close()
+	}
 	_ = httpSrv.Close()
 }
 
@@ -273,18 +308,22 @@ func mrtInputs(path string) (paths []string, tailable bool, err error) {
 	return paths, false, nil
 }
 
-// server wraps the engine with version-keyed JSON snapshot caches: a
+// server wraps the engines with version-keyed JSON snapshot caches: a
 // response body is rendered once per engine change and shared by every
 // concurrent reader at that version.
 type server struct {
-	eng    *watch.Engine
-	start  time.Time
-	alerts snapshotCache
-	stats  snapshotCache
+	eng       *watch.Engine
+	sem       *semantics.Engine
+	holder    *semantics.Holder
+	start     time.Time
+	alerts    snapshotCache
+	stats     snapshotCache
+	dictIndex snapshotCache
+	dictStats snapshotCache
 }
 
-func newServer(eng *watch.Engine) *server {
-	return &server{eng: eng, start: time.Now()}
+func newServer(eng *watch.Engine, sem *semantics.Engine, holder *semantics.Holder) *server {
+	return &server{eng: eng, sem: sem, holder: holder, start: time.Now()}
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -293,7 +332,24 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("/stats", s.handleStats)
 	m.HandleFunc("/alerts", s.handleAlerts)
 	m.HandleFunc("/prefix/", s.handlePrefix)
+	m.HandleFunc("/dict", s.handleDictIndex)
+	m.HandleFunc("/dict/stats", s.handleDictStats)
+	m.HandleFunc("/dict/", s.handleDictAS)
 	return m
+}
+
+// dictSnapshot returns the dictionary view requests are served from:
+// the holder's heartbeat copy (at most one heartbeat stale — the same
+// snapshot the detectors consult), computed directly only on cold
+// start before the first heartbeat. Serving the heartbeat snapshot
+// keeps /dict reads from stalling ingest on flush barriers.
+func (s *server) dictSnapshot() *semantics.Snapshot {
+	if snap := s.holder.Load(); snap != nil {
+		return snap
+	}
+	snap := s.sem.Snapshot()
+	s.holder.Store(snap)
+	return snap
 }
 
 // snapshotCache is a version-keyed rendered-JSON cache safe for
@@ -386,6 +442,88 @@ func (s *server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		alerts := s.eng.Alerts()
 		return json.MarshalIndent(alertsPayload{Count: len(alerts), Alerts: alerts}, "", "  ")
 	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// dictIndexPayload is the /dict response shape.
+type dictIndexPayload struct {
+	Observations uint64          `json:"observations"`
+	Communities  int             `json:"communities"`
+	ASes         []dictIndexItem `json:"ases"`
+}
+
+type dictIndexItem struct {
+	ASN     uint16 `json:"asn"`
+	Entries int    `json:"entries"`
+}
+
+// handleDictIndex lists every AS with inferred entries — the discovery
+// entry point for /dict/{asn}.
+func (s *server) handleDictIndex(w http.ResponseWriter, r *http.Request) {
+	if s.sem == nil {
+		http.Error(w, "dictionary inference disabled (-dict=false)", http.StatusNotFound)
+		return
+	}
+	snap := s.dictSnapshot()
+	body, err := s.dictIndex.get(snap.Version, func() ([]byte, error) {
+		payload := dictIndexPayload{Observations: snap.Observations, Communities: snap.Len()}
+		for _, asn := range snap.ASNs() {
+			payload.ASes = append(payload.ASes, dictIndexItem{ASN: asn, Entries: len(snap.AS(asn))})
+		}
+		return json.MarshalIndent(payload, "", "  ")
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, body)
+}
+
+func (s *server) handleDictStats(w http.ResponseWriter, r *http.Request) {
+	if s.sem == nil {
+		http.Error(w, "dictionary inference disabled (-dict=false)", http.StatusNotFound)
+		return
+	}
+	snap := s.dictSnapshot()
+	body, err := s.dictStats.get(snap.Version, func() ([]byte, error) {
+		return json.MarshalIndent(s.sem.StatsOf(snap), "", "  ")
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// dictASPayload is the /dict/{asn} response shape.
+type dictASPayload struct {
+	ASN     uint16             `json:"asn"`
+	Count   int                `json:"count"`
+	Entries []*semantics.Entry `json:"entries"`
+}
+
+func (s *server) handleDictAS(w http.ResponseWriter, r *http.Request) {
+	if s.sem == nil {
+		http.Error(w, "dictionary inference disabled (-dict=false)", http.StatusNotFound)
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/dict/")
+	asn, err := strconv.ParseUint(raw, 10, 16)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad ASN %q: %v", raw, err), http.StatusBadRequest)
+		return
+	}
+	snap := s.dictSnapshot()
+	entries := snap.AS(uint16(asn))
+	if len(entries) == 0 {
+		http.Error(w, fmt.Sprintf("no dictionary entries for AS%d", asn), http.StatusNotFound)
+		return
+	}
+	body, err := json.MarshalIndent(dictASPayload{ASN: uint16(asn), Count: len(entries), Entries: entries}, "", "  ")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

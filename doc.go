@@ -20,12 +20,19 @@
 // and internal/scenario catalogs every attack for enumeration,
 // parameterized runs, and grid sweeps; internal/watch ingests live
 // update feeds (simnet taps, collector exports, MRT streams) into a
-// sharded sliding-window detection engine. The cmd/ tree exposes the
-// halves as binaries: genesis writes archives, worms analyses them,
-// attacklab lists/runs/sweeps the §5–§7 scenarios, bgpcat
-// pretty-prints MRT (with -follow tailing growing archives), and
-// wormwatchd serves the detection engine's alerts over HTTP while
-// ingesting. ARCHITECTURE.md maps every paper section to its package.
+// sharded sliding-window detection engine; internal/semantics infers
+// per-AS community dictionaries from the same feeds and classifies
+// every value's usage (informational, action-blackhole,
+// action-steering, action-prepend, well-known, unknown), scoreable
+// against the generator's exported ground truth (gen.Registry.Dict)
+// and feeding the dictionary-aware watch detectors. The cmd/ tree
+// exposes the halves as binaries: genesis writes archives, worms
+// analyses them, attacklab lists/runs/sweeps the §5–§7 scenarios,
+// bgpcat pretty-prints MRT (with -follow tailing growing archives and
+// -community filtering), commdict prints inferred dictionaries, and
+// wormwatchd serves the detection engine's alerts and the live
+// dictionary (/dict endpoints) over HTTP while ingesting.
+// ARCHITECTURE.md maps every paper section to its package.
 //
 // # Concurrency
 //
@@ -39,6 +46,10 @@
 // FIFO engine and a round-based parallel engine
 // (simnet.Network.SetWorkers) whose convergence counts, tap ordering,
 // and final RIBs are invariant across worker counts under a fixed seed.
+// The watch and semantics engines extend the same discipline to the
+// online side: prefix-sharded windows make alert sets shard-count
+// invariant, and the dictionary engine's commutative evidence folds
+// make inferred dictionaries worker-count invariant.
 //
 // # Verification
 //

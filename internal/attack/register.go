@@ -29,6 +29,9 @@ func withLab(run func(l *Lab, ctx *scenario.Context) (*Result, error)) scenario.
 		if err != nil {
 			return nil, err
 		}
+		if ctx.World != nil {
+			ctx.World(l.W)
+		}
 		return run(l, ctx)
 	}
 }
@@ -160,6 +163,35 @@ func builtinScenarios() []*scenario.Scenario {
 			Run: withLab(func(l *Lab, ctx *scenario.Context) (*Result, error) {
 				return l.RunSelectivePrepend(ctx.Int("min-prepend"))
 			}),
+		},
+		{
+			Name:       "dictionary-poisoning",
+			Title:      "Dictionary Poisoning",
+			Section:    "§7.6/Krenc",
+			Summary:    "inflate a victim AS's inferred community dictionary to mask a later squat from dict-aware detection",
+			Difficulty: scenario.Medium,
+			Expected:   scenario.Expectation{Plain: true},
+			Params: []scenario.Param{{
+				Name: "values", Kind: scenario.KindInt, Default: "24",
+				Help: "fabricated victim-ASN community values to inject",
+			}},
+			Run: withLab(func(l *Lab, ctx *scenario.Context) (*Result, error) {
+				return l.RunDictionaryPoisoning(ctx.Int("values"))
+			}),
+		},
+		{
+			Name:       "hygiene-filtering",
+			Title:      "Hygiene Filtering Sweep",
+			Section:    "§6.2",
+			Summary:    "sweep strip-foreign boundary scrubbing over filtering rates; propagation shrinks, remote RTBH dies",
+			Difficulty: scenario.Easy,
+			Expected:   scenario.Expectation{Plain: true},
+			Params: []scenario.Param{{
+				Name: "rates", Kind: scenario.KindString, Default: "0,25,50,75,100",
+				Help: "comma-separated strip-foreign adoption percentages to sweep",
+			}},
+			// Builds one world per rate, so it manages labs itself.
+			Run: RunHygieneFiltering,
 		},
 		{
 			Name:       "route-leak-amplification",

@@ -1,0 +1,65 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+
+	"bgpworms/internal/scenario"
+)
+
+// TestDictionaryPoisoning runs the registered scenario end to end: the
+// victim dictionary must inflate, the squat value must be masked, and
+// inference precision must measurably drop.
+func TestDictionaryPoisoning(t *testing.T) {
+	res, err := scenario.Run("dictionary-poisoning", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("poisoning failed:\n%s", strings.Join(res.Evidence, "\n"))
+	}
+	joined := strings.Join(res.Evidence, "\n")
+	for _, want := range []string{"after poisoning", "dict-squat silenced", "precision"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("evidence missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestHygieneFiltering sweeps the boundary-scrubbing defense: benign
+// propagation must shrink monotonically with the filtering rate and the
+// remote RTBH trigger must die at full hygiene.
+func TestHygieneFiltering(t *testing.T) {
+	res, err := scenario.Run("hygiene-filtering", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("hygiene sweep failed:\n%s", strings.Join(res.Evidence, "\n"))
+	}
+}
+
+// TestHygieneFilteringBadRates pins parameter validation.
+func TestHygieneFilteringBadRates(t *testing.T) {
+	_, err := scenario.Run("hygiene-filtering", &scenario.Context{
+		Values: scenario.Values{"rates": "0,-5"},
+	})
+	if err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+// TestHygieneFilteringSingleRate: a one-cell sweep at rate 0 must find
+// the trigger firing and report no monotonicity violation, but cannot
+// succeed (the defense is never demonstrated).
+func TestHygieneFilteringSingleRate(t *testing.T) {
+	res, err := scenario.Run("hygiene-filtering", &scenario.Context{
+		Values: scenario.Values{"rates": "0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatalf("single-rate sweep claimed success:\n%s", strings.Join(res.Evidence, "\n"))
+	}
+}

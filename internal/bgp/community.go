@@ -62,15 +62,57 @@ func (c Community) String() string {
 	return strconv.Itoa(int(c.ASN())) + ":" + strconv.Itoa(int(c.Value()))
 }
 
+// wellKnownNames maps the reserved well-known communities to their
+// RFC symbolic names. Name and ParseCommunity round-trip through it.
+var wellKnownNames = map[Community]string{
+	CommunityNoExport:          "NO_EXPORT",
+	CommunityNoAdvertise:       "NO_ADVERTISE",
+	CommunityNoExportSubconfed: "NO_EXPORT_SUBCONFED",
+	CommunityNoPeer:            "NOPEER",
+	CommunityBlackhole:         "BLACKHOLE",
+}
+
+// Name returns the RFC symbolic name of a well-known community
+// (NO_EXPORT, BLACKHOLE, …) and "" for everything else.
+func (c Community) Name() string { return wellKnownNames[c] }
+
+// Display renders the symbolic name for well-known communities and the
+// "ASN:value" form otherwise — the human-facing print form shared by
+// the CLIs.
+func (c Community) Display() string {
+	if n := wellKnownNames[c]; n != "" {
+		return n
+	}
+	return c.String()
+}
+
+// MarshalText renders the canonical "ASN:value" form; together with
+// UnmarshalText it makes Community round-trip through JSON object keys
+// and text encodings.
+func (c Community) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses the same forms ParseCommunity accepts.
+func (c *Community) UnmarshalText(b []byte) error {
+	v, err := ParseCommunity(string(b))
+	if err != nil {
+		return err
+	}
+	*c = v
+	return nil
+}
+
 // ParseCommunity parses the "ASN:value" presentation format, plus the
-// symbolic names of the well-known communities.
+// symbolic names of the well-known communities (case-insensitive, with
+// "-" and "_" interchangeable: NO_EXPORT, no-export, …).
 func ParseCommunity(s string) (Community, error) {
-	switch strings.ToLower(s) {
+	switch strings.ReplaceAll(strings.ToLower(s), "_", "-") {
 	case "no-export":
 		return CommunityNoExport, nil
 	case "no-advertise":
 		return CommunityNoAdvertise, nil
-	case "no-peer":
+	case "no-export-subconfed":
+		return CommunityNoExportSubconfed, nil
+	case "no-peer", "nopeer":
 		return CommunityNoPeer, nil
 	case "blackhole":
 		return CommunityBlackhole, nil
@@ -225,6 +267,17 @@ func (s CommunitySet) String() string {
 	parts := make([]string, len(s))
 	for i, c := range s {
 		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Display renders the space-separated human-facing form: well-known
+// communities by their RFC names, everything else as "ASN:value" (the
+// per-element Community.Display, shared by the CLIs).
+func (s CommunitySet) Display() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Display()
 	}
 	return strings.Join(parts, " ")
 }

@@ -2,6 +2,7 @@ package bgp
 
 import (
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -44,6 +45,72 @@ func TestParseCommunity(t *testing.T) {
 		if c.ok && got != c.want {
 			t.Errorf("ParseCommunity(%q)=%v want %v", c.in, got, c.want)
 		}
+	}
+}
+
+// TestProperty_CommunityStringParseRoundTrip: every 32-bit community
+// survives String → ParseCommunity and MarshalText → UnmarshalText
+// unchanged.
+func TestProperty_CommunityStringParseRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		c := Community(v)
+		back, err := ParseCommunity(c.String())
+		if err != nil || back != c {
+			return false
+		}
+		b, err := c.MarshalText()
+		if err != nil {
+			return false
+		}
+		var u Community
+		if err := u.UnmarshalText(b); err != nil || u != c {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWellKnownNames pins the symbolic-name round trip: Name/Display on
+// the well-known constants, case- and separator-insensitive parsing,
+// and "" for ordinary communities.
+func TestWellKnownNames(t *testing.T) {
+	cases := []struct {
+		c    Community
+		name string
+	}{
+		{CommunityNoExport, "NO_EXPORT"},
+		{CommunityNoAdvertise, "NO_ADVERTISE"},
+		{CommunityNoExportSubconfed, "NO_EXPORT_SUBCONFED"},
+		{CommunityNoPeer, "NOPEER"},
+		{CommunityBlackhole, "BLACKHOLE"},
+	}
+	for _, tc := range cases {
+		if tc.c.Name() != tc.name || tc.c.Display() != tc.name {
+			t.Errorf("%s: Name=%q Display=%q, want %q", tc.c, tc.c.Name(), tc.c.Display(), tc.name)
+		}
+		for _, spelling := range []string{
+			tc.name,
+			strings.ToLower(tc.name),
+			strings.ReplaceAll(strings.ToLower(tc.name), "_", "-"),
+		} {
+			got, err := ParseCommunity(spelling)
+			if err != nil || got != tc.c {
+				t.Errorf("ParseCommunity(%q) = (%v, %v), want %s", spelling, got, err, tc.c)
+			}
+		}
+		// The numeric form parses back to the same value too.
+		if got := MustCommunity(tc.c.String()); got != tc.c {
+			t.Errorf("numeric round trip of %s = %s", tc.c, got)
+		}
+	}
+	if C(3356, 666).Name() != "" {
+		t.Error("ordinary community has a well-known name")
+	}
+	if C(3356, 666).Display() != "3356:666" {
+		t.Errorf("Display=%q", C(3356, 666).Display())
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/collector"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/semantics"
 	"bgpworms/internal/topo"
 )
 
@@ -229,6 +231,50 @@ func TestRegistryGroundTruth(t *testing.T) {
 	}
 	if got := len(w.Registry.All()); got != len(w.Registry.Verified)+len(w.Registry.Likely) {
 		t.Fatalf("All()=%d", got)
+	}
+}
+
+// TestTruthDictionary checks the exported dictionary ground truth: it
+// covers every catalog service with the right class, every origin tag,
+// and the well-known values, and labs extending catalogs after Build
+// surface through TruthDict.
+func TestTruthDictionary(t *testing.T) {
+	w := buildTiny(t)
+	dict := w.Registry.Dict
+	if len(dict) == 0 {
+		t.Fatal("empty ground-truth dictionary")
+	}
+	for asn, cat := range w.Catalogs {
+		for _, svc := range cat.Services {
+			want := semantics.ClassOfService(svc.Kind)
+			if got, ok := dict[svc.Community]; !ok || got != want {
+				t.Fatalf("AS%d service %s: dict has (%v, %v), want %s", asn, svc.Community, got, ok, want)
+			}
+		}
+	}
+	for pfx, tags := range w.OriginTags {
+		for _, c := range tags {
+			if _, ok := dict[c]; !ok {
+				t.Fatalf("origin tag %s of %s missing from dict", c, pfx)
+			}
+		}
+	}
+	if dict[bgp.CommunityNoExport] != semantics.ClassWellKnown {
+		t.Fatal("NO_EXPORT not well-known in dict")
+	}
+	// Decoys are exactly the non-entries: a Likely registry community
+	// must not be in the ground truth (its AS offers no service).
+	for _, c := range w.Registry.Likely {
+		if _, ok := dict[c]; ok {
+			t.Fatalf("decoy %s leaked into ground truth", c)
+		}
+	}
+	// TruthDict is live: a service added after Build (what attack labs
+	// do) appears on recomputation.
+	added := bgp.C(60123, 107)
+	w.Catalogs[w.TransitASes()[0]].Add(policy.Service{Community: added, Kind: policy.SvcPrepend, Param: 2})
+	if got := w.TruthDict()[added]; got != semantics.ClassActionPrepend {
+		t.Fatalf("live TruthDict missed added service (got %s)", got)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"bgpworms/internal/netx"
 	"bgpworms/internal/policy"
 	"bgpworms/internal/router"
+	"bgpworms/internal/semantics"
 	"bgpworms/internal/simnet"
 	"bgpworms/internal/topo"
 )
@@ -40,6 +41,11 @@ type Internet struct {
 
 	// Catalogs keeps each AS's service catalog for ground-truth checks.
 	Catalogs map[topo.ASN]*policy.Catalog
+
+	// tagTruth records every informational community the network layer
+	// attaches (ingress tags, location tags, bundles) — the part of the
+	// dictionary ground truth not recoverable from Catalogs/OriginTags.
+	tagTruth semantics.Truth
 
 	rng *rand.Rand
 }
@@ -73,6 +79,7 @@ func Build(p Params) (*Internet, error) {
 		Origins:    make(map[topo.ASN][]netip.Prefix),
 		OriginTags: make(map[netip.Prefix]bgp.CommunitySet),
 		Catalogs:   make(map[topo.ASN]*policy.Catalog),
+		tagTruth:   make(semantics.Truth),
 		rng:        rand.New(rand.NewSource(p.Seed)),
 	}
 	w.buildGraph()
@@ -90,6 +97,9 @@ func Build(p Params) (*Internet, error) {
 	if err := w.announceOrigins(); err != nil {
 		return nil, err
 	}
+	// Origin tags are drawn during announceOrigins, so the exported
+	// ground-truth dictionary is sealed last.
+	w.Registry.Dict = w.TruthDict()
 	return w, nil
 }
 
@@ -234,6 +244,7 @@ func (w *Internet) buildNetwork() {
 				cfg.LocationTags = make(map[topo.ASN]bgp.Community)
 				for _, nb := range w.Graph.Neighbors(asn) {
 					cfg.LocationTags[nb] = bgp.C(uint16(asn), uint16(200+int(nb)%20))
+					w.tagTruth.Add(cfg.LocationTags[nb], semantics.ClassInformational)
 				}
 			}
 			// Prefix-length hygiene: many transits enforce /24 max —
@@ -252,6 +263,8 @@ func (w *Internet) buildNetwork() {
 			if rng.Float64() < p.PIngressTags {
 				tag := bgp.C(uint16(asn), w.drawValue(rng))
 				extra := bgp.C(uint16(asn), w.drawValue(rng))
+				w.tagTruth.Add(tag, semantics.ClassInformational)
+				w.tagTruth.Add(extra, semantics.ClassInformational)
 				for _, nb := range w.Graph.Neighbors(asn) {
 					adds := []bgp.Community{tag}
 					if rng.Float64() < 0.4 {
@@ -270,6 +283,10 @@ func (w *Internet) buildNetwork() {
 					ref := nbs[rng.Intn(len(nbs))]
 					if ref <= 0xFFFF {
 						bundle := bgp.C(uint16(ref), w.drawValue(rng))
+						// Bundles name a neighbor AS the bundler, not the
+						// named AS, attaches — still legitimate recurring
+						// usage under that ASN, so truth keeps them.
+						w.tagTruth.Add(bundle, semantics.ClassInformational)
 						for _, c := range w.Graph.Customers(asn) {
 							importTerms[c] = append(importTerms[c], policy.Term{
 								AddCommunities: []bgp.Community{bundle}, Continue: true,
@@ -391,8 +408,19 @@ func (w *Internet) announceOrigins() error {
 	return nil
 }
 
-// originTagSet draws the communities an origin attaches at announcement.
+// originTagSet draws the communities an origin attaches at announcement
+// and folds them into the ground-truth dictionary (churn retagging
+// replaces OriginTags entries, but a value once legitimately announced
+// stays truth).
 func (w *Internet) originTagSet(s topo.ASN, rng *rand.Rand) bgp.CommunitySet {
+	tags := w.drawOriginTagSet(s, rng)
+	for _, c := range tags {
+		w.tagTruth.Add(c, semantics.ClassInformational)
+	}
+	return tags
+}
+
+func (w *Internet) drawOriginTagSet(s topo.ASN, rng *rand.Rand) bgp.CommunitySet {
 	var tags bgp.CommunitySet
 	if rng.Float64() < w.Params.POriginTags {
 		n := 1 + rng.Intn(3)

@@ -199,6 +199,12 @@ type Context struct {
 	// plumbed through Gen.Tap, surviving the scale default). The watch
 	// engine attaches here to detect the attack it is replaying.
 	Tap simnet.UpdateTap
+	// World, when non-nil, is invoked with the scenario's built
+	// synthetic Internet as soon as it exists (and before the attack
+	// runs). Evaluation harnesses capture it to read ground truth —
+	// e.g. the community dictionary the semantics engine is scored
+	// against. Scenarios that build several worlds invoke it per world.
+	World func(*gen.Internet)
 
 	scenario *Scenario
 }

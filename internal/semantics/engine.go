@@ -1,0 +1,333 @@
+package semantics
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpworms/internal/bgp"
+)
+
+// Config sizes the engine. The zero value is usable: every field has a
+// default.
+type Config struct {
+	// Workers is the number of fold workers, each with a private partial
+	// dictionary; 0 means one per available CPU. The snapshot is
+	// invariant to this knob.
+	Workers int
+	// BatchSize is the ingest batching granularity (default 256
+	// observations per worker dispatch).
+	BatchSize int
+	// QueueDepth is the per-worker batch queue (default 64 batches).
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// worker owns one partial dictionary. Its map is touched only by its
+// goroutine during folds; Snapshot locks mu to read a quiesced partial.
+type worker struct {
+	ch  chan workBatch
+	mu  sync.Mutex
+	acc map[bgp.Community]*evidence
+}
+
+// workBatch is one unit of worker input: a run of observations, or a
+// flush token (ack non-nil) closed once everything before it is folded.
+type workBatch struct {
+	obs []Observation
+	ack chan struct{}
+}
+
+// logicalBase / logicalTick anchor the synthesized clock for clockless
+// feeds (the same nominal month the generator and watch engine use).
+var logicalBase = time.Date(2018, 4, 1, 0, 0, 0, 0, time.UTC)
+
+const logicalTick = 37 * time.Millisecond
+
+// Engine is the concurrent dictionary-inference engine. Create with
+// NewEngine; feed with Ingest or the adapters in feed.go; read with
+// Snapshot (which flushes and merges) at any time. Close releases the
+// workers; the last snapshot stays readable.
+type Engine struct {
+	cfg     Config
+	workers []*worker
+	wg      sync.WaitGroup
+	pool    sync.Pool
+
+	mu      sync.Mutex // ingest path: seq, pending, next, closed
+	seq     uint64
+	pending []Observation
+	next    int
+	closed  bool
+
+	ingested  atomic.Uint64
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+	version   atomic.Uint64
+
+	snapMu sync.Mutex
+	snap   *Snapshot
+}
+
+// NewEngine starts an engine with cfg.Workers fold goroutines.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg}
+	e.pool.New = func() any {
+		buf := make([]Observation, 0, cfg.BatchSize)
+		return &buf
+	}
+	e.pending = *e.pool.Get().(*[]Observation)
+	e.workers = make([]*worker, cfg.Workers)
+	for i := range e.workers {
+		w := &worker{
+			ch:  make(chan workBatch, cfg.QueueDepth),
+			acc: make(map[bgp.Community]*evidence),
+		}
+		e.workers[i] = w
+		e.wg.Add(1)
+		go e.run(w)
+	}
+	return e
+}
+
+func (e *Engine) run(w *worker) {
+	defer e.wg.Done()
+	for b := range w.ch {
+		if len(b.obs) > 0 {
+			w.mu.Lock()
+			for i := range b.obs {
+				ob := &b.obs[i]
+				for _, c := range ob.Communities {
+					ev := w.acc[c]
+					if ev == nil {
+						ev = newEvidence()
+						w.acc[c] = ev
+					}
+					ev.fold(ob, c)
+				}
+			}
+			w.mu.Unlock()
+			e.processed.Add(uint64(len(b.obs)))
+			e.version.Add(1)
+			buf := b.obs[:0]
+			e.pool.Put(&buf)
+		}
+		if b.ack != nil {
+			close(b.ack)
+		}
+	}
+}
+
+// Ingest feeds one observation. Withdrawals and community-free
+// sightings fold nothing and are skipped before the lock. Ingest after
+// Close is a silent no-op.
+//
+// Dispatch happens under the ingest lock: worker channel sends never
+// race Close's channel close, at the price of a blocked ingest when a
+// worker queue is full (the workers drain independently, so this is
+// backpressure, not deadlock).
+func (e *Engine) Ingest(ob Observation) {
+	e.ingest(ob, true)
+}
+
+// TryIngest feeds one observation without ever blocking: when the next
+// worker's queue is full, the pending run is shed and counted in
+// Stats.Dropped. This is the path lossy feeds (the watch engine's
+// TryIngest mirror) ride — dictionary inference can never stall a live
+// producer.
+func (e *Engine) TryIngest(ob Observation) {
+	e.ingest(ob, false)
+}
+
+func (e *Engine) ingest(ob Observation, block bool) {
+	if len(ob.Communities) == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.seq++
+	if ob.Seq == 0 {
+		ob.Seq = e.seq
+	}
+	if ob.Time.IsZero() {
+		ob.Time = logicalBase.Add(time.Duration(ob.Seq) * logicalTick)
+	}
+	e.pending = append(e.pending, ob)
+	e.ingested.Add(1)
+	if len(e.pending) >= e.cfg.BatchSize {
+		e.dispatchLocked(block)
+	}
+}
+
+// dispatchLocked hands the pending run to the next worker round-robin;
+// a non-blocking dispatch sheds the run when that worker's queue is
+// full. Caller holds e.mu.
+func (e *Engine) dispatchLocked(block bool) {
+	if len(e.pending) == 0 {
+		return
+	}
+	batch := e.pending
+	e.pending = *e.pool.Get().(*[]Observation)
+	w := e.workers[e.next]
+	e.next = (e.next + 1) % len(e.workers)
+	if block {
+		w.ch <- workBatch{obs: batch}
+		return
+	}
+	select {
+	case w.ch <- workBatch{obs: batch}:
+	default:
+		e.dropped.Add(uint64(len(batch)))
+		buf := batch[:0]
+		e.pool.Put(&buf)
+	}
+}
+
+// Flush dispatches the pending run and blocks until every worker has
+// folded everything ingested before the call.
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.dispatchLocked(true)
+	acks := make([]chan struct{}, len(e.workers))
+	for i, wk := range e.workers {
+		acks[i] = make(chan struct{})
+		wk.ch <- workBatch{ack: acks[i]}
+	}
+	e.mu.Unlock()
+	for _, a := range acks {
+		<-a
+	}
+}
+
+// Close flushes, stops the workers, and marks the engine closed.
+// Snapshot remains valid after Close.
+func (e *Engine) Close() {
+	e.Flush()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, w := range e.workers {
+		close(w.ch)
+	}
+	e.wg.Wait()
+}
+
+// Version is a monotone token advancing whenever folded state may have
+// changed; snapshot caches key on it.
+func (e *Engine) Version() uint64 { return e.version.Load() }
+
+// Snapshot flushes pending work, merges every worker's partial
+// dictionary, classifies each entry in the same pass, and returns the
+// immutable result. The snapshot is bit-identical for any worker count
+// (every fold is commutative); repeated calls at an unchanged version
+// return the cached snapshot.
+func (e *Engine) Snapshot() *Snapshot {
+	e.Flush()
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	v := e.version.Load()
+	if e.snap != nil && e.snap.Version == v {
+		return e.snap
+	}
+	merged := make(map[bgp.Community]*evidence)
+	for _, w := range e.workers {
+		w.mu.Lock()
+		for c, ev := range w.acc {
+			m := merged[c]
+			if m == nil {
+				m = newEvidence()
+				merged[c] = m
+			}
+			m.merge(ev)
+		}
+		w.mu.Unlock()
+	}
+	entries := make(map[bgp.Community]*Entry, len(merged))
+	for c, ev := range merged {
+		entries[c] = ev.entry(c)
+	}
+	e.snap = newSnapshot(v, e.processed.Load(), entries)
+	return e.snap
+}
+
+// Stats is the engine's operational snapshot.
+type Stats struct {
+	Ingested  uint64 `json:"ingested"`
+	Processed uint64 `json:"processed"`
+	// Dropped counts observations shed by the non-blocking TryIngest
+	// path when a worker queue was full.
+	Dropped     uint64         `json:"dropped"`
+	Workers     int            `json:"workers"`
+	Communities int            `json:"communities"`
+	ASes        int            `json:"ases"`
+	ByClass     map[string]int `json:"by_class"`
+	Version     uint64         `json:"version"`
+}
+
+// Stats flushes and reports counters plus dictionary shape (it takes a
+// snapshot, reusing the cache when nothing changed).
+func (e *Engine) Stats() Stats {
+	return e.StatsOf(e.Snapshot())
+}
+
+// StatsOf reports the live counters against the shape of an existing
+// snapshot, without flushing or re-merging — the daemon serves its
+// heartbeat snapshot this way, so /dict/stats never stalls ingest.
+func (e *Engine) StatsOf(s *Snapshot) Stats {
+	return Stats{
+		Ingested:    e.ingested.Load(),
+		Processed:   e.processed.Load(),
+		Dropped:     e.dropped.Load(),
+		Workers:     len(e.workers),
+		Communities: s.Len(),
+		ASes:        len(s.ASNs()),
+		ByClass:     s.ByClass(),
+		Version:     s.Version,
+	}
+}
+
+// Holder is an atomically swapped snapshot cell: a live daemon stores
+// fresh snapshots on a heartbeat while detectors read the current one
+// lock-free. A nil or empty holder looks like an empty dictionary.
+type Holder struct {
+	p atomic.Pointer[Snapshot]
+}
+
+// Store publishes a snapshot.
+func (h *Holder) Store(s *Snapshot) { h.p.Store(s) }
+
+// Load returns the current snapshot (nil before the first Store).
+func (h *Holder) Load() *Snapshot { return h.p.Load() }
+
+// Lookup implements Provider over the current snapshot.
+func (h *Holder) Lookup(c bgp.Community) (*Entry, bool) {
+	if s := h.p.Load(); s != nil {
+		return s.Lookup(c)
+	}
+	return nil, false
+}

@@ -1,0 +1,54 @@
+package semantics
+
+import (
+	"net/netip"
+
+	"bgpworms/internal/collector"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/simnet"
+	"bgpworms/internal/topo"
+)
+
+// This file adapts the repo's update sources onto the engine: collector
+// exports and simnet session taps. MRT byte streams ride the watch
+// engine's mirroring (watch.Config.Semantics + Engine.IngestMRT), which
+// keeps this package below core in the import graph. Withdrawals carry
+// no communities and never reach the fold.
+
+// IngestObservations replays a collector's recorded observations in
+// sequence order, returning how many announcements were ingested.
+func (e *Engine) IngestObservations(c *collector.Collector) int {
+	n := 0
+	for _, ob := range c.Observations() {
+		if ob.Route == nil {
+			continue
+		}
+		e.Ingest(Observation{
+			Time:        ob.Time,
+			PeerAS:      uint32(ob.PeerAS),
+			Prefix:      ob.Prefix,
+			ASPath:      ob.Route.ASPath.Sequence(),
+			Communities: ob.Route.Communities.Clone(),
+		})
+		n++
+	}
+	return n
+}
+
+// Tap returns a simnet session tap feeding the engine: every delivered
+// announcement in the simulated network becomes dictionary evidence.
+// Attach via gen.Params.Tap / scenario.Context.Tap — or Network.Tap for
+// a world that is already built.
+func (e *Engine) Tap() simnet.UpdateTap {
+	return func(from, to topo.ASN, prefix netip.Prefix, rt *policy.Route) {
+		if rt == nil {
+			return
+		}
+		e.Ingest(Observation{
+			PeerAS:      uint32(from),
+			Prefix:      prefix,
+			ASPath:      rt.ASPath.Sequence(),
+			Communities: rt.Communities.Clone(),
+		})
+	}
+}

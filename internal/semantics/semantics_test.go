@@ -1,0 +1,275 @@
+package semantics
+
+import (
+	"encoding/json"
+	"net/netip"
+	"testing"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/netx"
+)
+
+func TestPathFacts(t *testing.T) {
+	cases := []struct {
+		name    string
+		path    []uint32
+		asn     uint32
+		onPath  bool
+		travel  int
+		prepend bool
+	}{
+		{"empty", nil, 7, false, -1, false},
+		{"absent", []uint32{1, 2, 3}, 7, false, -1, false},
+		{"peer", []uint32{7, 2, 3}, 7, true, 0, false},
+		{"origin", []uint32{1, 2, 7}, 7, true, 2, false},
+		{"prepended", []uint32{1, 7, 7, 7, 3}, 7, true, 1, true},
+		{"prepending-before", []uint32{1, 1, 1, 7, 3}, 7, true, 1, false},
+		{"stripped-distance", []uint32{9, 9, 1, 7}, 7, true, 2, false},
+	}
+	for _, tc := range cases {
+		on, travel, prep := pathFacts(tc.path, tc.asn)
+		if on != tc.onPath || travel != tc.travel || prep != tc.prepend {
+			t.Errorf("%s: pathFacts(%v, %d) = (%v, %d, %v), want (%v, %d, %v)",
+				tc.name, tc.path, tc.asn, on, travel, prep, tc.onPath, tc.travel, tc.prepend)
+		}
+	}
+}
+
+func TestClassifyRules(t *testing.T) {
+	ev := func(mut func(*evidence)) *evidence {
+		e := newEvidence()
+		e.count = 10
+		mut(e)
+		return e
+	}
+	cases := []struct {
+		name string
+		c    bgp.Community
+		e    *evidence
+		want Class
+	}{
+		{"well-known", bgp.CommunityNoExport, ev(func(e *evidence) { e.onPath = 10 }), ClassWellKnown},
+		{"host-route-majority", bgp.C(9, 999), ev(func(e *evidence) { e.hostRoute = 6; e.onPath = 10 }), ClassActionBlackhole},
+		{"value-pattern-666", bgp.C(9, 666), ev(func(e *evidence) { e.offPath = 10 }), ClassActionBlackhole},
+		{"prepend-majority", bgp.C(9, 101), ev(func(e *evidence) { e.onPath = 6; e.prepended = 4; e.offPath = 4 }), ClassActionPrepend},
+		{"steering-mixed", bgp.C(9, 70), ev(func(e *evidence) { e.onPath = 6; e.offPath = 4 }), ClassActionSteering},
+		{"informational-on-path", bgp.C(9, 100), ev(func(e *evidence) { e.onPath = 10; e.atOrigin = 10 }), ClassInformational},
+		{"off-path-only", bgp.C(9, 40001), ev(func(e *evidence) { e.offPath = 10 }), ClassUnknown},
+	}
+	for _, tc := range cases {
+		if got := classify(tc.c, tc.e); got != tc.want {
+			t.Errorf("%s: classify(%s) = %s, want %s", tc.name, tc.c, got, tc.want)
+		}
+	}
+}
+
+// synthFeed builds a deterministic observation mix exercising every
+// classification rule: origin tags, ingress tags, a blackhole trigger
+// on host routes, a prepend service, a steering request, a squat.
+func synthFeed(n int) []Observation {
+	obs := make([]Observation, 0, n)
+	for i := 0; i < n; i++ {
+		pfxIdx := i % 512
+		peer := uint32(100 + i%11)
+		mid := uint32(1000 + i%31)
+		origin := uint32(10000 + pfxIdx)
+		ob := Observation{
+			PeerAS: peer,
+			Prefix: netip.PrefixFrom(netx.V4(10, byte(pfxIdx>>8), byte(pfxIdx), 0), 24),
+			ASPath: []uint32{peer, mid, origin},
+		}
+		switch i % 8 {
+		case 0: // blackhole trigger on a host route
+			ob.Prefix = netip.PrefixFrom(netx.V4(10, byte(pfxIdx>>8), byte(pfxIdx), 9), 32)
+			ob.Communities = bgp.NewCommunitySet(bgp.C(uint16(mid), 666))
+		case 1: // prepend request, acted on (mid prepended)
+			ob.ASPath = []uint32{peer, mid, mid, mid, origin}
+			ob.Communities = bgp.NewCommunitySet(bgp.C(uint16(mid), 103))
+		case 2: // steering request still below its definer (off-path)
+			ob.ASPath = []uint32{origin}
+			ob.PeerAS = origin
+			ob.Communities = bgp.NewCommunitySet(bgp.C(uint16(mid), 70))
+		case 3: // the same steering value past the definer (on-path)
+			ob.Communities = bgp.NewCommunitySet(bgp.C(uint16(mid), 70))
+		case 4: // off-path-only private tag
+			ob.Communities = bgp.NewCommunitySet(bgp.C(uint16(64512+i%1023), 100))
+		case 5: // well-known
+			ob.Communities = bgp.NewCommunitySet(bgp.CommunityNoExport)
+		default: // origin + ingress informational tags
+			ob.Communities = bgp.NewCommunitySet(
+				bgp.C(uint16(origin), 100), bgp.C(uint16(mid), 1000))
+		}
+		obs = append(obs, ob)
+	}
+	return obs
+}
+
+// TestSemanticsDeterminismAcrossWorkers is the engine's core contract:
+// the snapshot — entries, evidence counters, classes, fan-out — is
+// bit-identical for 1, 4, and 16 workers.
+func TestSemanticsDeterminismAcrossWorkers(t *testing.T) {
+	feed := synthFeed(20000)
+	var want []byte
+	for _, workers := range []int{1, 4, 16} {
+		e := NewEngine(Config{Workers: workers, BatchSize: 64})
+		for i := range feed {
+			e.Ingest(feed[i])
+		}
+		snap := e.Snapshot()
+		e.Close()
+		got, err := json.Marshal(snap.Entries())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			if snap.Len() == 0 {
+				t.Fatal("empty dictionary")
+			}
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("workers=%d: snapshot differs from workers=1", workers)
+		}
+	}
+}
+
+// TestSynthFeedClasses pins the classifier's behavior on the synthetic
+// mix end to end.
+func TestSynthFeedClasses(t *testing.T) {
+	e := NewEngine(Config{Workers: 4})
+	defer e.Close()
+	for _, ob := range synthFeed(20000) {
+		e.Ingest(ob)
+	}
+	snap := e.Snapshot()
+	expect := map[bgp.Community]Class{
+		bgp.C(1000, 666):      ClassActionBlackhole,
+		bgp.C(1000, 103):      ClassActionPrepend,
+		bgp.C(1000, 70):       ClassActionSteering,
+		bgp.C(1000, 1000):     ClassInformational,
+		bgp.C(10006, 100):     ClassInformational,
+		bgp.CommunityNoExport: ClassWellKnown,
+	}
+	for c, want := range expect {
+		entry, ok := snap.Lookup(c)
+		if !ok {
+			t.Fatalf("community %s not inferred", c)
+		}
+		if entry.Class != want {
+			t.Errorf("community %s classified %s, want %s (evidence %+v)", c, entry.Class, want, entry)
+		}
+	}
+	// Private tags stay unknown: off-path only.
+	if entry, ok := snap.Lookup(bgp.C(64512, 100)); ok && entry.Class != ClassUnknown {
+		t.Errorf("private tag classified %s, want unknown", entry.Class)
+	}
+	if snap.Version == 0 || snap.Observations == 0 {
+		t.Fatalf("snapshot meta not populated: %+v", snap)
+	}
+	// The per-AS view is sorted and consistent with Lookup.
+	for _, asn := range snap.ASNs() {
+		es := snap.AS(asn)
+		for i, en := range es {
+			if en.Community.ASN() != asn {
+				t.Fatalf("AS %d view holds %s", asn, en.Community)
+			}
+			if i > 0 && es[i-1].Community >= en.Community {
+				t.Fatalf("AS %d view not sorted", asn)
+			}
+		}
+	}
+}
+
+// TestScoreAgainst checks the precision/recall/class-accuracy math on a
+// hand-built truth.
+func TestScoreAgainst(t *testing.T) {
+	e := NewEngine(Config{Workers: 2})
+	defer e.Close()
+	for _, ob := range synthFeed(4000) {
+		e.Ingest(ob)
+	}
+	snap := e.Snapshot()
+	truth := make(Truth)
+	for _, asn := range snap.ASNs() {
+		for _, en := range snap.AS(asn) {
+			truth.Add(en.Community, en.Class)
+		}
+	}
+	sc := ScoreAgainst(snap, truth)
+	if sc.Precision() != 1 || sc.Recall() != 1 || sc.ClassAccuracy() != 1 {
+		t.Fatalf("self-score should be perfect: %+v", sc)
+	}
+	// A truth entry inference never saw lowers recall but not precision.
+	truth.Add(bgp.C(42, 4242), ClassInformational)
+	sc = ScoreAgainst(snap, truth)
+	if sc.Recall() >= 1 || sc.Precision() != 1 {
+		t.Fatalf("recall should drop, precision hold: %+v", sc)
+	}
+	// An inferred entry outside truth (a squat) lowers precision.
+	delete(truth, bgp.C(42, 4242))
+	victim := snap.Entries()[0].Community
+	delete(truth, victim)
+	sc = ScoreAgainst(snap, truth)
+	if sc.Precision() >= 1 {
+		t.Fatalf("precision should drop: %+v", sc)
+	}
+	if RenderScore(sc) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestTruthAddKeepsAction pins the action-over-informational rule.
+func TestTruthAddKeepsAction(t *testing.T) {
+	tr := make(Truth)
+	c := bgp.C(9, 666)
+	tr.Add(c, ClassActionBlackhole)
+	tr.Add(c, ClassInformational)
+	if tr[c] != ClassActionBlackhole {
+		t.Fatalf("action downgraded to %s", tr[c])
+	}
+	if got := sortedTruth(tr); len(got) != 1 || got[0] != c {
+		t.Fatalf("sortedTruth = %v", got)
+	}
+}
+
+// TestTryIngestUnloaded: with headroom, the lossy path folds the same
+// dictionary as the blocking one and drops nothing.
+func TestTryIngestUnloaded(t *testing.T) {
+	feed := synthFeed(4000)
+	blocking := NewEngine(Config{Workers: 2})
+	lossy := NewEngine(Config{Workers: 2})
+	defer blocking.Close()
+	defer lossy.Close()
+	for i := range feed {
+		blocking.Ingest(feed[i])
+		lossy.TryIngest(feed[i])
+	}
+	a, _ := json.Marshal(blocking.Snapshot().Entries())
+	b, _ := json.Marshal(lossy.Snapshot().Entries())
+	if string(a) != string(b) {
+		t.Fatal("lossy and blocking paths diverged without load")
+	}
+	if st := lossy.Stats(); st.Dropped != 0 {
+		t.Fatalf("unloaded TryIngest dropped %d", st.Dropped)
+	}
+}
+
+// TestHolder exercises the atomic snapshot cell.
+func TestHolder(t *testing.T) {
+	var h Holder
+	if _, ok := h.Lookup(bgp.C(1, 1)); ok {
+		t.Fatal("empty holder resolved a community")
+	}
+	e := NewEngine(Config{Workers: 1})
+	defer e.Close()
+	e.Ingest(Observation{
+		PeerAS: 1, Prefix: netx.MustPrefix("10.0.0.0/24"),
+		ASPath:      []uint32{1, 2},
+		Communities: bgp.NewCommunitySet(bgp.C(2, 100)),
+	})
+	h.Store(e.Snapshot())
+	if _, ok := h.Lookup(bgp.C(2, 100)); !ok {
+		t.Fatal("holder missed stored entry")
+	}
+}

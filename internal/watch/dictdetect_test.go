@@ -1,0 +1,214 @@
+package watch_test
+
+import (
+	"encoding/json"
+	"net/netip"
+	"testing"
+
+	"bgpworms/internal/attack"
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/gen"
+	"bgpworms/internal/scenario"
+	"bgpworms/internal/semantics"
+	"bgpworms/internal/watch"
+)
+
+// trainDictionary builds the same world the default-scale scenarios
+// build (tiny preset, default seed, lab attached) with a semantics tap
+// observing construction, then runs a month of churn over it — the
+// clean-baseline training pass CommunityWatch-style detection needs.
+// It returns the frozen dictionary and the training world.
+func trainDictionary(t *testing.T) (*semantics.Snapshot, *gen.Internet) {
+	t.Helper()
+	eng := semantics.NewEngine(semantics.Config{Workers: 4})
+	defer eng.Close()
+	p, err := gen.Preset(scenario.DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Tap = eng.Tap()
+	l, err := attack.NewLab(p, scenario.DefaultVPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.W.RunChurn(); err != nil {
+		t.Fatal(err)
+	}
+	return eng.Snapshot(), l.W
+}
+
+// TestDictSquatReducesFalsePositives is the PR-4 acceptance gate: on
+// the squatted-decoy scenario, the dictionary-aware squat detector must
+// fire strictly less than the PR-3 value-pattern squat detector while
+// still catching the actual squat.
+func TestDictSquatReducesFalsePositives(t *testing.T) {
+	snap, world := trainDictionary(t)
+	if len(world.Registry.Likely) == 0 {
+		t.Skip("no decoy blackhole community in this topology")
+	}
+	decoy := world.Registry.Likely[0]
+
+	rep, err := watch.EvalScenario("blackhole-squatting", nil, watch.Config{Shards: 4, Dict: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[string]int{}
+	decoyAlerts := map[string]int{}
+	for _, a := range rep.Alerts {
+		fired[a.Detector]++
+		if a.Community == decoy.String() {
+			decoyAlerts[a.Detector]++
+		}
+	}
+	if fired[watch.DictSquatName] == 0 {
+		t.Fatalf("dict-squat never fired\n%s", watch.RenderEval(rep))
+	}
+	if fired[watch.DictSquatName] >= fired["community-squat"] {
+		t.Fatalf("dict-squat fired %d times, PR-3 community-squat %d — no strict reduction\n%s",
+			fired[watch.DictSquatName], fired["community-squat"], watch.RenderEval(rep))
+	}
+	if decoyAlerts[watch.DictSquatName] == 0 {
+		t.Fatalf("dict-squat missed the decoy squat %s (alerts by detector: %v)", decoy, fired)
+	}
+	if decoyAlerts[watch.UnknownActionName] == 0 {
+		t.Fatalf("unknown-action-community missed the decoy %s (alerts: %v)", decoy, fired)
+	}
+	if rep.Recall != 1 {
+		t.Fatalf("recall=%.2f with dict detectors active\n%s", rep.Recall, watch.RenderEval(rep))
+	}
+	t.Logf("community-squat=%d dict-squat=%d (%.0f%% fewer), decoy caught by both dict detectors",
+		fired["community-squat"], fired[watch.DictSquatName],
+		100*(1-float64(fired[watch.DictSquatName])/float64(fired["community-squat"])))
+}
+
+// TestDictDetectorDeterminismAcrossShards extends the engine's
+// shard-count invariance to the dictionary-aware detectors: with a
+// frozen snapshot the full alert set is bit-identical at 1 and 8
+// shards.
+func TestDictDetectorDeterminismAcrossShards(t *testing.T) {
+	snap, _ := trainDictionary(t)
+	var want []byte
+	for _, shards := range []int{1, 8} {
+		rep, err := watch.EvalScenario("blackhole-squatting", nil, watch.Config{Shards: shards, Dict: snap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(rep.Alerts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("alert set differs between shard counts")
+		}
+	}
+}
+
+// TestSemanticsMirroring checks Config.Semantics: every community-
+// carrying event the watch engine ingests lands in the dictionary
+// engine with the same sequence numbering.
+func TestSemanticsMirroring(t *testing.T) {
+	sem := semantics.NewEngine(semantics.Config{Workers: 2})
+	defer sem.Close()
+	eng := watch.NewEngine(watch.Config{Shards: 2, Semantics: sem})
+	n, err := scenarioFeed(t, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Flush()
+	eng.Close()
+	st := sem.Stats()
+	if st.Processed == 0 || st.Communities == 0 {
+		t.Fatalf("mirroring produced no dictionary: %+v (replayed %d events)", st, n)
+	}
+	if st.Processed > eng.Stats().Ingested {
+		t.Fatalf("semantics processed %d > watch ingested %d", st.Processed, eng.Stats().Ingested)
+	}
+}
+
+// scenarioFeed replays the rtbh scenario through eng's blocking tap.
+func scenarioFeed(t *testing.T, eng *watch.Engine) (uint64, error) {
+	t.Helper()
+	ctx := &scenario.Context{Tap: eng.BlockingTap("test")}
+	if _, err := scenario.Run("rtbh", ctx); err != nil {
+		return 0, err
+	}
+	eng.Flush()
+	return eng.Stats().Ingested, nil
+}
+
+// TestEvalDictionaryScenario scores dictionary inference against the
+// generator's exported ground truth over two scenarios — the
+// infer-what-you-generate acceptance gate — and pins the harness's
+// worker-count invariance.
+func TestEvalDictionaryScenario(t *testing.T) {
+	for _, name := range []string{"rtbh", "blackhole-squatting"} {
+		t.Run(name, func(t *testing.T) {
+			rep, snap, err := watch.EvalDictionaryScenario(name, nil, semantics.Config{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Len() == 0 {
+				t.Fatal("empty inferred dictionary")
+			}
+			if p := rep.Score.Precision(); p < 0.9 {
+				t.Fatalf("precision=%.2f, want >= 0.9\n%s", p, watch.RenderDictEval(rep))
+			}
+			if r := rep.Score.Recall(); r < 0.5 {
+				t.Fatalf("recall=%.2f, want >= 0.5\n%s", r, watch.RenderDictEval(rep))
+			}
+			t.Logf("\n%s", watch.RenderDictEval(rep))
+		})
+	}
+}
+
+// TestEvalDictionaryDeterminism pins the score across semantics worker
+// counts: the same scenario replay must grade identically at 1 and 8
+// workers.
+func TestEvalDictionaryDeterminism(t *testing.T) {
+	var want *watch.DictEvalReport
+	for _, workers := range []int{1, 8} {
+		rep, _, err := watch.EvalDictionaryScenario("rtbh", nil, semantics.Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = rep
+			continue
+		}
+		a, _ := json.Marshal(want.Score)
+		b, _ := json.Marshal(rep.Score)
+		if string(a) != string(b) {
+			t.Fatalf("score differs across worker counts:\n%s\nvs\n%s", a, b)
+		}
+	}
+}
+
+// TestDictProviderNilSafety: an empty holder behaves like an empty
+// dictionary — every off-path community is outside it.
+func TestDictProviderNilSafety(t *testing.T) {
+	var holder semantics.Holder
+	eng := watch.NewEngine(watch.Config{Shards: 1, Dict: &holder})
+	defer eng.Close()
+	eng.Ingest(watch.Event{
+		PeerAS: 1,
+		Prefix: netip.MustParsePrefix("10.1.0.0/24"),
+		ASPath: []uint32{1, 2},
+		Communities: bgp.NewCommunitySet(
+			bgp.C(9, 40001),
+		),
+	})
+	eng.Flush()
+	found := false
+	for _, a := range eng.Alerts() {
+		if a.Detector == watch.DictSquatName {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dict-squat silent with an empty dictionary")
+	}
+}

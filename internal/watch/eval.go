@@ -30,7 +30,8 @@ var scenarioTruth = map[string]Truth{
 	// victim prefix. The hijack variant additionally shifts the origin.
 	"rtbh": {
 		Must: []string{"blackhole-onset"},
-		May:  []string{"community-squat", "prop-distance", "route-leak"},
+		May: []string{"community-squat", "prop-distance", "route-leak",
+			DictSquatName, UnknownActionName},
 	},
 	// The leak re-originates a remote stub's prefix: the origin-shift
 	// signature is the attack. The raise community names an off-path AS
@@ -38,19 +39,39 @@ var scenarioTruth = map[string]Truth{
 	// noise.
 	"route-leak-amplification": {
 		Must: []string{"route-leak"},
-		May:  []string{"community-squat", "prop-distance"},
+		May: []string{"community-squat", "prop-distance",
+			DictSquatName, UnknownActionName},
 	},
 	// The squat announces a decoy :666 value, which the value-pattern
 	// blackhole detector cannot distinguish from a real trigger — the
-	// §7.6 over-counting, reproduced live.
+	// §7.6 over-counting, reproduced live. With a trained dictionary the
+	// dict-aware pair catches the decoy too (their Must status depends
+	// on training, so they stay tolerated here; the dedicated tests
+	// assert their behavior).
 	"blackhole-squatting": {
 		Must: []string{"blackhole-onset", "community-squat"},
-		May:  []string{"prop-distance"},
+		May:  []string{"prop-distance", DictSquatName, UnknownActionName},
 	},
 	// The sweep announces real triggers and decoys alike.
 	"blackhole-sweep": {
 		Must: []string{"blackhole-onset"},
-		May:  []string{"community-squat", "prop-distance"},
+		May:  []string{"community-squat", "prop-distance", DictSquatName, UnknownActionName},
+	},
+	// The poisoning probes carry fabricated off-path communities of the
+	// victim AS — squat noise is the attack itself. The scenario runs
+	// churn for a realistic training baseline, so churn's RTBH episodes
+	// may raise blackhole alerts too.
+	"dictionary-poisoning": {
+		Must: []string{"community-squat"},
+		May: []string{"blackhole-onset", "prop-distance", "route-leak",
+			DictSquatName, UnknownActionName},
+	},
+	// The hygiene sweep fires an RTBH attempt per filtering rate; the
+	// first-hop delivery always carries the blackhole-valued trigger.
+	"hygiene-filtering": {
+		Must: []string{"blackhole-onset"},
+		May: []string{"community-squat", "prop-distance",
+			DictSquatName, UnknownActionName},
 	},
 }
 

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"bgpworms/internal/bgp"
+	"bgpworms/internal/semantics"
 )
 
 // Event is one normalized routing observation entering the engine: an
@@ -110,8 +111,25 @@ type Config struct {
 	// alert set holds as long as the cap is never hit.
 	MaxAlerts int
 	// Detectors overrides the detector list (default: every registered
-	// detector, in name order).
+	// detector, in name order, plus the dictionary-aware pair when Dict
+	// is set).
 	Detectors []Detector
+	// Dict enables the dictionary-aware detectors (dict-squat,
+	// unknown-action-community) bound to this provider. Pass a frozen
+	// *semantics.Snapshot for deterministic alert sets, or a
+	// *semantics.Holder a daemon refreshes while ingesting.
+	Dict semantics.Provider
+	// Semantics, when non-nil, mirrors every ingested event into the
+	// dictionary-inference engine. With lossless feeds (Ingest,
+	// BlockingTap) dictionaries build from exactly the stream the
+	// detectors see; under TryIngest overload the two sides shed
+	// independently (each counts its own drops), so the dictionary may
+	// include events the detectors shed and vice versa. The semantics
+	// folds are order-insensitive, so mirroring preserves both engines'
+	// determinism. Mirroring and Dict are deliberately separate: a
+	// dictionary consulted mid-build would make alerts depend on shard
+	// timing.
+	Semantics *semantics.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +153,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Detectors == nil {
 		c.Detectors = Detectors()
+		if c.Dict != nil {
+			c.Detectors = append(c.Detectors, dictDetectors(c.Dict)...)
+		}
 	}
 	return c
 }
@@ -290,6 +311,22 @@ func (e *Engine) ingest(ev Event, block bool) {
 	full := len(e.pending[si]) >= e.cfg.BatchSize
 	e.ingested.Add(1)
 	e.mu.Unlock()
+	if e.cfg.Semantics != nil && len(ev.Communities) > 0 {
+		// Mirror into the dictionary engine with the watch-assigned
+		// sequence and timestamp, so both engines agree on first/last
+		// seen. Folds are order-insensitive; determinism survives. The
+		// lossy watch path mirrors lossily too (semantics.TryIngest),
+		// so dictionary inference can never stall a live tap.
+		ob := semantics.Observation{
+			Seq: ev.Seq, Time: ev.Time, PeerAS: ev.PeerAS,
+			Prefix: ev.Prefix, ASPath: ev.ASPath, Communities: ev.Communities,
+		}
+		if block {
+			e.cfg.Semantics.Ingest(ob)
+		} else {
+			e.cfg.Semantics.TryIngest(ob)
+		}
+	}
 	if full {
 		e.dispatch(e.shards[si], si, block)
 	}
