@@ -6,7 +6,7 @@ GO      ?= go
 # (BENCH_ci.json), committed trajectory points use BENCH_pr<N>.json.
 BENCH_OUT ?= BENCH_ci.json
 
-.PHONY: build test race bench bench-smoke lint fmt examples watch-smoke ci
+.PHONY: build test race bench bench-smoke lint fmt examples watch-smoke coverage fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,18 @@ examples:
 watch-smoke:
 	./ci/watchsmoke.sh
 
+# coverage enforces the ratchet in ci/coverage.txt (raise-only).
+coverage:
+	./ci/coverage.sh
+
+# fuzz-smoke runs each native fuzzer for 30s against its checked-in
+# seed corpus (testdata/fuzz), catching codec regressions fuzzing finds
+# faster than the unit suites.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzCommunityText$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/bgp
+	$(GO) test -fuzz '^FuzzMRTRecord$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/mrt
+
 lint:
 	@fmtout="$$(gofmt -l .)"; \
 	if [ -n "$$fmtout" ]; then \
@@ -47,4 +59,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint race examples watch-smoke bench
+ci: build lint race coverage fuzz-smoke examples watch-smoke bench

@@ -449,8 +449,14 @@ func BenchmarkPipelinePerFigureWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkSimnetEngines compares the serial FIFO engine with the
-// round-based parallel engine on the same announce workload.
+// BenchmarkSimnetEngines compares the three propagation engines. The
+// toy subbenches announce 80 prefixes over a 100-AS mesh; the medium
+// subbenches build and churn a full gen.Medium world (~1k ASes, ~5M
+// deliveries) under the rounds oracle and the delta engine — the
+// committed delta-vs-rounds comparison the ISSUE-5 acceptance criterion
+// reads (delta >= 3x rounds on medium; see BENCH_pr5.json). Both
+// parallel engines produce bit-identical tap streams and RIBs
+// (TestDifferentialEngines), so only the wall clock differs.
 func BenchmarkSimnetEngines(b *testing.B) {
 	build := func() *topo.Graph {
 		g := topo.NewGraph()
@@ -476,18 +482,82 @@ func BenchmarkSimnetEngines(b *testing.B) {
 			}
 		}
 	}
-	b.Run("serial", func(b *testing.B) {
+	toy := func(engine simnet.Engine) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := simnet.New(build(), nil)
+				n.SetEngine(engine)
+				n.SetWorkers(runtime.GOMAXPROCS(0))
+				announce(b, n)
+			}
+		}
+	}
+	b.Run("serial/toy", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			announce(b, simnet.New(build(), nil))
 		}
 	})
-	b.Run(fmt.Sprintf("rounds/workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			n := simnet.New(build(), nil)
-			n.SetWorkers(runtime.GOMAXPROCS(0))
-			announce(b, n)
+	b.Run("rounds/toy", toy(simnet.EngineRounds))
+	b.Run("delta/toy", toy(simnet.EngineDelta))
+
+	medium := func(engine string) func(b *testing.B) {
+		return func(b *testing.B) {
+			// Normalize the heap so neither engine pays for the other's
+			// leftovers (single-iteration builds are GC-sensitive).
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := gen.Medium()
+				p.Engine = engine
+				p.Workers = runtime.GOMAXPROCS(0)
+				w, err := gen.Build(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.RunChurn(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(w.Net.Steps()), "deliveries")
+			}
 		}
-	})
+	}
+	b.Run("rounds/medium", medium("rounds"))
+	b.Run("delta/medium", medium("delta"))
+}
+
+// BenchmarkLargeWorldBuild builds and converges the paper-scale presets
+// under the delta engine: large (~10k ASes) and internet (~63k ASes,
+// the study's April 2018 AS count, degree-skewed). One benchtime-1x
+// iteration in the CI bench job is the standing proof that a full
+// internet-scale world builds and converges on the CI box.
+func BenchmarkLargeWorldBuild(b *testing.B) {
+	for _, scale := range []string{"large", "internet"} {
+		b.Run(scale, func(b *testing.B) {
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := gen.Preset(scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Engine = "delta"
+				p.Workers = runtime.GOMAXPROCS(0)
+				w, err := gen.Build(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.RunChurn(); err != nil {
+					b.Fatal(err)
+				}
+				if got := w.Graph.NumASes(); got < 10000 {
+					b.Fatalf("ases=%d, want a paper-scale world", got)
+				}
+				b.ReportMetric(float64(w.Graph.NumASes()), "ases")
+				b.ReportMetric(float64(w.Net.Steps()), "deliveries")
+				b.ReportMetric(float64(len(w.AllPrefixes())), "prefixes")
+			}
+		})
+	}
 }
 
 // --- Streaming detection benches (PR 3's tentpole) ---

@@ -1,0 +1,22 @@
+#!/bin/sh
+# coverage.sh — run the test suite with coverage over internal/... and
+# enforce the ratchet stored in ci/coverage.txt. The ratchet only moves
+# up: raise it when a PR lands meaningful coverage, never lower it to
+# make a PR pass.
+set -eu
+
+threshold=$(cat ci/coverage.txt)
+log=$(mktemp)
+if ! go test -count=1 -coverprofile=cover.out -coverpkg=./internal/... ./... > "$log" 2>&1; then
+    echo "test suite failed under coverage instrumentation:" >&2
+    cat "$log" >&2
+    rm -f "$log"
+    exit 1
+fi
+rm -f "$log"
+total=$(go tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+echo "coverage: ${total}% of internal/... statements (ratchet: ${threshold}%)"
+if awk -v t="$total" -v th="$threshold" 'BEGIN { exit !(t+0 < th+0) }'; then
+    echo "coverage ${total}% fell below the ratchet ${threshold}%" >&2
+    exit 1
+fi

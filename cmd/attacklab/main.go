@@ -47,8 +47,9 @@ func main() {
 		sweep  = flag.Bool("sweep", false, "sweep a scenario grid (see -scenarios/-scales/-seeds/-engine-workers/-sets)")
 		asJSON = flag.Bool("json", false, "emit JSON instead of tables")
 
-		scale = flag.String("scale", "small", "internet scale: tiny|small|medium (single run / full report)")
+		scale = flag.String("scale", "small", "internet scale: "+strings.Join(gen.PresetNames(), "|")+" (single run / full report)")
 		seed  = flag.Int64("seed", 1, "generator seed (single run / full report)")
+		eng   = flag.String("engine", "auto", "simnet engine: auto|serial|rounds|delta (single run / full report)")
 		vps   = flag.Int("vps", 48, "atlas vantage points")
 		set   = flag.String("set", "verified", "community set for candidate-driven scenarios: verified|likely|all")
 
@@ -56,6 +57,7 @@ func main() {
 		scales        = flag.String("scales", "tiny", "sweep: comma-separated scales")
 		seeds         = flag.String("seeds", "1", "sweep: comma-separated generator seeds")
 		engineWorkers = flag.String("engine-workers", "1", "sweep: comma-separated simnet engine worker counts per cell")
+		engines       = flag.String("engines", "auto", "sweep: comma-separated simnet engines (auto|serial|rounds|delta)")
 		sets          = flag.String("sets", "verified", "sweep: comma-separated community sets")
 		workers       = flag.Int("workers", 0, "sweep harness worker pool (0 = one per CPU)")
 
@@ -69,11 +71,11 @@ func main() {
 	case *list:
 		runList(*asJSON)
 	case *run != "":
-		runOne(*run, *scale, *seed, *vps, *set, params, *asJSON, *verbose)
+		runOne(*run, *scale, *eng, *seed, *vps, *set, params, *asJSON, *verbose)
 	case *sweep:
-		runSweep(*scenarios, *scales, *seeds, *engineWorkers, *sets, *vps, *workers, params, *asJSON)
+		runSweep(*scenarios, *scales, *seeds, *engineWorkers, *engines, *sets, *vps, *workers, params, *asJSON)
 	default:
-		fullReport(*scale, *seed, *vps, *verbose)
+		fullReport(*scale, *eng, *seed, *vps, *verbose)
 	}
 }
 
@@ -86,12 +88,13 @@ func runList(asJSON bool) {
 	fmt.Println(scenario.RenderCatalog(all))
 }
 
-func runOne(name, scale string, seed int64, vps int, set string, params multiFlag, asJSON, verbose bool) {
+func runOne(name, scale, engine string, seed int64, vps int, set string, params multiFlag, asJSON, verbose bool) {
 	p, err := gen.Preset(scale)
 	if err != nil {
 		fail(err)
 	}
 	p.Seed = seed
+	p.Engine = engine
 	ctx := &scenario.Context{Gen: p, VPs: vps, CommunitySet: set, Values: parseParams(params)}
 	res, err := scenario.Run(name, ctx)
 	if err != nil {
@@ -107,10 +110,11 @@ func runOne(name, scale string, seed int64, vps int, set string, params multiFla
 	}
 }
 
-func runSweep(scenarios, scales, seeds, engineWorkers, sets string, vps, workers int, params multiFlag, asJSON bool) {
+func runSweep(scenarios, scales, seeds, engineWorkers, engines, sets string, vps, workers int, params multiFlag, asJSON bool) {
 	g := scenario.Grid{
 		Scenarios:     splitList(scenarios),
 		Scales:        splitList(scales),
+		Engines:       splitList(engines),
 		CommunitySets: splitList(sets),
 		VPs:           vps,
 		Values:        parseParams(params),
@@ -186,12 +190,13 @@ func emitJSON(v any) {
 
 // fullReport reproduces the paper's §6–§7 narrative end to end on one
 // lab, exactly as the pre-registry attacklab did.
-func fullReport(scale string, seed int64, vps int, verbose bool) {
+func fullReport(scale, engine string, seed int64, vps int, verbose bool) {
 	p, err := gen.Preset(scale)
 	if err != nil {
 		fail(err)
 	}
 	p.Seed = seed
+	p.Engine = engine
 
 	fmt.Println("== §6.1: vendor lab matrix ==")
 	fmt.Println(vendorMatrix())

@@ -9,13 +9,21 @@
 // Usage:
 //
 //	genesis -scale small -seed 1 -out ./data
-//	genesis -scale medium -workers 8 -out ./data
+//	genesis -scale internet -workers 8 -out ./data
+//	genesis -sample-rel as-rel.txt -sample-size 5000 -out ./data
 //
-// -workers selects the simulation engine: 0 or 1 the serial FIFO
-// engine; >1 the round-based parallel engine with that many workers; a
-// negative value the parallel engine with one worker per CPU. The
-// parallel engine is deterministic under a fixed seed with identical
+// -workers selects the simulation engine parallelism: 0 or 1 the serial
+// FIFO engine; >1 the delta-driven parallel engine with that many
+// workers; a negative value the parallel engine with one worker per
+// CPU. -engine pins a specific engine (serial, rounds, delta). The
+// parallel engines are deterministic under a fixed seed with identical
 // output for any worker count.
+//
+// -sample-rel switches to sampler mode: read a CAIDA serial-1
+// relationship file (real data or a previous genesis export), apply the
+// degree-preserving sampler (topo.Sample) down to -sample-size ASes,
+// and write the sampled as-rel.txt — the bridge from real 63k-AS
+// relationship dumps to worlds the simulator converges quickly.
 package main
 
 import (
@@ -23,17 +31,28 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"bgpworms/internal/gen"
 	"bgpworms/internal/topo"
 )
 
 func main() {
-	scale := flag.String("scale", "small", "internet scale: tiny|small|medium")
+	scale := flag.String("scale", "small", "internet scale: "+strings.Join(gen.PresetNames(), "|"))
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", "data", "output directory")
-	workers := flag.Int("workers", 0, "simulation engine workers (0 or 1 = serial; >1 = parallel rounds; <0 = parallel rounds, one worker per CPU)")
+	workers := flag.Int("workers", 0, "simulation engine workers (0 or 1 = serial; >1 = parallel delta; <0 = parallel delta, one worker per CPU)")
+	engine := flag.String("engine", "auto", "simulation engine: auto|serial|rounds|delta")
+	sampleRel := flag.String("sample-rel", "", "sampler mode: CAIDA serial-1 relationship file to downsample (skips world building)")
+	sampleSize := flag.Int("sample-size", 5000, "sampler mode: target AS count")
 	flag.Parse()
+
+	if *sampleRel != "" {
+		if err := runSample(*sampleRel, *sampleSize, *seed, *out); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	p, err := gen.Preset(*scale)
 	if err != nil {
@@ -41,6 +60,7 @@ func main() {
 	}
 	p.Seed = *seed
 	p.Workers = *workers
+	p.Engine = *engine
 
 	fmt.Printf("building %s internet (seed %d)...\n", *scale, *seed)
 	w, err := gen.Build(p)
@@ -96,6 +116,37 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d records)\n", rpath, n)
 	}
+}
+
+// runSample reads a serial-1 relationship file, downsamples it with the
+// degree-preserving sampler, and writes the sampled as-rel.txt.
+func runSample(relPath string, size int, seed int64, out string) error {
+	f, err := os.Open(relPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := topo.ReadCAIDA(f)
+	if err != nil {
+		return err
+	}
+	s := topo.Sample(g, size, seed)
+	fmt.Printf("sampled %d ASes / %d links down to %d ASes / %d links\n",
+		g.NumASes(), g.NumLinks(), s.NumASes(), s.NumLinks())
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	outPath := filepath.Join(out, "as-rel.txt")
+	of, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if err := topo.WriteCAIDA(of, s); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
 }
 
 func fail(err error) {

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"os"
 
+	"strings"
+
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/core"
 	"bgpworms/internal/gen"
@@ -35,11 +37,12 @@ import (
 )
 
 func main() {
-	scale := flag.String("scale", "small", "internet scale: tiny|small|medium")
+	scale := flag.String("scale", "small", "internet scale: "+strings.Join(gen.PresetNames(), "|"))
 	seed := flag.Int64("seed", 1, "generator seed")
 	mrtDir := flag.String("mrt", "", "read updates.*.mrt archives from this directory instead of simulating")
 	stream := flag.Bool("stream", false, "with -mrt: stream-classify the archives without materializing updates")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU); simulation engine parallelism when generating")
+	engine := flag.String("engine", "auto", "simulation engine: auto|serial|rounds|delta")
 	years := flag.Bool("evolution", true, "compute the Figure 3 time series (builds one Internet per year)")
 	flag.Parse()
 
@@ -68,7 +71,7 @@ func main() {
 			fail(err)
 		}
 	default:
-		w, err := buildWorld(*scale, *seed, *workers)
+		w, err := buildWorld(*scale, *engine, *seed, *workers)
 		if err != nil {
 			fail(err)
 		}
@@ -83,6 +86,7 @@ func main() {
 		base := gen.Tiny()
 		base.Seed = *seed
 		base.Workers = *workers
+		base.Engine = *engine
 		pts, err := gen.Evolution(base, []int{2010, 2012, 2014, 2016, 2018}, func(w *gen.Internet) (int, int, int, int) {
 			return pipe.EvolutionMetrics(core.FromCollectors(w.Collectors))
 		})
@@ -136,13 +140,14 @@ func printAnalysis(a *core.Analysis) {
 	fmt.Println()
 }
 
-func buildWorld(scale string, seed int64, workers int) (*gen.Internet, error) {
+func buildWorld(scale, engine string, seed int64, workers int) (*gen.Internet, error) {
 	p, err := gen.Preset(scale)
 	if err != nil {
 		return nil, err
 	}
 	p.Seed = seed
 	p.Workers = workers
+	p.Engine = engine
 	w, err := gen.Build(p)
 	if err != nil {
 		return nil, err

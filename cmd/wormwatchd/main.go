@@ -67,7 +67,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:8571", "HTTP listen address")
 		scen      = flag.String("scenario", "", "replay a registered attack scenario through the engine")
-		scale     = flag.String("scale", "", "gen preset for -scenario (tiny, small, medium; default tiny)")
+		scale     = flag.String("scale", "", "gen preset for -scenario (tiny, small, medium, large, internet; default tiny)")
 		seed      = flag.Int64("seed", 0, "generator seed for -scenario (default 1)")
 		mrtPath   = flag.String("mrt", "", "MRT update archive to stream (file, or dir of updates.*.mrt)")
 		follow    = flag.Bool("follow", false, "with -mrt FILE: keep reading as the file grows")

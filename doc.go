@@ -42,10 +42,16 @@
 // Figure 6 inference shards the concurrent route view by prefix.
 // Results are bit-identical for every worker count. A streaming path
 // (core.StreamMRTUpdates, core.Accumulator) classifies MRT byte streams
-// without materializing the update slice. The simulator offers a serial
-// FIFO engine and a round-based parallel engine
-// (simnet.Network.SetWorkers) whose convergence counts, tap ordering,
-// and final RIBs are invariant across worker counts under a fixed seed.
+// without materializing the update slice. The simulator offers three
+// engines (simnet.Network.SetEngine): the serial FIFO queue, the
+// delta-driven event engine that scales to the large/internet presets
+// (per-router dirty sets, class-shared export slabs, copy-on-write
+// receives), and the legacy rounds engine kept as the delta engine's
+// differential oracle. The parallel engines' convergence counts, tap
+// ordering, archives, and final RIBs are invariant across worker counts
+// under a fixed seed — and bit-identical to each other, a property the
+// randomized differential suite (internal/simnet/differential_test.go)
+// enforces with shrinking.
 // The watch and semantics engines extend the same discipline to the
 // online side: prefix-sharded windows make alert sets shard-count
 // invariant, and the dictionary engine's commutative evidence folds
@@ -54,9 +60,13 @@
 // # Verification
 //
 // The benchmark harness in bench_test.go regenerates every table and
-// figure of the paper's evaluation. CI runs the Makefile targets
-// (build, lint, race, examples, bench) on every push; BENCHMARKS.md
-// tracks the performance trajectory across PRs, and runnable Example
-// tests pin the documented entry points (core.Pipeline.Analyze,
+// figure of the paper's evaluation and converges the paper-scale
+// presets (BenchmarkLargeWorldBuild). CI runs the Makefile targets
+// (build, lint, race, coverage ratchet, fuzz smoke, examples, bench)
+// on every push; BENCHMARKS.md tracks the performance trajectory across
+// PRs, golden files (internal/core/testdata/golden) pin the
+// paper-facing numbers, native fuzzers with checked-in corpora
+// (FuzzCommunityText, FuzzMRTRecord) harden the codecs, and runnable
+// Example tests pin the documented entry points (core.Pipeline.Analyze,
 // scenario.Run, scenario.Sweep).
 package bgpworms

@@ -79,7 +79,7 @@ func NewLab(p gen.Params, nVPs int) (*Lab, error) {
 // community-transparent, one stripping (the §7.2 observation that "only
 // one of the upstream providers propagates communities").
 func (l *Lab) attachResearch() error {
-	asn := gen.ASNInjectorBase
+	asn := l.W.Params.InjectorBase()
 	mids := l.W.TransitASes()
 	var forwarder, stripper topo.ASN
 	for _, m := range mids {
@@ -185,7 +185,7 @@ func (l *Lab) ensureRTBHProvider(near topo.ASN) topo.ASN {
 // attachPeering wires the PEERING analogue: sessions to every IXP route
 // server plus several transit providers.
 func (l *Lab) attachPeering() error {
-	asn := gen.ASNInjectorBase + 1
+	asn := l.W.Params.InjectorBase() + 1
 	inj := router.New(router.Config{ASN: asn, Vendor: router.VendorJuniper, Propagation: policy.PropForwardAll})
 	l.W.Net.AddRouter(inj)
 	var ups []topo.ASN

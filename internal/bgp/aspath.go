@@ -104,6 +104,31 @@ func (p ASPath) Prepend(asn uint32, n int) ASPath {
 	return append(ASPath{{Type: SegmentSequence, ASNs: pre}}, out...)
 }
 
+// EqualSequence reports whether both paths flatten to the same ASN
+// sequence (segment boundaries ignored, as Sequence would produce),
+// without allocating — the hot-path form of comparing two Sequence()
+// results.
+func (p ASPath) EqualSequence(q ASPath) bool {
+	pi, po, qi, qo := 0, 0, 0, 0
+	for {
+		for pi < len(p) && po >= len(p[pi].ASNs) {
+			pi, po = pi+1, 0
+		}
+		for qi < len(q) && qo >= len(q[qi].ASNs) {
+			qi, qo = qi+1, 0
+		}
+		pDone, qDone := pi >= len(p), qi >= len(q)
+		if pDone || qDone {
+			return pDone && qDone
+		}
+		if p[pi].ASNs[po] != q[qi].ASNs[qo] {
+			return false
+		}
+		po++
+		qo++
+	}
+}
+
 // StripPrepending returns the flattened sequence with consecutive
 // duplicates collapsed, the normalization the paper applies before all
 // propagation analysis ("We remove AS path prepending to not bias the AS

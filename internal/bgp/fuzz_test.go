@@ -63,6 +63,50 @@ func TestMutatedMessageRobustness(t *testing.T) {
 	}
 }
 
+// FuzzCommunityText is the native fuzzer for the community text codec:
+// any input either fails ParseCommunity or yields a community whose
+// String, Display, and MarshalText forms all parse back to the same
+// 32-bit value. The seed corpus under testdata/fuzz/FuzzCommunityText
+// covers the canonical form, every well-known name in both separator
+// styles, boundary values, and malformed shapes.
+func FuzzCommunityText(f *testing.F) {
+	for _, seed := range []string{
+		"0:0", "1:2", "65535:666", "65535:65281", "64512:100",
+		"NO_EXPORT", "no-export", "BLACKHOLE", "blackhole", "NOPEER",
+		"no_export_subconfed", "NO_ADVERTISE",
+		"", ":", "1:", ":1", "1:2:3", "-1:5", "65536:0", "0:65536",
+		"0x10:1", " 1:2", "1:2 ", "999999999999:1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseCommunity(s)
+		if err != nil {
+			return // malformed input is allowed to fail, never to panic
+		}
+		for _, form := range []string{c.String(), c.Display()} {
+			back, err := ParseCommunity(form)
+			if err != nil {
+				t.Fatalf("ParseCommunity(%q) ok but %q does not reparse: %v", s, form, err)
+			}
+			if back != c {
+				t.Fatalf("round trip changed value: %q -> %v -> %q -> %v", s, c, form, back)
+			}
+		}
+		text, err := c.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", c, err)
+		}
+		var um Community
+		if err := um.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if um != c {
+			t.Fatalf("text round trip changed value: %v -> %s -> %v", c, text, um)
+		}
+	})
+}
+
 // Truncation robustness: every prefix of a valid message either errors or
 // decodes (short prefixes must error).
 func TestTruncatedMessageRobustness(t *testing.T) {

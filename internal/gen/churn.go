@@ -146,10 +146,15 @@ type rtbhTarget struct {
 	community bgp.Community
 }
 
-// rtbhCapableStubs finds stubs with at least one provider offering RTBH.
+// rtbhCapableStubs finds originating stubs with at least one provider
+// offering RTBH (sampled-origin presets leave most stubs prefixless —
+// nothing to blackhole there).
 func (w *Internet) rtbhCapableStubs() []rtbhTarget {
 	var out []rtbhTarget
 	for _, s := range w.stubASNs() {
+		if len(w.Origins[s]) == 0 {
+			continue
+		}
 		for _, prov := range w.Graph.Providers(s) {
 			if bh, ok := w.Catalogs[prov].BlackholeCommunity(); ok {
 				out = append(out, rtbhTarget{victim: s, provider: prov, community: bh})

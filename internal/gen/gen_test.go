@@ -357,3 +357,28 @@ func TestTransitAndStubAccessors(t *testing.T) {
 		t.Fatal("StubASes wrong")
 	}
 }
+
+// TestPaperScaleASNLayout pins the infrastructure ASN layout: presets
+// that fit the static layout keep it (existing worlds unchanged), and
+// paper-scale presets keep route servers 16-bit addressable — their
+// steering communities must name a real AS — while collectors and
+// injectors float above the stub range.
+func TestPaperScaleASNLayout(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "medium", "large"} {
+		p, _ := Preset(name)
+		if p.IXPBase() != ASNIXPBase || p.CollectorBase() != ASNCollectorBase || p.InjectorBase() != ASNInjectorBase {
+			t.Fatalf("%s: static layout moved: ixp=%d coll=%d inj=%d", name, p.IXPBase(), p.CollectorBase(), p.InjectorBase())
+		}
+	}
+	p := InternetScale()
+	if end := p.IXPBase() + topo.ASN(p.IXPs); end > 0xFFFF {
+		t.Fatalf("internet route servers not 16-bit addressable (end %d)", end)
+	}
+	if p.IXPBase() < ASNMidBase+topo.ASN(p.Mid) || p.IXPBase()+topo.ASN(p.IXPs) > ASNStubBase {
+		t.Fatalf("internet route-server window %d collides with mid/stub ranges", p.IXPBase())
+	}
+	stubEnd := ASNStubBase + topo.ASN(p.Stubs)
+	if p.CollectorBase() <= stubEnd || p.InjectorBase() <= stubEnd {
+		t.Fatalf("internet collector/injector bases inside the stub range: %d/%d", p.CollectorBase(), p.InjectorBase())
+	}
+}

@@ -74,6 +74,20 @@ func (w *Internet) drawValue(rng *rand.Rand) uint16 {
 // Build constructs the topology, assigns policies, attaches IXPs and
 // collectors, and announces every origin prefix to convergence.
 func Build(p Params) (*Internet, error) {
+	engine, err := simnet.ParseEngine(p.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if ASNStubBase+topo.ASN(p.Stubs) > ASNIXPBase {
+		// Dynamic layout: route servers move to the 16-bit window, which
+		// must fit between the mid tier and the stub base.
+		if ASNMidBase+topo.ASN(p.Mid) > ASNIXPBase16 {
+			return nil, fmt.Errorf("gen: %d mid ASes collide with the 16-bit route-server window at %d", p.Mid, ASNIXPBase16)
+		}
+		if ASNIXPBase16+topo.ASN(p.IXPs) > ASNStubBase {
+			return nil, fmt.Errorf("gen: %d route servers overrun the 16-bit window into the stub range at %d", p.IXPs, ASNStubBase)
+		}
+	}
 	w := &Internet{
 		Params:     p,
 		Origins:    make(map[topo.ASN][]netip.Prefix),
@@ -83,7 +97,7 @@ func Build(p Params) (*Internet, error) {
 		rng:        rand.New(rand.NewSource(p.Seed)),
 	}
 	w.buildGraph()
-	w.buildNetwork()
+	w.buildNetwork(engine)
 	if p.Tap != nil {
 		w.Net.Tap(p.Tap)
 	}
@@ -178,7 +192,7 @@ func (w *Internet) asRNG(asn topo.ASN) *rand.Rand {
 	return rand.New(rand.NewSource(w.Params.Seed*1e9 + int64(asn)))
 }
 
-func (w *Internet) buildNetwork() {
+func (w *Internet) buildNetwork(engine simnet.Engine) {
 	p := w.Params
 	w.Net = simnet.New(w.Graph, func(asn topo.ASN) router.Config {
 		rng := w.asRNG(asn)
@@ -309,12 +323,13 @@ func (w *Internet) buildNetwork() {
 	if p.Workers != 0 {
 		w.Net.SetWorkers(p.Workers)
 	}
+	w.Net.SetEngine(engine)
 }
 
 func (w *Internet) attachIXPs() error {
 	members := append(w.midASNs(), w.stubASNs()...)
 	for i := 0; i < w.Params.IXPs; i++ {
-		rs := ixp.NewRouteServer(ASNIXPBase+topo.ASN(i), ixp.SuppressFirst)
+		rs := ixp.NewRouteServer(w.Params.IXPBase()+topo.ASN(i), ixp.SuppressFirst)
 		span := w.Params.IXPMemberSpan
 		start := (i * span * 2) % max(1, len(members)-span)
 		for k := 0; k < span && start+k < len(members); k++ {
@@ -332,7 +347,7 @@ func (w *Internet) attachIXPs() error {
 
 func (w *Internet) attachCollectors() error {
 	p := w.Params
-	asn := ASNCollectorBase
+	asn := p.CollectorBase()
 	// Peer pool: transit ASes carry the interesting views.
 	pool := append(w.tier1ASNs(), w.midASNs()...)
 	for _, platform := range collector.Platforms {
@@ -385,7 +400,12 @@ func v6PrefixFor(originIdx int) netip.Prefix {
 
 func (w *Internet) announceOrigins() error {
 	stubs := w.stubASNs()
-	for i, s := range stubs {
+	step := w.Params.OriginSampleEvery
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(stubs); i += step {
+		s := stubs[i]
 		rng := w.asRNG(s)
 		nPfx := 1 + rng.Intn(w.Params.MaxPrefixesPerOrigin)
 		for k := 0; k < nPfx; k++ {
@@ -422,7 +442,11 @@ func (w *Internet) originTagSet(s topo.ASN, rng *rand.Rand) bgp.CommunitySet {
 
 func (w *Internet) drawOriginTagSet(s topo.ASN, rng *rand.Rand) bgp.CommunitySet {
 	var tags bgp.CommunitySet
-	if rng.Float64() < w.Params.POriginTags {
+	// Classic communities only address 16-bit ASNs; origins in the
+	// 4-byte-style tail of the internet preset cannot name themselves
+	// (Table 2's unaddressable-AS discussion) and announce untagged or
+	// with private/provider tags only.
+	if s <= 0xFFFF && rng.Float64() < w.Params.POriginTags {
 		n := 1 + rng.Intn(3)
 		for t := 0; t < n; t++ {
 			tags = tags.Add(bgp.C(uint16(s), w.drawValue(rng)))

@@ -23,13 +23,20 @@ type Params struct {
 	Seed int64
 
 	// Workers selects the simulation engine parallelism: 0 or 1 keeps
-	// the serial FIFO engine, >1 runs the round-based parallel engine
+	// the serial FIFO engine, >1 runs the delta-driven parallel engine
 	// with that many workers, and a negative value means one worker per
 	// available CPU. Results are deterministic for any setting of this
-	// knob given the same Seed, but the two engines order deliveries
-	// differently, so recorded collector streams are comparable only
-	// within the same engine.
+	// knob given the same Seed. The parallel engines (delta, rounds)
+	// share one canonical delivery order, so their recorded collector
+	// streams are interchangeable; the serial engine orders deliveries
+	// differently and is comparable only with itself.
 	Workers int
+
+	// Engine pins the simnet propagation engine ("serial", "rounds",
+	// "delta"; "" or "auto" derives it from Workers — see
+	// simnet.ParseEngine). The rounds engine is the delta engine's
+	// differential oracle and is only worth pinning for that check.
+	Engine string
 
 	// Topology shape.
 	Tier1 int // clique of transit-free ASes
@@ -39,6 +46,14 @@ type Params struct {
 	// MaxPrefixesPerOrigin bounds how many prefixes a stub originates
 	// (drawn uniformly from 1..Max).
 	MaxPrefixesPerOrigin int
+
+	// OriginSampleEvery originates prefixes from every k-th stub only
+	// (0 or 1 = every stub). The paper-scale presets use it to keep the
+	// announced prefix universe a measured sample — the way collectors
+	// see a slice of the real table — while the topology itself stays at
+	// full AS count. Non-originating stubs still shape the graph (degree
+	// skew, path diversity) and forward routes.
+	OriginSampleEvery int
 
 	// IXPs is the number of exchange points with route servers; members
 	// are drawn from mid-tier and stub ASes.
@@ -98,9 +113,9 @@ type Params struct {
 	Tap simnet.UpdateTap `json:"-"`
 }
 
-// Preset returns the named scale preset ("tiny", "small", "medium") —
-// the single source of truth for the -scale flags and the scenario
-// sweep's scale dimension.
+// Preset returns the named scale preset ("tiny", "small", "medium",
+// "large", "internet") — the single source of truth for the -scale
+// flags and the scenario sweep's scale dimension.
 func Preset(name string) (Params, error) {
 	switch name {
 	case "tiny":
@@ -109,13 +124,17 @@ func Preset(name string) (Params, error) {
 		return Small(), nil
 	case "medium":
 		return Medium(), nil
+	case "large":
+		return Large(), nil
+	case "internet":
+		return InternetScale(), nil
 	default:
 		return Params{}, fmt.Errorf("gen: unknown scale %q (want one of %v)", name, PresetNames())
 	}
 }
 
 // PresetNames lists the scale presets Preset accepts, smallest first.
-func PresetNames() []string { return []string{"tiny", "small", "medium"} }
+func PresetNames() []string { return []string{"tiny", "small", "medium", "large", "internet"} }
 
 // Tiny is the unit-test scale: converges in tens of milliseconds.
 func Tiny() Params {
@@ -148,6 +167,41 @@ func Medium() Params {
 	p.IXPs, p.IXPMemberSpan = 3, 25
 	p.CollectorsPerPlatform = map[string]int{"RIS": 3, "RV": 3, "IS": 2, "PCH": 5}
 	p.PeersPerCollector = 10
+	return p
+}
+
+// Large is the scale-out preset (~10k ASes): full topology with a
+// sampled origin set, sized so the delta engine builds and converges it
+// in well under a minute on one core (BenchmarkLargeWorldBuild tracks
+// the number).
+func Large() Params {
+	p := base()
+	p.Tier1, p.Mid, p.Stubs = 10, 500, 9500
+	p.OriginSampleEvery = 32
+	p.ChurnEvents, p.RTBHEvents = 80, 10
+	p.IXPs, p.IXPMemberSpan = 4, 40
+	p.CollectorsPerPlatform = map[string]int{"RIS": 3, "RV": 3, "IS": 2, "PCH": 5}
+	p.PeersPerCollector = 12
+	return p
+}
+
+// InternetScale is the paper-scale preset: ~63k ASes, matching the
+// study's April 2018 table ("we observed about 63k ASes"), with the
+// degree-skewed provider attachment the generator draws (a few hub
+// transits carry thousands of stubs, CAIDA-style). Origins are sampled
+// sparsely so the announced prefix universe stays a measured slice —
+// the full 63k-AS control plane converges every one of them. Stub ASNs
+// run past 65535, so (as in the real table, §4.2/Table 2) the high-ASN
+// tail cannot name itself in classic communities; those stubs announce
+// untagged or with private-ASN tags only.
+func InternetScale() Params {
+	p := base()
+	p.Tier1, p.Mid, p.Stubs = 12, 1200, 61800
+	p.OriginSampleEvery = 1024
+	p.ChurnEvents, p.RTBHEvents = 12, 8
+	p.IXPs, p.IXPMemberSpan = 6, 60
+	p.CollectorsPerPlatform = map[string]int{"RIS": 4, "RV": 4, "IS": 2, "PCH": 6}
+	p.PeersPerCollector = 16
 	return p
 }
 
@@ -186,3 +240,51 @@ const (
 	// ASNInjectorBase hosts attack-platform ASes (PEERING analogue).
 	ASNInjectorBase topo.ASN = 61000
 )
+
+// ASNIXPBase16 hosts route servers in worlds whose stub range overruns
+// the static layout. Route servers mint steering communities under
+// their own ASN (ixp.AnnounceToCommunity), so unlike collectors and
+// injectors they must stay 16-bit addressable — they park in the gap
+// between the mid tier and the stub base.
+const ASNIXPBase16 topo.ASN = 9000
+
+// IXPBase returns the first route-server ASN for this parameter set. It
+// is the static ASNIXPBase whenever the stub range ends below it (every
+// preset through medium, so existing worlds are unchanged); paper-scale
+// presets, whose tens of thousands of stubs overrun the static layout,
+// use the 16-bit-safe ASNIXPBase16 window instead, keeping route-server
+// communities attributable to a real AS.
+func (p Params) IXPBase() topo.ASN {
+	stubEnd := ASNStubBase + topo.ASN(p.Stubs)
+	if stubEnd <= ASNIXPBase {
+		return ASNIXPBase
+	}
+	return ASNIXPBase16
+}
+
+// infraBase is the floating base for infrastructure that does not mint
+// communities (collectors, injectors) in worlds that overrun the
+// static layout.
+func (p Params) infraBase() topo.ASN {
+	stubEnd := ASNStubBase + topo.ASN(p.Stubs)
+	return (stubEnd + 999) / 1000 * 1000
+}
+
+// CollectorBase returns the first collector ASN, keeping the static
+// offset above the stub range when it overruns the static layout.
+func (p Params) CollectorBase() topo.ASN {
+	if ASNStubBase+topo.ASN(p.Stubs) <= ASNIXPBase {
+		return ASNCollectorBase
+	}
+	return p.infraBase() + (ASNCollectorBase - ASNIXPBase)
+}
+
+// InjectorBase returns the first attack-platform ASN, keeping the
+// static offset above the stub range when it overruns the static
+// layout.
+func (p Params) InjectorBase() topo.ASN {
+	if ASNStubBase+topo.ASN(p.Stubs) <= ASNIXPBase {
+		return ASNInjectorBase
+	}
+	return p.infraBase() + (ASNInjectorBase - ASNIXPBase)
+}

@@ -10,57 +10,103 @@ import (
 )
 
 // decide recomputes the best route for p and reports whether it changed.
+// Only the exact-match map is maintained eagerly; the longest-prefix-
+// match trie is marked stale and rebuilt on the next data-plane read
+// (ensureRIB), since convergence changes best routes thousands of times
+// between FIB queries.
 func (r *Router) decide(p netip.Prefix) bool {
-	best := r.selectBest(p)
-	old, had := r.locRIB.Get(p)
-	if best == nil {
-		if !had {
+	st := r.state[p]
+	e, ok := r.selectBest(p, st)
+	if !ok {
+		if st == nil || st.best == nil {
 			return false
 		}
-		r.locRIB.Delete(p)
+		st.best = nil
+		r.bestLen--
+		r.gcState(p, st)
+		r.ribStale = true
 		return true
 	}
-	if had && sameRoute(old, best) {
-		// Replace stored pointer to pick up community-only changes too;
-		// sameRoute compares them, so reaching here means no change.
+	if st == nil {
+		st = r.stateFor(p) // locally originated, first decision
+	}
+	if st.best != nil && sameEntryRoute(st.best, e) {
+		// The stored best already equals the winning candidate (including
+		// community-only changes — sameEntryRoute compares them).
 		return false
 	}
-	r.locRIB.Insert(p, best)
+	if st.best == nil {
+		r.bestLen++
+	}
+	st.best = materialize(e)
+	r.ribStale = true
 	return true
 }
 
-// selectBest runs the decision process over local + Adj-RIB-In candidates.
-func (r *Router) selectBest(p netip.Prefix) *policy.Route {
-	var candidates []*policy.Route
-	if lr, ok := r.locals[p]; ok {
-		candidates = append(candidates, lr)
+// materialize turns the winning Adj-RIB-In entry into a full Loc-RIB
+// route. Entries whose route already carries the entry attributes
+// (locally originated prefixes, and routes the mutating import path
+// built privately) are stored as-is; interned entries that alias a
+// shared export object get one private copy here — per best-route
+// change, not per delivery.
+func materialize(e inEntry) *policy.Route {
+	rt := e.rt
+	if rt.NextHopAS == e.from && rt.FromRel == e.rel && rt.LocalPref == e.lp && rt.Blackhole == e.bh {
+		return rt
 	}
-	if m := r.adjIn[p]; m != nil {
-		keys := make([]topo.ASN, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, k := range keys {
-			candidates = append(candidates, m[k])
-		}
-	}
-	if len(candidates) == 0 {
-		return nil
-	}
-	best := candidates[0]
-	for _, c := range candidates[1:] {
-		if betterRoute(c, best) {
-			best = c
-		}
-	}
-	return best
+	out := *rt
+	out.NextHopAS = e.from
+	out.FromRel = e.rel
+	out.LocalPref = e.lp
+	out.Blackhole = e.bh
+	return &out
 }
 
-// betterRoute implements the BGP decision process, with the RTBH twist
-// baked into LocalPref (blackhole routes arrive with LocalPrefBlackhole,
-// which is why they win "even though the AS path of the tagged route is
-// longer", §5.1):
+// ensureRIB rebuilds the longest-prefix-match trie from the exact-match
+// Loc-RIB if best routes changed since the last data-plane read. The
+// trie's shape depends only on the stored prefixes (bit paths), so the
+// rebuild is deterministic regardless of map iteration order.
+func (r *Router) ensureRIB() {
+	if !r.ribStale {
+		return
+	}
+	t := netx.NewTrie[*policy.Route]()
+	for p, st := range r.state {
+		if st.best != nil {
+			t.Insert(p, st.best)
+		}
+	}
+	r.locRIB = t
+	r.ribStale = false
+}
+
+// selectBest runs the decision process over local + Adj-RIB-In
+// candidates. Candidates are already sorted by neighbor ASN, so the
+// scan needs no allocation and ties break deterministically.
+func (r *Router) selectBest(p netip.Prefix, st *prefixState) (inEntry, bool) {
+	var best inEntry
+	found := false
+	if len(r.locals) > 0 {
+		if lr, ok := r.locals[p]; ok {
+			best = inEntry{from: 0, rel: topo.RelNone, lp: lr.LocalPref, bh: lr.Blackhole, rt: lr}
+			found = true
+		}
+	}
+	if st != nil {
+		for _, c := range st.in {
+			if !found || betterEntry(c, best) {
+				best = c
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// betterEntry implements the BGP decision process over Adj-RIB-In
+// entries, with the RTBH twist baked into LocalPref (blackhole routes
+// arrive with LocalPrefBlackhole, which is why they win "even though
+// the AS path of the tagged route is longer", §5.1):
 //
 //  1. locally-originated beats learned (vendor "weight" semantics: an AS
 //     always prefers its own origination)
@@ -69,26 +115,26 @@ func (r *Router) selectBest(p netip.Prefix) *policy.Route {
 //  4. lower Origin
 //  5. lower MED
 //  6. lower neighbor ASN (deterministic tie-break)
-func betterRoute(a, b *policy.Route) bool {
-	aLocal := a.NextHopAS == 0
-	bLocal := b.NextHopAS == 0
+func betterEntry(a, b inEntry) bool {
+	aLocal := a.from == 0
+	bLocal := b.from == 0
 	if aLocal != bLocal {
 		return aLocal
 	}
-	if a.LocalPref != b.LocalPref {
-		return a.LocalPref > b.LocalPref
+	if a.lp != b.lp {
+		return a.lp > b.lp
 	}
-	al, bl := a.ASPath.HopLength(), b.ASPath.HopLength()
+	al, bl := a.rt.ASPath.HopLength(), b.rt.ASPath.HopLength()
 	if al != bl {
 		return al < bl
 	}
-	if a.Origin != b.Origin {
-		return a.Origin < b.Origin
+	if a.rt.Origin != b.rt.Origin {
+		return a.rt.Origin < b.rt.Origin
 	}
-	if a.MED != b.MED {
-		return a.MED < b.MED
+	if a.rt.MED != b.rt.MED {
+		return a.rt.MED < b.rt.MED
 	}
-	return a.NextHopAS < b.NextHopAS
+	return a.from < b.from
 }
 
 // sameRoute compares the fields that matter for re-advertisement.
@@ -103,14 +149,25 @@ func sameRoute(a, b *policy.Route) bool {
 		a.Blackhole != b.Blackhole || a.Origin != b.Origin || a.MED != b.MED {
 		return false
 	}
-	as, bs := a.ASPath.Sequence(), b.ASPath.Sequence()
-	if len(as) != len(bs) {
+	return samePathAndComms(a, b)
+}
+
+// sameEntryRoute is sameRoute against an Adj-RIB-In entry, reading the
+// import-derived attributes from the entry.
+func sameEntryRoute(old *policy.Route, e inEntry) bool {
+	if old == nil {
 		return false
 	}
-	for i := range as {
-		if as[i] != bs[i] {
-			return false
-		}
+	if old.Prefix != e.rt.Prefix || old.NextHopAS != e.from || old.LocalPref != e.lp ||
+		old.Blackhole != e.bh || old.Origin != e.rt.Origin || old.MED != e.rt.MED {
+		return false
+	}
+	return samePathAndComms(old, e.rt)
+}
+
+func samePathAndComms(a, b *policy.Route) bool {
+	if !a.ASPath.EqualSequence(b.ASPath) {
+		return false
 	}
 	if len(a.Communities) != len(b.Communities) {
 		return false
@@ -125,12 +182,17 @@ func sameRoute(a, b *policy.Route) bool {
 
 // BestRoute returns the Loc-RIB entry for exactly p.
 func (r *Router) BestRoute(p netip.Prefix) (*policy.Route, bool) {
-	return r.locRIB.Get(p.Masked())
+	st := r.state[p.Masked()]
+	if st == nil || st.best == nil {
+		return nil, false
+	}
+	return st.best, true
 }
 
 // LookupFIB performs longest-prefix match for a destination address,
 // returning the best route covering it — the data-plane view.
 func (r *Router) LookupFIB(addr netip.Addr) (*policy.Route, bool) {
+	r.ensureRIB()
 	_, rt, ok := r.locRIB.Lookup(addr)
 	return rt, ok
 }
@@ -138,6 +200,7 @@ func (r *Router) LookupFIB(addr netip.Addr) (*policy.Route, bool) {
 // RIB returns every Loc-RIB route in canonical prefix order — the looking
 // glass view (§7 uses looking glasses for all validation).
 func (r *Router) RIB() []*policy.Route {
+	r.ensureRIB()
 	out := make([]*policy.Route, 0, r.locRIB.Len())
 	r.locRIB.Walk(func(_ netip.Prefix, rt *policy.Route) bool {
 		out = append(out, rt)
@@ -150,26 +213,23 @@ func (r *Router) RIB() []*policy.Route {
 // (canonical prefix order, then ascending neighbor ASN). Collectors use
 // this to emit TABLE_DUMP_V2 snapshots with one entry per peer.
 func (r *Router) EachAdjIn(fn func(p netip.Prefix, from topo.ASN, rt *policy.Route)) {
-	prefixes := make([]netip.Prefix, 0, len(r.adjIn))
-	for p := range r.adjIn {
-		prefixes = append(prefixes, p)
+	prefixes := make([]netip.Prefix, 0, len(r.state))
+	for p, st := range r.state {
+		if len(st.in) > 0 {
+			prefixes = append(prefixes, p)
+		}
 	}
 	sort.Slice(prefixes, func(i, j int) bool { return netx.ComparePrefix(prefixes[i], prefixes[j]) < 0 })
 	for _, p := range prefixes {
-		m := r.adjIn[p]
-		peers := make([]topo.ASN, 0, len(m))
-		for a := range m {
-			peers = append(peers, a)
-		}
-		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
-		for _, a := range peers {
-			fn(p, a, m[a])
+		for _, c := range r.state[p].in { // already sorted by neighbor ASN
+			fn(p, c.from, materialize(c))
 		}
 	}
 }
 
 // Prefixes returns all Loc-RIB prefixes in canonical order.
 func (r *Router) Prefixes() []netip.Prefix {
+	r.ensureRIB()
 	out := make([]netip.Prefix, 0, r.locRIB.Len())
 	r.locRIB.Walk(func(p netip.Prefix, _ *policy.Route) bool {
 		out = append(out, p)

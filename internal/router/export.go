@@ -2,6 +2,7 @@ package router
 
 import (
 	"net/netip"
+	"sort"
 
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/policy"
@@ -49,10 +50,11 @@ func (d ExportDecision) String() string {
 //
 // The returned route is a fresh copy safe for the receiver to mutate.
 func (r *Router) ExportTo(neighbor topo.ASN, p netip.Prefix) (*policy.Route, ExportDecision) {
-	best, ok := r.locRIB.Get(p.Masked())
-	if !ok {
+	pst := r.state[p.Masked()]
+	if pst == nil || pst.best == nil {
 		return nil, ExportNothing
 	}
+	best := pst.best
 	rel, ok := r.neighbors[neighbor]
 	if !ok {
 		return nil, ExportNothing
@@ -145,33 +147,350 @@ func (r *Router) ExportTo(neighbor topo.ASN, p netip.Prefix) (*policy.Route, Exp
 	return out, ExportSent
 }
 
+// ExportItem is one session's export outcome from ExportAll: Rt is
+// non-nil only when Dec == ExportSent.
+type ExportItem struct {
+	NB  topo.ASN
+	Rt  *policy.Route
+	Dec ExportDecision
+}
+
+// ExportHints carries engine-cached per-neighbor export policy, each
+// slice aligned with the nbs argument ExportAll is called with. The
+// fields are pure functions of the router's session set and config;
+// engines refresh them whenever NeighborVersion changes (which
+// EnableFullCommunityExport bumps precisely so collector-transparency
+// changes invalidate caches). A nil hints falls back to live lookups.
+type ExportHints struct {
+	// Rels is the relationship of each neighbor.
+	Rels []topo.Rel
+	// Strip marks sessions that strip all communities (IOS without
+	// send-community, §6.1).
+	Strip []bool
+	// Mode is the effective propagation mode per session (per-neighbor
+	// override or the AS-wide default).
+	Mode []policy.PropagationMode
+	// Rmap is the per-session export route-map (usually nil).
+	Rmap []*policy.RouteMap
+}
+
+// Hints builds the ExportHints for nbs (aligned slices). Engines cache
+// the result keyed on NeighborVersion.
+func (r *Router) Hints(nbs []topo.ASN) *ExportHints {
+	h := &ExportHints{
+		Rels:  make([]topo.Rel, len(nbs)),
+		Strip: make([]bool, len(nbs)),
+		Mode:  make([]policy.PropagationMode, len(nbs)),
+		Rmap:  make([]*policy.RouteMap, len(nbs)),
+	}
+	for i, nb := range nbs {
+		h.Rels[i] = r.neighbors[nb]
+		h.Strip[i] = r.cfg.Vendor == VendorCisco && !r.cfg.SendCommunity[nb]
+		h.Mode[i] = r.cfg.Propagation
+		if m, ok := r.cfg.PropagationPerNeighbor[nb]; ok {
+			h.Mode[i] = m
+		}
+		h.Rmap[i] = r.cfg.ExportMaps[nb]
+	}
+	return h
+}
+
+// ExportAll computes the export of p toward every neighbor in nbs,
+// appending one ExportItem per neighbor to buf — exactly what ExportTo
+// would decide and build, in nbs order — while doing the
+// neighbor-independent work (best-route lookup, service-catalog scan,
+// AS-path prepending, community propagation) once per call instead of
+// once per session. Neighbors with the same effective community policy
+// share one outbound route object, so a router keeps a single
+// AS-path/community slab per (prefix, policy class) export instead of
+// one private copy per session. Emitted routes are therefore shared:
+// receivers must not mutate them in place (the delta engine pairs this
+// with ReceiveShared, whose copy-on-write import honours that
+// contract). Every nbs entry must be a registered neighbor when hints
+// is non-nil; with nil hints unknown neighbors emit ExportNothing.
+func (r *Router) ExportAll(p netip.Prefix, nbs []topo.ASN, hints *ExportHints, buf []ExportItem) []ExportItem {
+	pst := r.state[p.Masked()]
+	if pst == nil || pst.best == nil {
+		for _, nb := range nbs {
+			buf = append(buf, ExportItem{NB: nb, Dec: ExportNothing})
+		}
+		return buf
+	}
+	best := pst.best
+	fromCustomerOrLocal := best.NextHopAS == 0 || best.FromRel == topo.RelCustomer
+	noAdv := best.Communities.Has(bgp.CommunityNoAdvertise)
+	noExp := best.Communities.Has(bgp.CommunityNoExport)
+	noPeer := best.Communities.Has(bgp.CommunityNoPeer)
+
+	// Service scan, neighbor-independent: catalog order still resolves
+	// announce/no-announce conflicts (§5.3) — the first service naming a
+	// neighbor decides for it, and SvcNoExport suppresses everything
+	// (ExportTo returns at that service, so later ones are irrelevant).
+	fromCustomer := best.FromRel == topo.RelCustomer
+	prepend := 0
+	suppressAll := false
+	hasAnnounceTo := false
+	var annCtl []policy.Service
+	for _, svc := range r.cfg.Catalog.Active(best.Communities, fromCustomer || best.NextHopAS == 0) {
+		switch svc.Kind {
+		case policy.SvcNoExport:
+			suppressAll = true
+		case policy.SvcNoAnnounceTo, policy.SvcAnnounceTo:
+			if svc.Kind == policy.SvcAnnounceTo {
+				hasAnnounceTo = true
+			}
+			annCtl = append(annCtl, svc)
+		case policy.SvcPrepend:
+			if prepend == 0 {
+				prepend = int(svc.Param)
+			}
+		}
+		if suppressAll {
+			break
+		}
+	}
+
+	selfHops := 1 + prepend
+	if r.cfg.Transparent {
+		selfHops = prepend // route servers stay off the AS path
+	}
+	var path bgp.ASPath
+	pathReady := false
+	// classes[0] is the stripped-communities class (IOS without
+	// send-community); classes[1+mode] applies the propagation mode.
+	var classes [8]*policy.Route
+	classRoute := func(idx int, mode policy.PropagationMode) *policy.Route {
+		out := classes[idx]
+		if out == nil {
+			if !pathReady {
+				if selfHops > 0 {
+					path = best.ASPath.Prepend(uint32(r.cfg.ASN), selfHops)
+				} else {
+					// Transparent, no prepending: alias the stored path.
+					// Paths are never mutated in place (Prepend copies),
+					// so aliasing is content-identical to ExportTo's Clone.
+					path = best.ASPath
+				}
+				pathReady = true
+			}
+			var comms bgp.CommunitySet
+			switch {
+			case idx == 0:
+				comms = nil
+			case mode == policy.PropForwardAll:
+				// Alias instead of cloning: shared-slab classes are
+				// immutable downstream.
+				comms = best.Communities
+			default:
+				comms = policy.ApplyPropagation(mode, uint16(r.cfg.ASN), best.Communities)
+			}
+			out = &policy.Route{
+				Prefix:      best.Prefix,
+				ASPath:      path,
+				Communities: comms,
+				Origin:      best.Origin,
+				MED:         best.MED,
+				LocalPref:   policy.DefaultLocalPref, // LP is not transitive across eBGP
+				NextHopAS:   r.cfg.ASN,
+			}
+			classes[idx] = out
+		}
+		return out
+	}
+
+	for ni, nb := range nbs {
+		var rel topo.Rel
+		if hints != nil {
+			rel = hints.Rels[ni]
+		} else {
+			var ok bool
+			rel, ok = r.neighbors[nb]
+			if !ok {
+				buf = append(buf, ExportItem{NB: nb, Dec: ExportNothing})
+				continue
+			}
+		}
+		if best.NextHopAS == nb {
+			buf = append(buf, ExportItem{NB: nb, Dec: ExportSuppressedGaoRexford})
+			continue
+		}
+		if !fromCustomerOrLocal && rel != topo.RelCustomer && !r.cfg.ReflectAll {
+			buf = append(buf, ExportItem{NB: nb, Dec: ExportSuppressedGaoRexford})
+			continue
+		}
+		if noAdv {
+			buf = append(buf, ExportItem{NB: nb, Dec: ExportSuppressedNoAdvertise})
+			continue
+		}
+		if noExp || (noPeer && rel == topo.RelPeer) {
+			buf = append(buf, ExportItem{NB: nb, Dec: ExportSuppressedNoExport})
+			continue
+		}
+		if suppressAll {
+			buf = append(buf, ExportItem{NB: nb, Dec: ExportSuppressedService})
+			continue
+		}
+		if len(annCtl) > 0 {
+			decided, allowed := false, true
+			for _, svc := range annCtl {
+				if topo.ASN(svc.Param) == nb {
+					allowed = svc.Kind == policy.SvcAnnounceTo
+					decided = true
+					break
+				}
+			}
+			if (decided && !allowed) || (!decided && hasAnnounceTo) {
+				buf = append(buf, ExportItem{NB: nb, Dec: ExportSuppressedService})
+				continue
+			}
+		}
+
+		var strip bool
+		var mode policy.PropagationMode
+		var rm *policy.RouteMap
+		if hints != nil {
+			strip, mode, rm = hints.Strip[ni], hints.Mode[ni], hints.Rmap[ni]
+		} else {
+			strip = r.cfg.Vendor == VendorCisco && !r.cfg.SendCommunity[nb]
+			mode = r.cfg.Propagation
+			if m, ok := r.cfg.PropagationPerNeighbor[nb]; ok {
+				mode = m
+			}
+			rm = r.cfg.ExportMaps[nb]
+		}
+		idx := 0
+		if !strip {
+			idx = 1 + int(mode)
+			if idx < 1 || idx >= len(classes) {
+				// Unknown future mode: fall back to the per-neighbor path.
+				rt, dec := r.ExportTo(nb, p)
+				buf = append(buf, ExportItem{NB: nb, Rt: rt, Dec: dec})
+				continue
+			}
+		}
+		out := classRoute(idx, mode)
+
+		if rm != nil {
+			// Route maps mutate in place: give them a private copy.
+			priv := out.Clone()
+			if !rm.Apply(priv, r.cfg.ASN) {
+				buf = append(buf, ExportItem{NB: nb, Dec: ExportSuppressedPolicy})
+				continue
+			}
+			buf = append(buf, ExportItem{NB: nb, Rt: priv, Dec: ExportSent})
+			continue
+		}
+		buf = append(buf, ExportItem{NB: nb, Rt: out, Dec: ExportSent})
+	}
+	return buf
+}
+
 // RecordAdvertised stores what was last sent to a neighbor, letting the
 // simulator deliver only genuine changes. It returns true when the new
 // announcement differs from the previous one.
 func (r *Router) RecordAdvertised(neighbor topo.ASN, p netip.Prefix, rt *policy.Route) bool {
-	m := r.adjOut[neighbor]
-	if m == nil {
-		m = make(map[netip.Prefix]*policy.Route)
-		r.adjOut[neighbor] = m
-	}
 	p = p.Masked()
-	prev, had := m[p]
+	st := r.state[p]
+	if st == nil {
+		if rt == nil {
+			return false
+		}
+		st = r.stateFor(p)
+	}
+	sent := st.out
+	i := sort.Search(len(sent), func(i int) bool { return sent[i].from >= neighbor })
+	had := i < len(sent) && sent[i].from == neighbor
 	if rt == nil {
 		if !had {
 			return false
 		}
-		delete(m, p)
+		st.out = append(sent[:i], sent[i+1:]...)
+		if len(st.out) == 0 {
+			st.out = nil
+			r.gcState(p, st)
+		}
 		return true
 	}
-	if had && sameRoute(prev, rt) {
-		return false
+	if had {
+		if sameRoute(sent[i].rt, rt) {
+			return false
+		}
+		sent[i].rt = rt
+		return true
 	}
-	m[p] = rt
+	sent = append(sent, nbRoute{})
+	copy(sent[i+1:], sent[i:])
+	sent[i] = nbRoute{from: neighbor, rt: rt}
+	st.out = sent
 	return true
+}
+
+// RecordAdvertisedAll merges a full per-neighbor export round for p
+// into the Adj-RIB-Out with a single map access, calling emit for every
+// session whose advertisement actually changed (rt nil = withdraw) —
+// the batch form of RecordAdvertised the delta engine drives. items
+// must be ordered by neighbor ascending with each session at most once
+// (ExportAll output); sessions absent from items keep their recorded
+// state. Items whose Dec is not ExportSent count as withdrawals.
+func (r *Router) RecordAdvertisedAll(p netip.Prefix, items []ExportItem, emit func(nb topo.ASN, rt *policy.Route)) {
+	p = p.Masked()
+	st := r.state[p]
+	if st == nil {
+		st = r.stateFor(p)
+	}
+	sent := st.out
+	changed := false
+	for _, it := range items {
+		rt := it.Rt
+		if it.Dec != ExportSent {
+			rt = nil
+		}
+		i := sort.Search(len(sent), func(i int) bool { return sent[i].from >= it.NB })
+		present := i < len(sent) && sent[i].from == it.NB
+		if rt == nil {
+			if !present {
+				continue
+			}
+			sent = append(sent[:i], sent[i+1:]...)
+			changed = true
+			emit(it.NB, nil)
+			continue
+		}
+		if present {
+			if sameRoute(sent[i].rt, rt) {
+				continue
+			}
+			sent[i].rt = rt
+			changed = true
+			emit(it.NB, rt)
+			continue
+		}
+		sent = append(sent, nbRoute{})
+		copy(sent[i+1:], sent[i:])
+		sent[i] = nbRoute{from: it.NB, rt: rt}
+		changed = true
+		emit(it.NB, rt)
+	}
+	if changed {
+		// Always write back: an append above may have moved the backing
+		// array away from what the state still references.
+		st.out = sent
+		if len(sent) == 0 {
+			st.out = nil
+		}
+	}
+	r.gcState(p, st)
 }
 
 // Advertised returns the last route recorded as sent to neighbor for p.
 func (r *Router) Advertised(neighbor topo.ASN, p netip.Prefix) (*policy.Route, bool) {
-	rt, ok := r.adjOut[neighbor][p.Masked()]
-	return rt, ok
+	st := r.state[p.Masked()]
+	if st == nil {
+		return nil, false
+	}
+	i := sort.Search(len(st.out), func(i int) bool { return st.out[i].from >= neighbor })
+	if i < len(st.out) && st.out[i].from == neighbor {
+		return st.out[i].rt, true
+	}
+	return nil, false
 }

@@ -110,14 +110,58 @@ type Config struct {
 	ReflectAll bool
 }
 
+// nbRoute is one Adj-RIB-Out entry: the neighbor plus the route last
+// sent to it. Entries for a prefix are kept as a slice sorted by
+// neighbor ASN — routers hold a handful of sessions per prefix, where a
+// sorted slice beats a map on every axis the hot path cares about
+// (lookup, ordered iteration, and GC footprint at internet scale).
+type nbRoute struct {
+	from topo.ASN
+	rt   *policy.Route
+}
+
+// inEntry is one Adj-RIB-In candidate — the compact interned form. The
+// import-derived attributes (next hop, relationship, local preference,
+// blackhole) live in the entry, not in a per-entry route copy, so a
+// receiver whose import policy neither tags nor rewrites the update
+// stores the sender's shared route object directly: one
+// AS-path/community slab per export class serves every session and
+// every receiver that accepted it unchanged. Readers must take nexthop,
+// relationship, local-pref, and blackhole from the entry; rt is
+// authoritative only for prefix, path, communities, origin, and MED.
+type inEntry struct {
+	from topo.ASN
+	rel  topo.Rel
+	lp   uint32
+	bh   bool
+	rt   *policy.Route
+}
+
+// prefixState bundles every per-prefix table — Adj-RIB-In candidates,
+// the Loc-RIB best route, and the Adj-RIB-Out record — so the hot path
+// pays one prefix-keyed map access per operation instead of one per
+// table. The state pointer is stable once created; empty states are
+// garbage-collected with their prefix on withdrawal.
+type prefixState struct {
+	in   []inEntry
+	best *policy.Route
+	out  []nbRoute
+}
+
 // Router is a single-AS BGP speaker.
 type Router struct {
 	cfg       Config
 	neighbors map[topo.ASN]topo.Rel
+	nbVersion int
 	locals    map[netip.Prefix]*policy.Route
-	adjIn     map[netip.Prefix]map[topo.ASN]*policy.Route
-	locRIB    *netx.Trie[*policy.Route]
-	adjOut    map[topo.ASN]map[netip.Prefix]*policy.Route
+	// state is the unified per-prefix routing table; locRIB is the
+	// longest-prefix-match view (data plane), rebuilt lazily from it
+	// because convergence churns best routes thousands of times between
+	// data-plane queries.
+	state    map[netip.Prefix]*prefixState
+	bestLen  int
+	locRIB   *netx.Trie[*policy.Route]
+	ribStale bool
 }
 
 // New constructs a router from cfg.
@@ -126,9 +170,25 @@ func New(cfg Config) *Router {
 		cfg:       cfg,
 		neighbors: make(map[topo.ASN]topo.Rel),
 		locals:    make(map[netip.Prefix]*policy.Route),
-		adjIn:     make(map[netip.Prefix]map[topo.ASN]*policy.Route),
+		state:     make(map[netip.Prefix]*prefixState),
 		locRIB:    netx.NewTrie[*policy.Route](),
-		adjOut:    make(map[topo.ASN]map[netip.Prefix]*policy.Route),
+	}
+}
+
+// stateFor returns the per-prefix state, creating it on demand.
+func (r *Router) stateFor(p netip.Prefix) *prefixState {
+	st := r.state[p]
+	if st == nil {
+		st = &prefixState{}
+		r.state[p] = st
+	}
+	return st
+}
+
+// gcState drops the state entry if every table is empty.
+func (r *Router) gcState(p netip.Prefix, st *prefixState) {
+	if len(st.in) == 0 && st.best == nil && len(st.out) == 0 {
+		delete(r.state, p)
 	}
 }
 
@@ -142,10 +202,12 @@ func (r *Router) Config() *Config { return &r.cfg }
 // (what the neighbor is to us).
 func (r *Router) AddNeighbor(asn topo.ASN, rel topo.Rel) {
 	r.neighbors[asn] = rel
-	if r.adjOut[asn] == nil {
-		r.adjOut[asn] = make(map[netip.Prefix]*policy.Route)
-	}
+	r.nbVersion++
 }
+
+// NeighborVersion counts AddNeighbor calls; engines that cache sorted
+// neighbor lists use it to notice sessions added behind their back.
+func (r *Router) NeighborVersion() int { return r.nbVersion }
 
 // EnableFullCommunityExport makes the session to neighbor fully
 // community-transparent regardless of the AS-wide policy. Route-collector
@@ -161,6 +223,8 @@ func (r *Router) EnableFullCommunityExport(neighbor topo.ASN) {
 		r.cfg.SendCommunity = make(map[topo.ASN]bool)
 	}
 	r.cfg.SendCommunity[neighbor] = true
+	// Per-neighbor export policy changed: invalidate cached ExportHints.
+	r.nbVersion++
 }
 
 // Neighbors returns all sessions in ascending ASN order.
@@ -242,14 +306,89 @@ func (ir ImportResult) String() string {
 // ReceiveUpdate processes an announcement from neighbor `from`. It returns
 // the import outcome and whether the Loc-RIB best route changed.
 func (r *Router) ReceiveUpdate(from topo.ASN, in *policy.Route) (ImportResult, bool) {
+	res := r.receive(from, in, false)
+	if res != ImportAccepted {
+		return res, false
+	}
+	return res, r.decide(in.Prefix)
+}
+
+// ReceiveShared is ReceiveUpdate for engines that deliver one shared
+// route object to many receivers (the delta engine's export classes).
+// Instead of deep-cloning the input up front it takes a shallow copy
+// whose AS-path and community slices alias the sender's slabs, and
+// copies the community set only at the first local mutation. The import
+// outcome and resulting RIB state are identical to ReceiveUpdate's; the
+// caller guarantees the shared input is never mutated in place.
+func (r *Router) ReceiveShared(from topo.ASN, in *policy.Route) (ImportResult, bool) {
+	res := r.receive(from, in, true)
+	if res != ImportAccepted {
+		return res, false
+	}
+	return res, r.decide(in.Prefix)
+}
+
+// ReceiveSharedNoDecide stores a shared update in the Adj-RIB-In
+// without running the decision process, reporting whether the import
+// was accepted. Engines that batch several deliveries for one prefix
+// (the delta engine's per-destination inboxes) apply them all and then
+// call Decide once per prefix: the final candidate set — and therefore
+// the decision — is order-identical to deciding after every delivery,
+// while transient intermediate best routes (which could only trigger
+// no-op re-exports) are never computed.
+func (r *Router) ReceiveSharedNoDecide(from topo.ASN, in *policy.Route) ImportResult {
+	return r.receive(from, in, true)
+}
+
+// Decide runs the decision process for p and reports whether the best
+// route changed. Pair with ReceiveSharedNoDecide / WithdrawNoDecide.
+func (r *Router) Decide(p netip.Prefix) bool { return r.decide(p.Masked()) }
+
+// receive runs the import policy for an update and stores the accepted
+// candidate in the Adj-RIB-In; callers run the decision process.
+//
+// For shared inputs it first runs a pure decision pass (importScan): if
+// the import neither tags nor rewrites the route, the accepted entry
+// aliases the sender's route object with zero allocation — the interned
+// fast path the delta engine lives on. Anything that mutates (blackhole
+// NO_EXPORT, location services, ingress tags, route maps) falls through
+// to the classic build-a-private-route path below.
+func (r *Router) receive(from topo.ASN, in *policy.Route, shared bool) ImportResult {
 	rel, ok := r.neighbors[from]
 	if !ok {
-		return ImportRejectedUnknownNeighbor, false
+		return ImportRejectedUnknownNeighbor
 	}
 	if in.ASPath.HasLoop(r.cfg.ASN) {
-		return ImportRejectedLoop, false
+		return ImportRejectedLoop
 	}
-	rt := in.Clone()
+	if shared {
+		res, entry, pristine := r.importScan(from, rel, in)
+		if res != ImportAccepted {
+			return res
+		}
+		if pristine {
+			r.storeAdjIn(entry)
+			return ImportAccepted
+		}
+	}
+	var rt *policy.Route
+	ownComms := true
+	if shared {
+		cp := *in // slices still alias the shared slabs
+		rt = &cp
+		ownComms = false
+	} else {
+		rt = in.Clone()
+	}
+	// addComm is the copy-on-write community append: shared routes get a
+	// private set the first time this router tags the route.
+	addComm := func(c bgp.Community) {
+		if !ownComms {
+			rt.Communities = rt.Communities.Clone()
+			ownComms = true
+		}
+		rt.Communities = rt.Communities.Add(c)
+	}
 	rt.NextHopAS = from
 	rt.FromRel = rel
 	rt.Blackhole = false
@@ -277,7 +416,7 @@ func (r *Router) ReceiveUpdate(from topo.ASN, in *policy.Route) (ImportResult, b
 		rt.Blackhole = true
 		rt.LocalPref = LocalPrefBlackhole
 		if r.cfg.BlackholeAddNoExport {
-			rt.Communities = rt.Communities.Add(bgp.CommunityNoExport)
+			addComm(bgp.CommunityNoExport)
 		}
 	}
 
@@ -299,7 +438,7 @@ func (r *Router) ReceiveUpdate(from topo.ASN, in *policy.Route) (ImportResult, b
 		applyBlackhole()
 	} else {
 		if !validated {
-			return ImportRejectedOriginInvalid, false
+			return ImportRejectedOriginInvalid
 		}
 		if blackholeTagged {
 			applyBlackhole()
@@ -314,7 +453,7 @@ func (r *Router) ReceiveUpdate(from topo.ASN, in *policy.Route) (ImportResult, b
 			limit = 48
 		}
 		if rt.Prefix.Bits() > limit {
-			return ImportRejectedTooSpecific, false
+			return ImportRejectedTooSpecific
 		}
 	}
 
@@ -339,7 +478,7 @@ func (r *Router) ReceiveUpdate(from topo.ASN, in *policy.Route) (ImportResult, b
 		case policy.SvcLocation:
 			// Location services bundle-tag on ingress.
 			if r.allowAdd(added) {
-				rt.Communities = rt.Communities.Add(bgp.C(uint16(r.cfg.ASN), uint16(svc.Param)))
+				addComm(bgp.C(uint16(r.cfg.ASN), uint16(svc.Param)))
 				added++
 			}
 		}
@@ -347,38 +486,172 @@ func (r *Router) ReceiveUpdate(from topo.ASN, in *policy.Route) (ImportResult, b
 
 	// Ingress location tagging per neighbor (Figure 1, AS6 style).
 	if tag, ok := r.cfg.LocationTags[from]; ok && r.allowAdd(added) {
-		rt.Communities = rt.Communities.Add(tag)
+		addComm(tag)
 		added++
 	}
 
 	if rm := r.cfg.ImportMaps[from]; rm != nil {
+		if !ownComms {
+			// Route maps mutate the community set in place; detach from
+			// the shared slab first. (Prepend actions already copy.)
+			rt.Communities = rt.Communities.Clone()
+			ownComms = true
+		}
 		if !rm.Apply(rt, r.cfg.ASN) {
-			return ImportRejectedPolicy, false
+			return ImportRejectedPolicy
 		}
 	}
 
-	m := r.adjIn[rt.Prefix]
-	if m == nil {
-		m = make(map[topo.ASN]*policy.Route)
-		r.adjIn[rt.Prefix] = m
+	r.storeAdjIn(inEntry{from: from, rel: rel, lp: rt.LocalPref, bh: rt.Blackhole, rt: rt})
+	return ImportAccepted
+}
+
+// storeAdjIn inserts or replaces the candidate entry for (prefix, from).
+func (r *Router) storeAdjIn(e inEntry) {
+	st := r.stateFor(e.rt.Prefix)
+	cands := st.in
+	i := sort.Search(len(cands), func(i int) bool { return cands[i].from >= e.from })
+	if i < len(cands) && cands[i].from == e.from {
+		cands[i] = e
+	} else {
+		cands = append(cands, inEntry{})
+		copy(cands[i+1:], cands[i:])
+		cands[i] = e
+		st.in = cands
 	}
-	m[from] = rt
-	return ImportAccepted, r.decide(rt.Prefix)
+}
+
+// importScan is the allocation-free decision half of the import policy:
+// it computes the outcome, effective local-pref, and blackhole flag for
+// an update without building a route, and reports whether the import is
+// pristine — nothing would tag or rewrite the route, so the shared
+// input can be stored as-is. Non-pristine accepted imports are replayed
+// by the mutating path in receive; the two must agree, which the
+// engine differential tests cross-check (the rounds oracle never takes
+// this path).
+func (r *Router) importScan(from topo.ASN, rel topo.Rel, in *policy.Route) (ImportResult, inEntry, bool) {
+	fromCustomer := rel == topo.RelCustomer
+
+	blackholeTagged := false
+	if r.cfg.Catalog != nil {
+		if bh, ok := r.cfg.Catalog.BlackholeCommunity(); ok && in.Communities.Has(bh) {
+			blackholeTagged = true
+		}
+		if !blackholeTagged {
+			if _, offers := r.cfg.Catalog.BlackholeCommunity(); offers && in.Communities.Has(bgp.CommunityBlackhole) {
+				blackholeTagged = true
+			}
+		}
+	}
+	if blackholeTagged && r.cfg.BlackholeMinLen > 0 && in.Prefix.Bits() < r.cfg.BlackholeMinLen {
+		blackholeTagged = false
+	}
+
+	validated := true
+	if r.cfg.ValidateOrigin && fromCustomer {
+		if !r.cfg.CustomerPrefixes[from].Matches(in.Prefix) {
+			validated = false
+		}
+	}
+	if validated && r.cfg.ValidateOrigin && len(r.cfg.OriginAuth) > 0 {
+		if want, ok := r.cfg.OriginAuth[in.Prefix]; ok && in.ASPath.Origin() != want {
+			validated = false
+		}
+	}
+
+	bh := false
+	if blackholeTagged && r.cfg.BlackholeBeforeValidate {
+		bh = true
+	} else {
+		if !validated {
+			return ImportRejectedOriginInvalid, inEntry{}, false
+		}
+		bh = blackholeTagged
+	}
+
+	if !bh && r.cfg.MaxPrefixLen > 0 {
+		limit := r.cfg.MaxPrefixLen
+		if in.Prefix.Addr().Is6() {
+			limit = 48
+		}
+		if in.Prefix.Bits() > limit {
+			return ImportRejectedTooSpecific, inEntry{}, false
+		}
+	}
+
+	var lp uint32
+	mutates := false
+	if bh {
+		lp = LocalPrefBlackhole
+		if r.cfg.BlackholeAddNoExport {
+			mutates = true
+		}
+	} else {
+		switch rel {
+		case topo.RelCustomer:
+			lp = LocalPrefCustomer
+		case topo.RelPeer:
+			lp = LocalPrefPeer
+		default:
+			lp = LocalPrefProvider
+		}
+	}
+
+	added := 0
+	for _, svc := range r.cfg.Catalog.Active(in.Communities, fromCustomer) {
+		switch svc.Kind {
+		case policy.SvcLocalPref:
+			lp = svc.Param
+		case policy.SvcLocation:
+			if r.allowAdd(added) {
+				mutates = true
+				added++
+			}
+		}
+	}
+	if _, ok := r.cfg.LocationTags[from]; ok && r.allowAdd(added) {
+		mutates = true
+	}
+	if r.cfg.ImportMaps[from] != nil {
+		mutates = true
+	}
+
+	return ImportAccepted, inEntry{from: from, rel: rel, lp: lp, bh: bh, rt: in}, !mutates
 }
 
 // ReceiveWithdraw processes a withdrawal from a neighbor and reports
 // whether the best route changed.
 func (r *Router) ReceiveWithdraw(from topo.ASN, p netip.Prefix) bool {
 	p = p.Masked()
-	m := r.adjIn[p]
-	if m == nil {
+	if !r.withdraw(from, p) {
 		return false
 	}
-	if _, ok := m[from]; !ok {
-		return false
-	}
-	delete(m, from)
 	return r.decide(p)
+}
+
+// WithdrawNoDecide removes the neighbor's Adj-RIB-In entry without
+// running the decision process, reporting whether an entry was removed;
+// the ReceiveSharedNoDecide batching contract applies.
+func (r *Router) WithdrawNoDecide(from topo.ASN, p netip.Prefix) bool {
+	return r.withdraw(from, p.Masked())
+}
+
+func (r *Router) withdraw(from topo.ASN, p netip.Prefix) bool {
+	st := r.state[p]
+	if st == nil {
+		return false
+	}
+	cands := st.in
+	i := sort.Search(len(cands), func(i int) bool { return cands[i].from >= from })
+	if i >= len(cands) || cands[i].from != from {
+		return false
+	}
+	st.in = append(cands[:i], cands[i+1:]...)
+	if len(st.in) == 0 {
+		st.in = nil
+		r.gcState(p, st)
+	}
+	return true
 }
 
 // allowAdd enforces the IOS 32-addition cap (§6.1).
@@ -387,5 +660,5 @@ func (r *Router) allowAdd(added int) bool {
 }
 
 func (r *Router) String() string {
-	return fmt.Sprintf("AS%d (%d neighbors, %d prefixes)", r.cfg.ASN, len(r.neighbors), r.locRIB.Len())
+	return fmt.Sprintf("AS%d (%d neighbors, %d prefixes)", r.cfg.ASN, len(r.neighbors), r.bestLen)
 }

@@ -7,6 +7,7 @@ import (
 
 	"bgpworms/internal/conc"
 	"bgpworms/internal/gen"
+	"bgpworms/internal/simnet"
 	"bgpworms/internal/stats"
 )
 
@@ -24,6 +25,11 @@ type Grid struct {
 	// EngineWorkers fans gen.Params.Workers — the simnet engine
 	// parallelism per cell; default {1} (the serial FIFO engine).
 	EngineWorkers []int `json:"engine_workers"`
+	// Engines fans gen.Params.Engine — the simnet propagation engine
+	// per cell ("auto", "serial", "rounds", "delta"); default {"auto"}.
+	// Sweeping {"rounds", "delta"} is the grid form of the differential
+	// engine check.
+	Engines []string `json:"engines,omitempty"`
 	// CommunitySets names registry slices for candidate-driven scenarios
 	// ("verified", "likely", "all"); default {"verified"}.
 	CommunitySets []string `json:"community_sets"`
@@ -46,6 +52,9 @@ func (g Grid) withDefaults() Grid {
 	if len(g.EngineWorkers) == 0 {
 		g.EngineWorkers = []int{1}
 	}
+	if len(g.Engines) == 0 {
+		g.Engines = []string{"auto"}
+	}
 	if len(g.CommunitySets) == 0 {
 		g.CommunitySets = []string{DefaultCommunitySet}
 	}
@@ -61,6 +70,7 @@ type Cell struct {
 	Scale         string  `json:"scale"`
 	Seed          int64   `json:"seed"`
 	EngineWorkers int     `json:"engine_workers"`
+	Engine        string  `json:"engine,omitempty"`
 	CommunitySet  string  `json:"community_set"`
 	Result        *Result `json:"result,omitempty"`
 	Err           string  `json:"error,omitempty"`
@@ -108,16 +118,23 @@ func (g Grid) Cells() ([]Cell, error) {
 			return nil, err
 		}
 	}
+	for _, e := range g.Engines {
+		if _, err := simnet.ParseEngine(e); err != nil {
+			return nil, err
+		}
+	}
 	var cells []Cell
 	for _, name := range g.Scenarios {
 		for _, scale := range g.Scales {
 			for _, seed := range g.Seeds {
 				for _, ew := range g.EngineWorkers {
-					for _, set := range g.CommunitySets {
-						cells = append(cells, Cell{
-							Scenario: name, Scale: scale, Seed: seed,
-							EngineWorkers: ew, CommunitySet: set,
-						})
+					for _, eng := range g.Engines {
+						for _, set := range g.CommunitySets {
+							cells = append(cells, Cell{
+								Scenario: name, Scale: scale, Seed: seed,
+								EngineWorkers: ew, Engine: eng, CommunitySet: set,
+							})
+						}
 					}
 				}
 			}
@@ -195,6 +212,7 @@ func runCell(c *Cell, g Grid) {
 	}
 	p.Seed = c.Seed
 	p.Workers = c.EngineWorkers
+	p.Engine = c.Engine
 	// Pass only the parameters this cell's scenario declares, so fixed
 	// Values can span a mixed-scenario grid.
 	var vals Values
@@ -219,7 +237,7 @@ func runCell(c *Cell, g Grid) {
 
 // RenderSweep renders the report as a text table, one row per cell.
 func RenderSweep(r *SweepReport) string {
-	t := stats.NewTable("Scenario", "Scale", "Seed", "EngWorkers", "Set", "Success", "Expected", "Note")
+	t := stats.NewTable("Scenario", "Scale", "Seed", "Engine", "EngWorkers", "Set", "Success", "Expected", "Note")
 	for i := range r.Cells {
 		c := &r.Cells[i]
 		note := ""
@@ -235,7 +253,11 @@ func RenderSweep(r *SweepReport) string {
 			success = c.Result.Success
 			expected = strconv.FormatBool(c.Expected)
 		}
-		t.Row(c.Scenario, c.Scale, c.Seed, c.EngineWorkers, c.CommunitySet, success, expected, note)
+		eng := c.Engine
+		if eng == "" {
+			eng = "auto"
+		}
+		t.Row(c.Scenario, c.Scale, c.Seed, eng, c.EngineWorkers, c.CommunitySet, success, expected, note)
 	}
 	out := t.String()
 	out += fmt.Sprintf("\ncells=%d succeeded=%d failed=%d errored=%d as-expected=%d\n",

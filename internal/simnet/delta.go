@@ -1,0 +1,315 @@
+package simnet
+
+import (
+	"fmt"
+	"net/netip"
+	"slices"
+	"sync"
+
+	"bgpworms/internal/conc"
+	"bgpworms/internal/netx"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/router"
+	"bgpworms/internal/topo"
+)
+
+// The delta engine (EngineDelta) converges the same propagation queue
+// as the rounds engine but is organized around change, not rounds over
+// sorted global frontiers:
+//
+//   - work lives in per-router dirty-prefix buckets keyed by a dense
+//     router index, so a round never sorts a global frontier or clears
+//     a global dedup map — only the dirty router ids (ints) and each
+//     router's few dirty prefixes are ordered;
+//   - exports run through router.ExportAll, which does the
+//     neighbor-independent work once per (router, prefix) and shares
+//     one route object per policy class across sessions — the compact
+//     AS-path/community slabs that keep memory flat at large scale;
+//   - receives run through router.ReceiveShared, whose copy-on-write
+//     import keeps those slabs shared until a router actually tags the
+//     route;
+//   - all scratch (buckets, outboxes, inboxes) is reused across rounds
+//     and runs, so steady-state convergence allocates only real routing
+//     state.
+//
+// Determinism contract: the delta engine delivers updates in exactly
+// the canonical order the rounds engine uses (sources ascending, dirty
+// prefixes in canonical order, neighbors ascending), applies them under
+// the same barriers, and therefore produces bit-identical tap streams,
+// delivery counts, and final RIBs — for any worker count, and equal to
+// EngineRounds on the same workload. TestDifferentialEngines holds both
+// engines to that contract on randomized worlds.
+
+// deltaState is the delta engine's cached world view plus reusable
+// scratch. It is rebuilt when routers are added and refreshed per run
+// when sessions changed (Router.NeighborVersion).
+type deltaState struct {
+	order []topo.ASN            // all routers, ascending
+	index map[topo.ASN]int      // ASN -> dense index (fallback)
+	byASN []int32               // dense ASN -> index table (fast path)
+	nbs   [][]topo.ASN          // modelled neighbors per router, ascending
+	hints []*router.ExportHints // per-neighbor export policy, nbs-aligned
+	nbVer []int                 // Router.NeighborVersion at last refresh
+
+	items   [][]netip.Prefix      // per-router dirty prefixes (current round)
+	srcs    []int                 // dirty router indices, ascending
+	next    []int                 // dirty router indices for the next round
+	outs    [][]delivery          // per-dirty-router outboxes, reused
+	exp     [][]router.ExportItem // per-chunk export scratch, reused
+	inbox   [][]delivery          // per-router inboxes, reused
+	touched []int                 // router indices with non-empty inboxes
+	changed [][]netip.Prefix      // per-touched changed prefixes, reused
+}
+
+// maxDenseASN bounds the direct-index table; generated worlds stay far
+// below it, and anything above (real 4-byte ASNs from sampled CAIDA
+// tables) falls back to the map.
+const maxDenseASN = 1 << 21
+
+func (st *deltaState) idx(asn topo.ASN) int {
+	if st.byASN != nil && asn < maxDenseASN {
+		return int(st.byASN[asn])
+	}
+	return st.index[asn]
+}
+
+// invalidateDelta drops the cached dense index; the next delta run
+// rebuilds it. Called when routers are added out of band.
+func (n *Network) invalidateDelta() { n.delta = nil }
+
+// deltaStateFor returns a fresh or refreshed state for the current
+// router and session population.
+func (n *Network) deltaStateFor() *deltaState {
+	st := n.delta
+	if st == nil || len(st.order) != len(n.routers) {
+		st = &deltaState{
+			order: make([]topo.ASN, 0, len(n.routers)),
+			index: make(map[topo.ASN]int, len(n.routers)),
+		}
+		maxASN := topo.ASN(0)
+		for a := range n.routers {
+			st.order = append(st.order, a)
+			if a > maxASN {
+				maxASN = a
+			}
+		}
+		slices.Sort(st.order)
+		for i, a := range st.order {
+			st.index[a] = i
+		}
+		if maxASN < maxDenseASN {
+			st.byASN = make([]int32, maxASN+1)
+			for i, a := range st.order {
+				st.byASN[a] = int32(i)
+			}
+		}
+		st.nbs = make([][]topo.ASN, len(st.order))
+		st.hints = make([]*router.ExportHints, len(st.order))
+		st.nbVer = make([]int, len(st.order))
+		st.items = make([][]netip.Prefix, len(st.order))
+		st.inbox = make([][]delivery, len(st.order))
+		n.delta = st
+	}
+	// Refresh neighbor caches for routers whose session set changed.
+	for i, asn := range st.order {
+		r := n.routers[asn]
+		if v := r.NeighborVersion(); st.nbs[i] == nil || v != st.nbVer[i] {
+			st.nbVer[i] = v
+			nbs := st.nbs[i][:0]
+			for _, nb := range r.Neighbors() {
+				if n.routers[nb] != nil { // skip sessions to unmodelled nodes
+					nbs = append(nbs, nb)
+				}
+			}
+			st.nbs[i] = nbs
+			if st.nbs[i] == nil {
+				st.nbs[i] = []topo.ASN{}
+			}
+			st.hints[i] = r.Hints(st.nbs[i])
+		}
+	}
+	return st
+}
+
+// runDelta drains the propagation queue with the delta engine.
+func (n *Network) runDelta(workers int) (int, error) {
+	st := n.deltaStateFor()
+	delivered := 0
+	maxWork := n.maxDeliveries()
+	// Compact the tap list once per run; the per-delivery loop in phase
+	// 2 is the engine's hottest serial section.
+	taps := make([]UpdateTap, 0, len(n.taps))
+	for _, t := range n.taps {
+		if t != nil {
+			taps = append(taps, t)
+		}
+	}
+
+	// Seed the dirty buckets from the externally scheduled queue, then
+	// keep all rounds internal: the global queue and its dedup map stay
+	// tiny (they only ever see Announce/Withdraw entry points).
+	st.srcs = st.srcs[:0]
+	for _, it := range n.queue {
+		ri := st.idx(it.asn)
+		if len(st.items[ri]) == 0 {
+			st.srcs = append(st.srcs, ri)
+		}
+		if !containsPrefix(st.items[ri], it.prefix) {
+			st.items[ri] = append(st.items[ri], it.prefix)
+		}
+	}
+	n.queue = n.queue[:0]
+	clear(n.queued)
+
+	for len(st.srcs) > 0 {
+		slices.Sort(st.srcs)
+		for _, ri := range st.srcs {
+			ps := st.items[ri]
+			slices.SortFunc(ps, netx.ComparePrefix)
+		}
+		for len(st.outs) < len(st.srcs) {
+			st.outs = append(st.outs, nil)
+		}
+		for len(st.exp) < len(st.srcs) {
+			st.exp = append(st.exp, nil)
+		}
+
+		// Phase 1: exports, sharded by source router. ExportAll and
+		// RecordAdvertised touch only the source, so each shard owns its
+		// routers' state.
+		doChunked(len(st.srcs), workers, func(k int) {
+			ri := st.srcs[k]
+			src := n.routers[st.order[ri]]
+			out := st.outs[k][:0]
+			for _, p := range st.items[ri] {
+				exp := src.ExportAll(p, st.nbs[ri], st.hints[ri], st.exp[k][:0])
+				st.exp[k] = exp
+				// One Adj-RIB-Out merge per (router, prefix): only
+				// sessions whose advertisement changed become
+				// deliveries (suppressed exports withdraw if
+				// previously sent).
+				src.RecordAdvertisedAll(p, exp, func(nb topo.ASN, rt *policy.Route) {
+					out = append(out, delivery{from: st.order[ri], to: nb, prefix: p, rt: rt})
+				})
+			}
+			st.outs[k] = out
+			st.items[ri] = st.items[ri][:0]
+		})
+
+		// Phase 2: fire taps in canonical order and bin deliveries into
+		// per-destination inboxes (serial, so tap streams and inbox
+		// order are worker-count invariant).
+		st.touched = st.touched[:0]
+		for k := range st.srcs {
+			for _, d := range st.outs[k] {
+				delivered++
+				n.steps++
+				for _, t := range taps {
+					t(d.from, d.to, d.prefix, d.rt)
+				}
+				if delivered > maxWork {
+					// Scratch (inboxes, buckets) is mid-round dirty;
+					// drop the cached state so a later Run starts clean
+					// instead of silently swallowing stale deliveries.
+					n.invalidateDelta()
+					return delivered, fmt.Errorf("simnet: no convergence after %d deliveries", delivered)
+				}
+				di := st.idx(d.to)
+				if len(st.inbox[di]) == 0 {
+					st.touched = append(st.touched, di)
+				}
+				st.inbox[di] = append(st.inbox[di], d)
+			}
+		}
+
+		// Phase 3: apply inboxes, sharded by destination router.
+		for len(st.changed) < len(st.touched) {
+			st.changed = append(st.changed, nil)
+		}
+		doChunked(len(st.touched), workers, func(k int) {
+			di := st.touched[k]
+			dst := n.routers[st.order[di]]
+			// Apply every delivery first, then decide once per mutated
+			// prefix: the candidate set after the whole inbox is what a
+			// per-delivery decide sequence converges to, and transient
+			// intermediate bests could only have triggered no-op
+			// re-exports (see Router.ReceiveSharedNoDecide).
+			dirty := st.changed[k][:0]
+			for _, d := range st.inbox[di] {
+				mutated := false
+				if d.rt != nil {
+					mutated = dst.ReceiveSharedNoDecide(d.from, d.rt) == router.ImportAccepted
+				} else {
+					mutated = dst.WithdrawNoDecide(d.from, d.prefix)
+				}
+				if mutated && !containsPrefix(dirty, d.prefix) {
+					dirty = append(dirty, d.prefix)
+				}
+			}
+			ch := dirty[:0]
+			for _, p := range dirty {
+				if dst.Decide(p) {
+					ch = append(ch, p)
+				}
+			}
+			st.inbox[di] = st.inbox[di][:0]
+			st.changed[k] = ch
+		})
+
+		// Phase 4: the changed prefixes become the next round's dirty
+		// buckets directly — no global queue, no dedup map. Each touched
+		// router appears once and its changed set is already deduped.
+		st.next = st.next[:0]
+		for k, di := range st.touched {
+			if len(st.changed[k]) == 0 {
+				continue
+			}
+			if len(st.items[di]) != 0 {
+				// Defensive: buckets are empty between rounds.
+				panic("simnet: delta bucket not drained")
+			}
+			st.items[di] = append(st.items[di], st.changed[k]...)
+			st.next = append(st.next, di)
+		}
+		st.srcs, st.next = st.next, st.srcs
+	}
+	return delivered, nil
+}
+
+// doChunked runs fn(i) for i in [0, n) over at most workers goroutines,
+// handing each worker one contiguous chunk instead of streaming single
+// indices through a channel (conc.Do): the delta engine's shards are
+// fine-grained, and per-index dispatch costs more than the work on
+// small rounds. Chunking cannot change results — every fn(i) writes
+// only slot i's state.
+func doChunked(n, workers int, fn func(i int)) {
+	if workers <= 1 || n <= 32 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, c := range conc.Chunks(n, workers) {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(c[0], c[1])
+	}
+	wg.Wait()
+}
+
+// containsPrefix is the small-slice membership check used for the
+// per-destination changed set; a round rarely dirties more than a
+// handful of prefixes per router, so linear scan beats a map.
+func containsPrefix(ps []netip.Prefix, p netip.Prefix) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,224 @@
+package simnet_test
+
+// The differential engine property test: random worlds must converge to
+// identical collector archives (the tap-derived record of every
+// delivery), identical RIBs, and identical delivery counts under the
+// rounds and delta engines and under 1/4/16 workers. The serial engine
+// must agree on the converged RIBs (its delivery interleaving is
+// different by design). On failure the harness shrinks the world —
+// halving each topology/churn dimension while the failure reproduces —
+// and reports the minimal failing configuration, which is the one worth
+// debugging.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bgpworms/internal/gen"
+)
+
+// worldCfg is a shrinkable world recipe.
+type worldCfg struct {
+	Tier1, Mid, Stubs int
+	Churn, RTBH       int
+	Seed              int64
+}
+
+func (c worldCfg) String() string {
+	return fmt.Sprintf("tier1=%d mid=%d stubs=%d churn=%d rtbh=%d seed=%d",
+		c.Tier1, c.Mid, c.Stubs, c.Churn, c.RTBH, c.Seed)
+}
+
+func (c worldCfg) params() gen.Params {
+	p := gen.Tiny()
+	p.Tier1, p.Mid, p.Stubs = c.Tier1, c.Mid, c.Stubs
+	p.ChurnEvents, p.RTBHEvents = c.Churn, c.RTBH
+	p.Seed = c.Seed
+	return p
+}
+
+// randomCfg draws a random small world; sizes stay in the range where a
+// full build takes tens of milliseconds, so the property test can
+// afford several configurations per run.
+func randomCfg(rng *rand.Rand) worldCfg {
+	return worldCfg{
+		Tier1: 2 + rng.Intn(3),
+		Mid:   4 + rng.Intn(12),
+		Stubs: 10 + rng.Intn(50),
+		Churn: 5 + rng.Intn(15),
+		RTBH:  rng.Intn(4),
+		Seed:  int64(1 + rng.Intn(1000)),
+	}
+}
+
+// outcome captures everything the engines must agree on.
+type outcome struct {
+	steps    int
+	archives []byte
+	ribs     string
+}
+
+// buildOutcome builds the world under one engine/worker setting and
+// collapses its observable state.
+func buildOutcome(t *testing.T, cfg worldCfg, engine string, workers int) (*outcome, error) {
+	t.Helper()
+	p := cfg.params()
+	p.Engine = engine
+	p.Workers = workers
+	w, err := gen.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.RunChurn(); err != nil {
+		return nil, err
+	}
+	var arch bytes.Buffer
+	for _, c := range w.Collectors {
+		if _, err := c.WriteUpdatesMRT(&arch); err != nil {
+			return nil, err
+		}
+		if _, err := c.WriteRIBSnapshotMRT(&arch, gen.BaseTime.AddDate(0, 1, 0)); err != nil {
+			return nil, err
+		}
+	}
+	var ribs strings.Builder
+	for _, asn := range w.Net.ASes() {
+		r := w.Net.Router(asn)
+		for _, rt := range r.RIB() {
+			fmt.Fprintf(&ribs, "AS%d %s\n", asn, rt)
+		}
+	}
+	return &outcome{steps: w.Net.Steps(), archives: arch.Bytes(), ribs: ribs.String()}, nil
+}
+
+// checkCfg reports a non-empty divergence description if the engines
+// disagree on cfg.
+func checkCfg(t *testing.T, cfg worldCfg) string {
+	t.Helper()
+	ref, err := buildOutcome(t, cfg, "rounds", 1)
+	if err != nil {
+		return "rounds/1 build error: " + err.Error()
+	}
+	if ref.steps == 0 {
+		return "rounds/1 produced an empty world"
+	}
+	for _, v := range []struct {
+		engine  string
+		workers int
+	}{
+		{"delta", 1}, {"delta", 4}, {"delta", 16},
+		{"rounds", 4}, {"rounds", 16},
+	} {
+		got, err := buildOutcome(t, cfg, v.engine, v.workers)
+		if err != nil {
+			return fmt.Sprintf("%s/%d build error: %v", v.engine, v.workers, err)
+		}
+		if got.steps != ref.steps {
+			return fmt.Sprintf("%s/%d deliveries %d != rounds/1 %d", v.engine, v.workers, got.steps, ref.steps)
+		}
+		if !bytes.Equal(got.archives, ref.archives) {
+			return fmt.Sprintf("%s/%d collector archives diverge from rounds/1", v.engine, v.workers)
+		}
+		if got.ribs != ref.ribs {
+			return fmt.Sprintf("%s/%d RIBs diverge from rounds/1", v.engine, v.workers)
+		}
+	}
+	// The serial engine interleaves differently, so only the converged
+	// control plane must agree.
+	serial, err := buildOutcome(t, cfg, "serial", 1)
+	if err != nil {
+		return "serial/1 build error: " + err.Error()
+	}
+	if serial.ribs != ref.ribs {
+		return "serial/1 converged RIBs diverge from rounds/1"
+	}
+	return ""
+}
+
+// shrink halves one dimension at a time while the failure reproduces,
+// returning the smallest still-failing configuration and its failure.
+func shrink(t *testing.T, cfg worldCfg, failure string) (worldCfg, string) {
+	t.Helper()
+	for improved := true; improved; {
+		improved = false
+		for _, cand := range shrinkSteps(cfg) {
+			if msg := checkCfg(t, cand); msg != "" {
+				cfg, failure = cand, msg
+				improved = true
+				break
+			}
+		}
+	}
+	return cfg, failure
+}
+
+func shrinkSteps(c worldCfg) []worldCfg {
+	var out []worldCfg
+	add := func(n worldCfg) {
+		if n != c {
+			out = append(out, n)
+		}
+	}
+	half := func(v, min int) int {
+		if v/2 < min {
+			return min
+		}
+		return v / 2
+	}
+	n := c
+	n.Stubs = half(c.Stubs, 2)
+	add(n)
+	n = c
+	n.Mid = half(c.Mid, 2)
+	add(n)
+	n = c
+	n.Tier1 = half(c.Tier1, 1)
+	add(n)
+	n = c
+	n.Churn = half(c.Churn, 0)
+	add(n)
+	n = c
+	n.RTBH = half(c.RTBH, 0)
+	add(n)
+	return out
+}
+
+// TestDifferentialEngines is the randomized rounds-vs-delta oracle
+// check with shrinking.
+func TestDifferentialEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(20180401))
+	configs := 4
+	if testing.Short() {
+		configs = 1
+	}
+	for i := 0; i < configs; i++ {
+		cfg := randomCfg(rng)
+		if msg := checkCfg(t, cfg); msg != "" {
+			min, minMsg := shrink(t, cfg, msg)
+			t.Fatalf("engines diverge on {%s}: %s\nminimal failing config: {%s}: %s",
+				cfg, msg, min, minMsg)
+		}
+	}
+}
+
+// TestDifferentialEnginesTinyPreset pins the canonical presets the
+// acceptance criteria name: tiny always, small unless -short.
+func TestDifferentialEnginesTinyPreset(t *testing.T) {
+	cfg := worldCfg{Tier1: 3, Mid: 10, Stubs: 40, Churn: 25, RTBH: 4, Seed: 1} // == gen.Tiny()
+	if msg := checkCfg(t, cfg); msg != "" {
+		t.Fatalf("engines diverge on the tiny preset: %s", msg)
+	}
+}
+
+func TestDifferentialEnginesSmallPreset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small preset differential check skipped in -short mode")
+	}
+	cfg := worldCfg{Tier1: 5, Mid: 40, Stubs: 200, Churn: 120, RTBH: 12, Seed: 1} // == gen.Small()
+	if msg := checkCfg(t, cfg); msg != "" {
+		t.Fatalf("engines diverge on the small preset: %s", msg)
+	}
+}

@@ -13,14 +13,14 @@ import (
 	"bgpworms/internal/topo"
 )
 
-// SetWorkers selects the propagation engine. 1 (the default) keeps the
-// serial FIFO work-queue engine; any other value switches Run to the
-// round-based parallel engine with that many workers (0 = one per
-// available CPU). The parallel engine's results — convergence counts,
-// tap delivery order, and final RIB state — are independent of the
-// worker count: rounds are logical barriers and all cross-router effects
-// are applied in a canonical order, so workers only split work inside a
-// phase.
+// SetWorkers sizes the parallel engines' shard pool. Under the default
+// EngineAuto, 1 keeps the serial FIFO work-queue engine and any other
+// value switches Run to the delta engine with that many workers (0 =
+// one per available CPU); SetEngine overrides the choice. The parallel
+// engines' results — convergence counts, tap delivery order, and final
+// RIB state — are independent of the worker count: rounds are logical
+// barriers and all cross-router effects are applied in a canonical
+// order, so workers only split work inside a phase.
 func (n *Network) SetWorkers(w int) {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)

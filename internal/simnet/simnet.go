@@ -4,13 +4,17 @@
 // FIBs), looking-glass views, and a session tap that collectors use to
 // record MRT-faithful update streams.
 //
-// Two engines share the Network API: the serial FIFO queue (default)
-// and a round-based parallel engine (SetWorkers > 1) whose convergence
-// counts, tap ordering, and final RIBs are invariant across worker
-// counts under a fixed seed. That invariance is what lets the layers
-// above — gen.Params.Workers, core.Pipeline, and the scenario sweep's
-// engine-workers grid dimension — change parallelism without changing
-// results (see ARCHITECTURE.md, "Determinism contracts").
+// Three engines share the Network API (see the Engine option): the
+// serial FIFO queue (default for one worker), the delta-driven event
+// engine (default for SetWorkers > 1, and the one that scales to the
+// large/internet presets), and the legacy round-based parallel engine
+// kept as the delta engine's differential oracle. The parallel engines
+// produce bit-identical convergence counts, tap ordering, and final
+// RIBs for any worker count — and for each other — under a fixed seed.
+// That invariance is what lets the layers above — gen.Params.Workers,
+// core.Pipeline, and the scenario sweep's engine-workers grid dimension
+// — change parallelism without changing results (see ARCHITECTURE.md,
+// "Determinism contracts" and "Engines").
 package simnet
 
 import (
@@ -42,9 +46,75 @@ type Network struct {
 	// noDedup disables work-item coalescing (ablation knob; see the
 	// event-queue convergence benchmarks in bench_test.go).
 	noDedup bool
-	// workers selects the engine: <=1 serial FIFO, >1 the round-based
-	// parallel engine (see parallel.go).
+	// workers is the parallel engines' shard pool size; with the
+	// default EngineAuto it also selects the engine (<=1 serial FIFO,
+	// >1 delta).
 	workers int
+	// engine pins the propagation engine (EngineAuto derives it from
+	// workers).
+	engine Engine
+	// delta is the delta engine's cached index and scratch (delta.go).
+	delta *deltaState
+}
+
+// Engine selects the propagation algorithm Run uses. All engines
+// converge to identical RIBs; the parallel ones (rounds, delta) also
+// share one canonical delivery order, so their tap streams and
+// collector archives are interchangeable. The serial FIFO engine
+// interleaves exports and receives and therefore orders deliveries
+// differently.
+type Engine int
+
+// Engines.
+const (
+	// EngineAuto derives the engine from the worker count: serial for
+	// SetWorkers <= 1, delta otherwise.
+	EngineAuto Engine = iota
+	// EngineSerial is the original FIFO work-queue engine: one delivery
+	// at a time, exports interleaved with receives.
+	EngineSerial
+	// EngineRounds is the legacy barrier-round parallel engine
+	// (parallel.go). It is kept behind this option as the differential
+	// oracle the delta engine is checked against.
+	EngineRounds
+	// EngineDelta is the delta-driven event engine (delta.go): per-router
+	// dirty sets, batched class-shared exports, copy-on-write receives.
+	EngineDelta
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineSerial:
+		return "serial"
+	case EngineRounds:
+		return "rounds"
+	case EngineDelta:
+		return "delta"
+	default:
+		return "unknown"
+	}
+}
+
+// EngineNames lists the engine names ParseEngine accepts.
+func EngineNames() []string { return []string{"auto", "serial", "rounds", "delta"} }
+
+// ParseEngine parses an engine name ("" and "auto" mean EngineAuto).
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "serial":
+		return EngineSerial, nil
+	case "rounds":
+		return EngineRounds, nil
+	case "delta":
+		return EngineDelta, nil
+	default:
+		return EngineAuto, fmt.Errorf("simnet: unknown engine %q (want one of %v)", s, EngineNames())
+	}
 }
 
 type workItem struct {
@@ -95,6 +165,7 @@ func (n *Network) Router(asn topo.ASN) *router.Router { return n.routers[asn] }
 // wired explicitly with Connect.
 func (n *Network) AddRouter(r *router.Router) {
 	n.routers[r.ASN()] = r
+	n.invalidateDelta()
 }
 
 // Connect wires a bilateral session between two present routers, with rel
@@ -192,14 +263,40 @@ func (n *Network) maxDeliveries() int {
 // SetMaxDeliveries overrides the convergence bound (0 = default).
 func (n *Network) SetMaxDeliveries(v int) { n.maxWork = v }
 
-// Run processes the propagation queue until convergence, returning the
-// number of deliveries. With SetWorkers(>1) the round-based parallel
-// engine runs instead of the serial FIFO engine.
-func (n *Network) Run() (int, error) {
-	if n.workers > 1 {
-		return n.runRounds(n.workers)
+// SetEngine pins the propagation engine Run uses; EngineAuto (the
+// default) derives it from the worker count. Selecting EngineRounds or
+// EngineDelta with one worker runs that engine's canonical-order
+// algorithm serially — the baseline the differential tests compare.
+func (n *Network) SetEngine(e Engine) { n.engine = e }
+
+// EngineChoice returns the pinned engine option (EngineAuto unless
+// SetEngine was called); ResolvedEngine reports what Run will execute.
+func (n *Network) EngineChoice() Engine { return n.engine }
+
+// ResolvedEngine reports the engine Run executes for the current
+// engine/worker configuration.
+func (n *Network) ResolvedEngine() Engine {
+	if n.engine != EngineAuto {
+		return n.engine
 	}
-	return n.runSerial()
+	if n.workers > 1 {
+		return EngineDelta
+	}
+	return EngineSerial
+}
+
+// Run processes the propagation queue until convergence, returning the
+// number of deliveries. With the default EngineAuto, SetWorkers(>1)
+// selects the delta engine; SetEngine pins a specific one.
+func (n *Network) Run() (int, error) {
+	switch n.ResolvedEngine() {
+	case EngineRounds:
+		return n.runRounds(n.Workers())
+	case EngineDelta:
+		return n.runDelta(n.Workers())
+	default:
+		return n.runSerial()
+	}
 }
 
 // runSerial is the original FIFO work-queue engine: one delivery at a

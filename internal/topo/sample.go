@@ -1,0 +1,112 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sample returns a subgraph of roughly target ASes that preserves the
+// degree skew of g — the property the paper's propagation distances and
+// the internet preset's realism hinge on. Nodes are drawn by weighted
+// reservoir sampling with weight = degree, so hubs survive at full
+// scale while the stub tail thins uniformly; the edge set is the
+// induced subgraph; and every surviving AS that lost all its providers
+// is re-attached to the nearest sampled AS in its original provider
+// closure, so the customer-provider hierarchy stays connected and
+// valley-free paths to the top remain.
+//
+// The result is deterministic for a fixed (g, target, seed). A target
+// at or above g's size returns a clone.
+func Sample(g *Graph, target int, seed int64) *Graph {
+	all := g.ASes()
+	if target >= len(all) {
+		return g.Clone()
+	}
+	if target <= 0 {
+		return NewGraph()
+	}
+
+	// Efraimidis-Spirakis weighted reservoir: key = U^(1/w), keep the
+	// top-target keys. Iterating ASes in ascending order with a seeded
+	// RNG makes the draw deterministic.
+	rng := rand.New(rand.NewSource(seed))
+	type scored struct {
+		asn ASN
+		key float64
+	}
+	keys := make([]scored, 0, len(all))
+	for _, a := range all {
+		w := float64(g.Degree(a))
+		if w <= 0 {
+			w = 0.1 // isolated nodes can still be drawn, just rarely
+		}
+		keys = append(keys, scored{asn: a, key: math.Pow(rng.Float64(), 1/w)})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].key != keys[j].key {
+			return keys[i].key > keys[j].key
+		}
+		return keys[i].asn < keys[j].asn
+	})
+
+	kept := make(map[ASN]bool, target)
+	out := NewGraph()
+	for _, s := range keys[:target] {
+		kept[s.asn] = true
+		out.AddAS(s.asn)
+	}
+
+	// Induce the edge set.
+	for _, l := range g.Links() {
+		if !kept[l.A] || !kept[l.B] {
+			continue
+		}
+		switch l.RelBtoA {
+		case RelCustomer: // B buys from A
+			out.AddCustomerProvider(l.B, l.A)
+		case RelProvider: // A buys from B
+			out.AddCustomerProvider(l.A, l.B)
+		case RelPeer:
+			out.AddPeering(l.A, l.B)
+		}
+	}
+
+	// Re-home orphans: an AS that had providers but kept none climbs its
+	// original provider closure (breadth-first, ascending for
+	// determinism) until it reaches a sampled AS, and buys transit
+	// there. This preserves each node's position under the hierarchy
+	// without inventing lateral shortcuts.
+	for _, a := range out.ASes() {
+		if len(g.Providers(a)) == 0 || len(out.Providers(a)) > 0 {
+			continue // original tier-1, or still homed
+		}
+		if p, ok := nearestKeptProvider(g, a, kept); ok {
+			out.AddCustomerProvider(a, p)
+		}
+	}
+	return out
+}
+
+// nearestKeptProvider walks a's provider closure in g breadth-first and
+// returns the first AS present in kept.
+func nearestKeptProvider(g *Graph, a ASN, kept map[ASN]bool) (ASN, bool) {
+	frontier := g.Providers(a)
+	seen := map[ASN]bool{a: true}
+	for len(frontier) > 0 {
+		var next []ASN
+		for _, p := range frontier {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if kept[p] && p != a {
+				return p, true
+			}
+			next = append(next, g.Providers(p)...)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = next
+	}
+	return 0, false
+}

@@ -1,0 +1,128 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// skewedGraph builds a CAIDA-shaped test topology: a tier-1 clique, a
+// mid tier with front-loaded provider attachment, and a long stub tail.
+func skewedGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	rng := rand.New(rand.NewSource(11))
+	var t1 []ASN
+	for a := ASN(1); a <= 5; a++ {
+		t1 = append(t1, a)
+	}
+	for i, a := range t1 {
+		for _, b := range t1[i+1:] {
+			if err := g.AddPeering(a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var mids []ASN
+	for a := ASN(100); a < 160; a++ {
+		mids = append(mids, a)
+		cands := append(append([]ASN(nil), t1...), mids[:len(mids)-1]...)
+		idx := int(float64(len(cands)) * rng.Float64() * rng.Float64())
+		if err := g.AddCustomerProvider(a, cands[idx]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := ASN(1000); a < 3000; a++ {
+		idx := int(float64(len(mids)) * rng.Float64() * rng.Float64())
+		if err := g.AddCustomerProvider(a, mids[idx]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func maxDegreeAS(g *Graph) (ASN, int) {
+	var best ASN
+	bestD := -1
+	for _, a := range g.ASes() {
+		if d := g.Degree(a); d > bestD {
+			best, bestD = a, d
+		}
+	}
+	return best, bestD
+}
+
+func TestSampleDegreePreserving(t *testing.T) {
+	g := skewedGraph(t)
+	target := 400
+	s := Sample(g, target, 7)
+
+	if got := s.NumASes(); got < target*9/10 || got > target {
+		t.Fatalf("sampled size %d, want ~%d", got, target)
+	}
+
+	// The hubs must survive: the max-degree AS and the tier-1 clique
+	// carry the skew.
+	hub, hubDeg := maxDegreeAS(g)
+	if s.Degree(hub) == 0 {
+		t.Fatalf("max-degree AS%d (degree %d) was dropped", hub, hubDeg)
+	}
+
+	// Degree skew is preserved: the sampled max degree stays within the
+	// original's, and the sampled mean degree is in the same regime
+	// (tree-like, between 1 and the original mean times a slack factor).
+	_, sampleMax := maxDegreeAS(s)
+	if sampleMax > hubDeg {
+		t.Fatalf("sampling invented degree: %d > %d", sampleMax, hubDeg)
+	}
+	origMean := float64(2*g.NumLinks()) / float64(g.NumASes())
+	sampleMean := float64(2*s.NumLinks()) / float64(s.NumASes())
+	if sampleMean < 1 || sampleMean > 2*origMean {
+		t.Fatalf("mean degree %.2f out of regime (original %.2f)", sampleMean, origMean)
+	}
+
+	// Hierarchy preserved: every sampled AS that had providers still has
+	// at least one, so valley-free paths to the top exist.
+	for _, a := range s.ASes() {
+		if len(g.Providers(a)) > 0 && len(s.Providers(a)) == 0 {
+			t.Fatalf("AS%d lost all providers in the sample", a)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	g := skewedGraph(t)
+	a := Sample(g, 300, 42)
+	b := Sample(g, 300, 42)
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		t.Fatalf("link counts differ: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("links diverge at %d: %+v vs %+v", i, la[i], lb[i])
+		}
+	}
+	if c := Sample(g, 300, 43); len(c.Links()) == len(la) {
+		same := true
+		cl := c.Links()
+		for i := range la {
+			if la[i] != cl[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical samples")
+		}
+	}
+}
+
+func TestSampleEdgeCases(t *testing.T) {
+	g := skewedGraph(t)
+	if s := Sample(g, g.NumASes()+10, 1); s.NumASes() != g.NumASes() {
+		t.Fatalf("oversized target: got %d ASes, want %d", s.NumASes(), g.NumASes())
+	}
+	if s := Sample(g, 0, 1); s.NumASes() != 0 {
+		t.Fatalf("zero target: got %d ASes", s.NumASes())
+	}
+}
