@@ -6,7 +6,7 @@ GO      ?= go
 # (BENCH_ci.json), committed trajectory points use BENCH_pr<N>.json.
 BENCH_OUT ?= BENCH_ci.json
 
-.PHONY: build test race bench bench-smoke lint fmt examples watch-smoke coverage fuzz-smoke ci
+.PHONY: build test race bench bench-smoke benchgate suite-gate lint fmt examples watch-smoke coverage fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,20 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 30m . ./internal/... | tee bench.out
 	./ci/benchjson.sh bench.out $(BENCH_OUT)
+
+# benchgate is the perf ratchet: re-measures the gated benchmarks and
+# fails on a >15% ns/op or allocs/op regression against
+# ci/bench_baseline.json (ci/benchgate.sh -update to re-pin).
+benchgate:
+	./ci/benchgate.sh
+
+# suite-gate runs the statistical release gates: every registered
+# scenario across pinned seeds (suites/release.json, report + provenance
+# written to the working directory for the CI artifact upload) plus the
+# detector-quality suite under the dictionary arm (suites/detectors.json).
+suite-gate:
+	$(GO) run ./cmd/suiterun -suite suites/release.json -out .
+	$(GO) run ./cmd/suiterun -suite suites/detectors.json -out ''
 
 # examples runs every examples/* binary end to end against a small
 # generated topology, so the documented walkthroughs cannot silently rot.
@@ -48,6 +62,7 @@ FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -fuzz '^FuzzCommunityText$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/bgp
 	$(GO) test -fuzz '^FuzzMRTRecord$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/mrt
+	$(GO) test -fuzz '^FuzzSuiteFile$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/suite
 
 lint:
 	@fmtout="$$(gofmt -l .)"; \
@@ -59,4 +74,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint race coverage fuzz-smoke examples watch-smoke bench
+ci: build lint race coverage fuzz-smoke examples watch-smoke bench benchgate suite-gate

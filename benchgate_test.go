@@ -1,0 +1,157 @@
+package bgpworms
+
+// Tests for the perf ratchet (ci/benchgate.sh) in its pure comparison
+// mode: synthetic baseline/current pairs drive the gate without
+// running any benchmarks, proving a >15% regression fails the build
+// and the recorded baseline passes against itself.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+const benchgateBaseline = `{
+  "_meta": {"goos": "linux", "goarch": "amd64", "cpu": "test"},
+  "BenchmarkSimnetEngines/delta/toy": {"iterations": 100, "ns_per_op": 10000000, "allocs/op": 45000},
+  "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 3000},
+  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60}
+}
+`
+
+func writeBenchJSON(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runBenchgate(t *testing.T, current, baseline string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("./ci/benchgate.sh", "compare", current, baseline)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	return out.String(), err
+}
+
+func TestBenchgateIdenticalPasses(t *testing.T) {
+	base := writeBenchJSON(t, "base.json", benchgateBaseline)
+	cur := writeBenchJSON(t, "cur.json", benchgateBaseline)
+	out, err := runBenchgate(t, cur, base)
+	if err != nil {
+		t.Fatalf("identical run failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains([]byte(out), []byte("benchgate: PASS")) {
+		t.Fatalf("no PASS in output:\n%s", out)
+	}
+}
+
+func TestBenchgateRegressionFails(t *testing.T) {
+	base := writeBenchJSON(t, "base.json", benchgateBaseline)
+	// +20% ns/op on the watch ingest loop: beyond the 15% tolerance.
+	cur := writeBenchJSON(t, "cur.json", `{
+  "_meta": {"goos": "linux", "goarch": "amd64", "cpu": "test"},
+  "BenchmarkSimnetEngines/delta/toy": {"iterations": 100, "ns_per_op": 10000000, "allocs/op": 45000},
+  "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 600000, "allocs/op": 3000},
+  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60}
+}
+`)
+	out, err := runBenchgate(t, cur, base)
+	if err == nil {
+		t.Fatalf("20%% ns/op regression passed the gate:\n%s", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("FAIL  BenchmarkWatchIngest")) {
+		t.Fatalf("failure does not name the regressed benchmark:\n%s", out)
+	}
+}
+
+func TestBenchgateAllocRegressionFails(t *testing.T) {
+	base := writeBenchJSON(t, "base.json", benchgateBaseline)
+	cur := writeBenchJSON(t, "cur.json", `{
+  "_meta": {"goos": "linux", "goarch": "amd64", "cpu": "test"},
+  "BenchmarkSimnetEngines/delta/toy": {"iterations": 100, "ns_per_op": 10000000, "allocs/op": 45000},
+  "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 4000},
+  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60}
+}
+`)
+	out, err := runBenchgate(t, cur, base)
+	if err == nil {
+		t.Fatalf("33%% allocs/op regression passed the gate:\n%s", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("allocs/op")) {
+		t.Fatalf("failure does not mention allocs/op:\n%s", out)
+	}
+}
+
+func TestBenchgateImprovementSuggestsUpdate(t *testing.T) {
+	base := writeBenchJSON(t, "base.json", benchgateBaseline)
+	cur := writeBenchJSON(t, "cur.json", `{
+  "_meta": {"goos": "linux", "goarch": "amd64", "cpu": "test"},
+  "BenchmarkSimnetEngines/delta/toy": {"iterations": 100, "ns_per_op": 5000000, "allocs/op": 45000},
+  "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 3000},
+  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60}
+}
+`)
+	out, err := runBenchgate(t, cur, base)
+	if err != nil {
+		t.Fatalf("improvement failed the gate: %v\n%s", err, out)
+	}
+	if !bytes.Contains([]byte(out), []byte("-update")) {
+		t.Fatalf("no baseline-update suggestion on improvement:\n%s", out)
+	}
+}
+
+func TestBenchgateMissingBenchmarkFails(t *testing.T) {
+	base := writeBenchJSON(t, "base.json", benchgateBaseline)
+	cur := writeBenchJSON(t, "cur.json", `{
+  "_meta": {"goos": "linux", "goarch": "amd64", "cpu": "test"},
+  "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 3000}
+}
+`)
+	out, err := runBenchgate(t, cur, base)
+	if err == nil {
+		t.Fatalf("run missing gated benchmarks passed:\n%s", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("missing from current run")) {
+		t.Fatalf("failure does not flag the missing benchmark:\n%s", out)
+	}
+}
+
+// TestBenchgateStripsCPUSuffix pins the portability rule: a multi-core
+// runner emits BenchmarkWatchIngest-8 while GOMAXPROCS=1 emits a bare
+// name, and both must pair with the same baseline row.
+func TestBenchgateStripsCPUSuffix(t *testing.T) {
+	base := writeBenchJSON(t, "base.json", benchgateBaseline)
+	cur := writeBenchJSON(t, "cur.json", `{
+  "_meta": {"goos": "linux", "goarch": "amd64", "cpu": "test"},
+  "BenchmarkSimnetEngines/delta/toy-8": {"iterations": 100, "ns_per_op": 10000000, "allocs/op": 45000},
+  "BenchmarkWatchIngest-8": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 3000},
+  "BenchmarkSemanticsIngest-8": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60}
+}
+`)
+	out, err := runBenchgate(t, cur, base)
+	if err != nil {
+		t.Fatalf("suffixed names failed to pair: %v\n%s", err, out)
+	}
+}
+
+// TestBenchgateRecordedBaselinePasses compares the committed baseline
+// against itself, proving the checked-in file is well-formed and the
+// gate accepts the current recorded state.
+func TestBenchgateRecordedBaselinePasses(t *testing.T) {
+	data, err := os.ReadFile("ci/bench_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := writeBenchJSON(t, "cur.json", string(data))
+	out, err := runBenchgate(t, cur, "ci/bench_baseline.json")
+	if err != nil {
+		t.Fatalf("committed baseline rejected: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,131 @@
+#!/bin/sh
+# benchgate.sh — the perf ratchet.
+#
+#   ci/benchgate.sh              run the gated benchmarks and compare
+#                                against ci/bench_baseline.json
+#   ci/benchgate.sh -update      re-measure and rewrite the baseline
+#   ci/benchgate.sh compare CUR [BASE]
+#                                compare two benchjson files directly
+#                                (no benchmarks run; used by the tests)
+#
+# The gate compares ns_per_op and allocs/op for the benchmarks listed
+# in GATED below. A regression beyond BENCHGATE_TOLERANCE (default
+# 0.15 = 15%) fails; an improvement beyond the same bound passes but
+# prints the -update suggestion so the ratchet only moves down on
+# purpose. CPU-count suffixes (-8) are stripped, so baselines recorded
+# on one machine shape still pair with runs on another.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TOL="${BENCHGATE_TOLERANCE:-0.15}"
+BASELINE="ci/bench_baseline.json"
+# One canonical representative per subsystem: the delta simulation
+# engine, the watch ingest hot loop, and the semantics ingest hot loop.
+GATED="BenchmarkSimnetEngines/delta/toy BenchmarkWatchIngest BenchmarkSemanticsIngest"
+# 100 measured iterations per benchmark: the ingest loops finish in
+# well under a millisecond, so the sample needs repetitions before
+# scheduler jitter stays inside the tolerance. Still ~2s total.
+BENCHTIME="${BENCHGATE_BENCHTIME:-100x}"
+
+# Two -bench invocations: slash components in a bench regex filter
+# sub-benchmark levels, which would exclude the flat ingest benchmarks
+# from a combined pattern.
+run_bench() {
+    out="$1"
+    go test -run '^$' -bench '^BenchmarkSimnetEngines$/^delta$/^toy$' \
+        -benchtime "$BENCHTIME" -benchmem -timeout 20m . > bench_gate.out
+    go test -run '^$' -bench '^(BenchmarkWatchIngest|BenchmarkSemanticsIngest)$' \
+        -benchtime "$BENCHTIME" -benchmem -timeout 20m . >> bench_gate.out
+    ./ci/benchjson.sh bench_gate.out "$out"
+}
+
+mode="${1:-gate}"
+case "$mode" in
+-update)
+    run_bench "$BASELINE"
+    echo "benchgate: baseline rewritten: $BASELINE"
+    exit 0
+    ;;
+compare)
+    current="${2:?usage: benchgate.sh compare CURRENT.json [BASELINE.json]}"
+    baseline="${3:-$BASELINE}"
+    ;;
+gate)
+    current="bench_gate.json"
+    baseline="$BASELINE"
+    run_bench "$current"
+    ;;
+*)
+    echo "usage: benchgate.sh [-update | compare CURRENT.json [BASELINE.json]]" >&2
+    exit 2
+    ;;
+esac
+
+[ -f "$baseline" ] || { echo "benchgate: no baseline at $baseline (run ci/benchgate.sh -update)" >&2; exit 1; }
+
+awk -v tol="$TOL" -v gated="$GATED" -v basefile="$baseline" '
+function strip(name) { sub(/-[0-9]+$/, "", name); return name }
+function metric(s, m,   v) {
+    # pull "<m>": <number> out of the JSON line; "" when absent
+    if (match(s, "\"" m "\": [0-9.eE+-]+") == 0) return ""
+    v = substr(s, RSTART, RLENGTH)
+    sub(/^.*: /, "", v)
+    return v
+}
+/^  "Bench/ {
+    split($0, q, "\"")
+    name = strip(q[2])
+    if (FILENAME == basefile) {
+        base_ns[name] = metric($0, "ns_per_op")
+        base_al[name] = metric($0, "allocs/op")
+    } else {
+        cur_ns[name] = metric($0, "ns_per_op")
+        cur_al[name] = metric($0, "allocs/op")
+    }
+}
+function check(name, what, old, new,   ratio) {
+    if (old == "" || new == "") return
+    if (old == 0) return
+    ratio = new / old
+    if (ratio > 1 + tol) {
+        printf "FAIL  %-40s %-9s %12.0f -> %12.0f  (%+.1f%% > %.0f%% tolerance)\n", \
+            name, what, old, new, (ratio - 1) * 100, tol * 100
+        failed = 1
+    } else if (ratio < 1 - tol) {
+        printf "GOOD  %-40s %-9s %12.0f -> %12.0f  (%+.1f%%)\n", \
+            name, what, old, new, (ratio - 1) * 100
+        improved = 1
+    } else {
+        printf "ok    %-40s %-9s %12.0f -> %12.0f  (%+.1f%%)\n", \
+            name, what, old, new, (ratio - 1) * 100
+    }
+}
+END {
+    n = split(gated, names, " ")
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        if (!(name in base_ns)) {
+            printf "FAIL  %-40s missing from baseline (run ci/benchgate.sh -update)\n", name
+            failed = 1
+            continue
+        }
+        if (!(name in cur_ns)) {
+            printf "FAIL  %-40s missing from current run\n", name
+            failed = 1
+            continue
+        }
+        check(name, "ns/op", base_ns[name], cur_ns[name])
+        check(name, "allocs/op", base_al[name], cur_al[name])
+    }
+    if (failed) {
+        print "benchgate: FAIL — performance regressed beyond tolerance"
+        exit 1
+    }
+    if (improved) {
+        print "benchgate: PASS — improvement detected; consider ci/benchgate.sh -update to ratchet the baseline down"
+        exit 0
+    }
+    print "benchgate: PASS"
+}
+' "$baseline" "$current"

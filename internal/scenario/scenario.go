@@ -112,6 +112,41 @@ type Expectation struct {
 	Hijack bool `json:"hijack"`
 }
 
+// Thresholds declares detector-quality bounds a release harness gates a
+// scenario run on. The zero value gates nothing; nil pointer fields are
+// "not declared". The scenario registry exposes the type so suites
+// (internal/suite) and scenario declarations speak the same gate
+// vocabulary as the Expectation above speaks Table-3 outcomes.
+type Thresholds struct {
+	// MinPrecision and MinRecall bound the micro-averaged detector
+	// precision/recall of an evaluated replay (watch.EvalScenario).
+	MinPrecision *float64 `json:"min_precision,omitempty"`
+	MinRecall    *float64 `json:"min_recall,omitempty"`
+	// MaxNoiseAlerts caps the per-run count of alerts the ground truth
+	// did not require (false-positive alert volume).
+	MaxNoiseAlerts *int `json:"max_noise_alerts,omitempty"`
+	// MaxVariance bounds the cross-seed population variance of
+	// precision and recall within one suite cell group.
+	MaxVariance *float64 `json:"max_variance,omitempty"`
+}
+
+// Validate rejects thresholds outside their meaningful ranges.
+func (t Thresholds) Validate() error {
+	if t.MinPrecision != nil && (*t.MinPrecision < 0 || *t.MinPrecision > 1) {
+		return fmt.Errorf("min_precision %v outside [0,1]", *t.MinPrecision)
+	}
+	if t.MinRecall != nil && (*t.MinRecall < 0 || *t.MinRecall > 1) {
+		return fmt.Errorf("min_recall %v outside [0,1]", *t.MinRecall)
+	}
+	if t.MaxNoiseAlerts != nil && *t.MaxNoiseAlerts < 0 {
+		return fmt.Errorf("max_noise_alerts %d negative", *t.MaxNoiseAlerts)
+	}
+	if t.MaxVariance != nil && *t.MaxVariance < 0 {
+		return fmt.Errorf("max_variance %v negative", *t.MaxVariance)
+	}
+	return nil
+}
+
 // RunFunc executes a scenario in a context.
 type RunFunc func(*Context) (*Result, error)
 
@@ -134,6 +169,16 @@ type Scenario struct {
 	// Run executes the scenario. It must be deterministic for a fixed
 	// Context.
 	Run RunFunc `json:"-"`
+}
+
+// ExpectedFor returns the declared Table-3 expectation for the variant
+// that ran: the hijack expectation when the result carries Hijack, the
+// plain expectation otherwise.
+func (s *Scenario) ExpectedFor(hijack bool) bool {
+	if hijack {
+		return s.Expected.Hijack
+	}
+	return s.Expected.Plain
 }
 
 // Param returns the declared parameter by name.

@@ -190,12 +190,8 @@ func Sweep(g Grid, workers int) (*SweepReport, error) {
 			rep.Failed++
 		}
 		if c.Result != nil {
-			exp := mustGet(c.Scenario).Expected.Plain
-			if c.Result.Hijack {
-				exp = mustGet(c.Scenario).Expected.Hijack
-			}
-			c.Expected = exp
-			c.AsExpected = c.Result.Success == exp
+			c.Expected = mustGet(c.Scenario).ExpectedFor(c.Result.Hijack)
+			c.AsExpected = c.Result.Success == c.Expected
 			if c.AsExpected {
 				rep.AsExpected++
 			}
@@ -204,11 +200,16 @@ func Sweep(g Grid, workers int) (*SweepReport, error) {
 	return rep, nil
 }
 
-func runCell(c *Cell, g Grid) {
+// ContextFor builds the run context for one grid cell exactly as Sweep
+// does: the cell's preset seeded and engined, the grid's vantage-point
+// count, and the grid's fixed Values filtered down to the parameters
+// the cell's scenario declares. External harnesses (internal/suite)
+// execute their cells through it so a suite cell and a sweep cell with
+// the same coordinates are bit-identical runs.
+func (g Grid) ContextFor(c Cell) (*Context, error) {
 	p, err := gen.Preset(c.Scale)
 	if err != nil {
-		c.Err = err.Error()
-		return
+		return nil, err
 	}
 	p.Seed = c.Seed
 	p.Workers = c.EngineWorkers
@@ -216,7 +217,7 @@ func runCell(c *Cell, g Grid) {
 	// Pass only the parameters this cell's scenario declares, so fixed
 	// Values can span a mixed-scenario grid.
 	var vals Values
-	if s := mustGet(c.Scenario); s != nil {
+	if s, _ := Get(c.Scenario); s != nil {
 		for name, raw := range g.Values {
 			if _, ok := s.Param(name); ok {
 				if vals == nil {
@@ -226,7 +227,19 @@ func runCell(c *Cell, g Grid) {
 			}
 		}
 	}
-	ctx := &Context{Gen: p, VPs: g.VPs, CommunitySet: c.CommunitySet, Values: vals}
+	vps := g.VPs
+	if vps == 0 {
+		vps = DefaultVPs
+	}
+	return &Context{Gen: p, VPs: vps, CommunitySet: c.CommunitySet, Values: vals}, nil
+}
+
+func runCell(c *Cell, g Grid) {
+	ctx, err := g.ContextFor(*c)
+	if err != nil {
+		c.Err = err.Error()
+		return
+	}
 	res, err := Run(c.Scenario, ctx)
 	if err != nil {
 		c.Err = err.Error()

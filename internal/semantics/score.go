@@ -82,6 +82,28 @@ func (s Score) ClassAccuracy() float64 {
 	return float64(s.ClassMatched) / float64(s.TruthInferred)
 }
 
+// ScoreSummary is the flat, structured slice of a Score a suite
+// harness aggregates and gates on: the three quality ratios plus the
+// sizes they were computed from.
+type ScoreSummary struct {
+	Precision     float64 `json:"precision"`
+	Recall        float64 `json:"recall"`
+	ClassAccuracy float64 `json:"class_accuracy"`
+	Inferred      int     `json:"inferred"`
+	TruthTotal    int     `json:"truth_total"`
+}
+
+// Summary flattens the score into its gateable ratios.
+func (s Score) Summary() ScoreSummary {
+	return ScoreSummary{
+		Precision:     s.Precision(),
+		Recall:        s.Recall(),
+		ClassAccuracy: s.ClassAccuracy(),
+		Inferred:      s.InferredTotal,
+		TruthTotal:    s.TruthTotal,
+	}
+}
+
 // ScoreAgainst grades snap against truth.
 func ScoreAgainst(snap *Snapshot, truth Truth) Score {
 	sc := Score{InferredTotal: snap.Len(), TruthTotal: len(truth)}

@@ -1,0 +1,163 @@
+package suite
+
+import (
+	"fmt"
+)
+
+// This file is the paired A/B harness: two suite reports produced from
+// the identical cell list (same suite, same seeds) under two detector
+// arms, compared cell-by-cell with a sign-test-style decision rule. A
+// detector change proves itself by winning on false-positive volume
+// without losing recall — the way the PR-4 dictionary detectors
+// justified replacing the value-pattern squat rule, turned into a gate.
+
+// ABOptions tune the decision rule.
+type ABOptions struct {
+	// RecallTolerance is the largest per-cell recall drop (old - new)
+	// the rule forgives. Default 0: any recall loss rejects.
+	RecallTolerance float64 `json:"recall_tolerance"`
+	// PrecisionTolerance is the same for precision.
+	PrecisionTolerance float64 `json:"precision_tolerance"`
+	// NoiseTolerance is the per-cell noise-alert increase (new - old)
+	// tolerated before the cell counts as a loss. Default 0.
+	NoiseTolerance int `json:"noise_tolerance"`
+}
+
+// WinLossTie is the sign statistic for one metric over all pairs.
+type WinLossTie struct {
+	Wins    int     `json:"wins"`
+	Losses  int     `json:"losses"`
+	Ties    int     `json:"ties"`
+	OldMean float64 `json:"old_mean"`
+	NewMean float64 `json:"new_mean"`
+}
+
+func (w *WinLossTie) add(old, new float64, higherBetter bool, n int) {
+	w.OldMean += old / float64(n)
+	w.NewMean += new / float64(n)
+	d := new - old
+	if !higherBetter {
+		d = -d
+	}
+	switch {
+	case d > 0:
+		w.Wins++
+	case d < 0:
+		w.Losses++
+	default:
+		w.Ties++
+	}
+}
+
+// PairDelta records one regressing cell.
+type PairDelta struct {
+	Cell   string  `json:"cell"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+}
+
+// ABReport is the paired comparison outcome.
+type ABReport struct {
+	Suite  string `json:"suite"`
+	OldArm string `json:"old_arm"`
+	NewArm string `json:"new_arm"`
+	Pairs  int    `json:"pairs"`
+	// Precision and Recall count higher-is-better wins for the new
+	// arm; Noise counts lower-is-better wins (fewer unrequired
+	// alerts).
+	Precision WinLossTie `json:"precision"`
+	Recall    WinLossTie `json:"recall"`
+	Noise     WinLossTie `json:"noise_alerts"`
+	// Regressions are the cells that individually breach a tolerance.
+	Regressions []PairDelta `json:"regressions,omitempty"`
+	// Reasons explain the verdict, one line per applied rule.
+	Reasons []string `json:"reasons"`
+	Accept  bool     `json:"accept"`
+}
+
+// Compare applies the paired decision rule to two reports over the
+// identical cell list. The rule, in order:
+//
+//  1. Pairing must be exact — same suite shape, every cell key present
+//     on both sides, no errored cells. Anything else is a harness
+//     error, not a verdict.
+//  2. No per-cell recall loss beyond RecallTolerance, and no per-cell
+//     precision loss beyond PrecisionTolerance. Detection quality is a
+//     floor, not a trade.
+//  3. On noise volume the new arm must not lose the sign test: strictly
+//     more cells with more unrequired alerts than cells with fewer
+//     rejects.
+//
+// A new arm that clears 2 and 3 is accepted; improvements do not have
+// to be universal, only unregressed and net-positive.
+func Compare(old, new *Report, opt ABOptions) (*ABReport, error) {
+	if old == nil || new == nil {
+		return nil, fmt.Errorf("suite: Compare needs two reports")
+	}
+	if old.Suite != new.Suite {
+		return nil, fmt.Errorf("suite: reports from different suites (%q vs %q)", old.Suite, new.Suite)
+	}
+	if len(old.Cells) != len(new.Cells) {
+		return nil, fmt.Errorf("suite: cell count mismatch (%d vs %d) — arms must run the identical cell list",
+			len(old.Cells), len(new.Cells))
+	}
+	oldBy := map[string]*CellResult{}
+	for i := range old.Cells {
+		oldBy[old.Cells[i].Key] = &old.Cells[i]
+	}
+	ab := &ABReport{Suite: old.Suite, OldArm: old.Arm, NewArm: new.Arm, Pairs: len(new.Cells)}
+	n := len(new.Cells)
+	for i := range new.Cells {
+		nc := &new.Cells[i]
+		oc, ok := oldBy[nc.Key]
+		if !ok {
+			return nil, fmt.Errorf("suite: cell %s missing from old report — arms must run the identical cell list", nc.Key)
+		}
+		if oc.Err != "" || nc.Err != "" {
+			return nil, fmt.Errorf("suite: cell %s errored (old=%q new=%q); fix the run before comparing", nc.Key, oc.Err, nc.Err)
+		}
+		ab.Recall.add(oc.Recall, nc.Recall, true, n)
+		ab.Precision.add(oc.Precision, nc.Precision, true, n)
+		ab.Noise.add(float64(oc.NoiseAlerts), float64(nc.NoiseAlerts), false, n)
+		if oc.Recall-nc.Recall > opt.RecallTolerance {
+			ab.Regressions = append(ab.Regressions, PairDelta{Cell: nc.Key, Metric: "recall", Old: oc.Recall, New: nc.Recall})
+		}
+		if oc.Precision-nc.Precision > opt.PrecisionTolerance {
+			ab.Regressions = append(ab.Regressions, PairDelta{Cell: nc.Key, Metric: "precision", Old: oc.Precision, New: nc.Precision})
+		}
+		if nc.NoiseAlerts-oc.NoiseAlerts > opt.NoiseTolerance {
+			ab.Regressions = append(ab.Regressions, PairDelta{Cell: nc.Key, Metric: "noise_alerts",
+				Old: float64(oc.NoiseAlerts), New: float64(nc.NoiseAlerts)})
+		}
+	}
+	qualityRegressed := false
+	noiseRegressions := 0
+	for _, r := range ab.Regressions {
+		if r.Metric == "noise_alerts" {
+			noiseRegressions++
+		} else {
+			qualityRegressed = true
+		}
+	}
+	ab.Accept = true
+	if qualityRegressed {
+		ab.Accept = false
+		ab.Reasons = append(ab.Reasons, "reject: per-cell precision/recall regressions (detection quality is a floor)")
+	} else {
+		ab.Reasons = append(ab.Reasons, "quality floor held: no per-cell precision/recall loss beyond tolerance")
+	}
+	if ab.Noise.Losses > ab.Noise.Wins {
+		ab.Accept = false
+		ab.Reasons = append(ab.Reasons, fmt.Sprintf(
+			"reject: noise sign test lost (%d cells noisier vs %d quieter)", ab.Noise.Losses, ab.Noise.Wins))
+	} else {
+		ab.Reasons = append(ab.Reasons, fmt.Sprintf(
+			"noise sign test held: %d quieter / %d noisier / %d tied cells", ab.Noise.Wins, ab.Noise.Losses, ab.Noise.Ties))
+	}
+	if noiseRegressions > 0 && ab.Accept {
+		ab.Reasons = append(ab.Reasons, fmt.Sprintf(
+			"note: %d cell(s) above noise tolerance but sign test net-positive", noiseRegressions))
+	}
+	return ab, nil
+}

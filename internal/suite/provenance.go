@@ -1,0 +1,98 @@
+package suite
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Provenance records where a suite report came from: toolchain, commit,
+// the exact suite (path plus content hash), the grid that ran, and how
+// long it took. It lives in provenance.json next to suite_report.json —
+// deliberately a separate file, so the report itself stays byte-stable
+// across reruns and only the provenance carries wall-clock state.
+type Provenance struct {
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GitSHA    string `json:"git_sha"`
+	Suite     string `json:"suite"`
+	SuitePath string `json:"suite_path,omitempty"`
+	// SuiteSHA256 hashes the suite file bytes, pinning exactly which
+	// declaration produced the report.
+	SuiteSHA256 string   `json:"suite_sha256,omitempty"`
+	Arm         string   `json:"arm"`
+	Scenarios   []string `json:"scenarios"`
+	Scales      []string `json:"scales"`
+	Engines     []string `json:"engines"`
+	Seeds       []int64  `json:"seeds"`
+	Cells       int      `json:"cells"`
+	Workers     int      `json:"workers"`
+	WallMS      int64    `json:"wall_ms"`
+	Pass        bool     `json:"pass"`
+}
+
+// NewProvenance assembles the record for one completed run. suiteData
+// may be nil when the suite was built in memory.
+func NewProvenance(s *Suite, path string, suiteData []byte, rep *Report, workers int, wall time.Duration) Provenance {
+	p := Provenance{
+		Tool:      "suiterun",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GitSHA:    gitSHA(),
+		Suite:     s.Name,
+		SuitePath: path,
+		Arm:       rep.Arm,
+		Scenarios: s.Scenarios(),
+		Cells:     rep.Ran,
+		Workers:   workers,
+		WallMS:    wall.Milliseconds(),
+		Pass:      rep.Pass,
+	}
+	if len(suiteData) > 0 {
+		sum := sha256.Sum256(suiteData)
+		p.SuiteSHA256 = hex.EncodeToString(sum[:])
+	}
+	scales, engines, seeds := map[string]bool{}, map[string]bool{}, map[int64]bool{}
+	for _, spec := range s.cells() {
+		scales[spec.scale] = true
+		engines[spec.engine] = true
+		seeds[spec.seed] = true
+	}
+	for sc := range scales {
+		p.Scales = append(p.Scales, sc)
+	}
+	sort.Strings(p.Scales)
+	for e := range engines {
+		p.Engines = append(p.Engines, e)
+	}
+	sort.Strings(p.Engines)
+	for seed := range seeds {
+		p.Seeds = append(p.Seeds, seed)
+	}
+	sort.Slice(p.Seeds, func(i, j int) bool { return p.Seeds[i] < p.Seeds[j] })
+	return p
+}
+
+// gitSHA reads the checked-out commit: `git rev-parse HEAD`, then the
+// GITHUB_SHA CI fallback, then "unknown" — provenance must never fail
+// a run.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	return "unknown"
+}

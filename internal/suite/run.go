@@ -1,0 +1,458 @@
+package suite
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bgpworms/internal/attack"
+	"bgpworms/internal/conc"
+	"bgpworms/internal/gen"
+	"bgpworms/internal/scenario"
+	"bgpworms/internal/semantics"
+	"bgpworms/internal/watch"
+)
+
+// Options tune one suite execution.
+type Options struct {
+	// Workers is the harness parallelism (0 or negative: one per CPU).
+	// Reports are bit-identical for any setting.
+	Workers int
+	// Arm overrides the suite's declared detector configuration.
+	Arm *Arm
+}
+
+// DictMetrics is the gateable slice of a dictionary-inference score.
+type DictMetrics = semantics.ScoreSummary
+
+// CellResult is one executed grid point with its measured quality and
+// gate outcome.
+type CellResult struct {
+	Key          string `json:"key"`
+	Scenario     string `json:"scenario"`
+	Scale        string `json:"scale"`
+	Seed         int64  `json:"seed"`
+	Engine       string `json:"engine"`
+	CommunitySet string `json:"community_set"`
+	// Success / Expected / AsExpected grade the scenario's own Table-3
+	// outcome against its declaration (or the entry's override).
+	Success    bool `json:"success"`
+	Expected   bool `json:"expected"`
+	AsExpected bool `json:"as_expected"`
+	// Precision/Recall and the counts mirror watch.Metrics for the
+	// evaluated replay.
+	Precision   float64        `json:"precision"`
+	Recall      float64        `json:"recall"`
+	TP          int            `json:"tp"`
+	FP          int            `json:"fp"`
+	FN          int            `json:"fn"`
+	Alerts      int            `json:"alerts"`
+	NoiseAlerts int            `json:"noise_alerts"`
+	Fired       map[string]int `json:"fired,omitempty"`
+	// Dict carries inference quality when the entry gates it.
+	Dict *DictMetrics `json:"dict,omitempty"`
+	// Failures are this cell's gate breaches; empty means the cell
+	// passed.
+	Failures []string `json:"failures,omitempty"`
+	Err      string   `json:"error,omitempty"`
+}
+
+// Aggregate is a cross-seed summary of one metric.
+type Aggregate struct {
+	Mean     float64 `json:"mean"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	Variance float64 `json:"variance"`
+}
+
+func aggregate(xs []float64) Aggregate {
+	a := Aggregate{Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		a.Mean += x
+		if x < a.Min {
+			a.Min = x
+		}
+		if x > a.Max {
+			a.Max = x
+		}
+	}
+	a.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - a.Mean
+		a.Variance += d * d
+	}
+	a.Variance /= float64(len(xs))
+	return a
+}
+
+// GroupResult aggregates one entry×scale×engine group across its
+// seeds and applies the variance gate.
+type GroupResult struct {
+	Key          string    `json:"key"`
+	Scenario     string    `json:"scenario"`
+	Scale        string    `json:"scale"`
+	Engine       string    `json:"engine"`
+	CommunitySet string    `json:"community_set"`
+	Seeds        []int64   `json:"seeds"`
+	Precision    Aggregate `json:"precision"`
+	Recall       Aggregate `json:"recall"`
+	Noise        Aggregate `json:"noise_alerts"`
+	// MaxVariance is the bound the group was gated against.
+	MaxVariance float64  `json:"max_variance"`
+	Failures    []string `json:"failures,omitempty"`
+}
+
+// Report is the machine-readable suite outcome (suite_report.json). It
+// contains no wall-clock state: identical suite, seeds, and arm yield
+// byte-identical reports (provenance lives in its own file).
+type Report struct {
+	Suite string `json:"suite"`
+	Arm   string `json:"arm"`
+	// Detectors are the resolved arm detector names, sorted.
+	Detectors  []string      `json:"detectors"`
+	Cells      []CellResult  `json:"cells"`
+	Groups     []GroupResult `json:"groups"`
+	Ran        int           `json:"ran"`
+	Passed     int           `json:"passed"`
+	Failed     int           `json:"failed"`
+	Errored    int           `json:"errored"`
+	AsExpected int           `json:"as_expected"`
+	// Matrix is the detector-vs-scenario confusion matrix: total alert
+	// counts per (scenario, detector) over every cell.
+	Matrix map[string]map[string]int `json:"matrix"`
+	// Failures flattens every cell and group gate breach, in grid
+	// order, each prefixed with the breaching key.
+	Failures []string `json:"failures,omitempty"`
+	Pass     bool     `json:"pass"`
+}
+
+// trainer builds and caches clean-baseline dictionaries per
+// (scale, seed): the cell's world rebuilt without the attack, observed
+// by a semantics tap through construction plus a month of churn — the
+// CommunityWatch-style training pass the dictionary-aware detectors
+// assume. Training is serialized; cells needing the same dictionary
+// share one build.
+type trainer struct {
+	mu    sync.Mutex
+	cache map[string]*semantics.Snapshot
+}
+
+func (tr *trainer) snapshot(scale string, seed int64) (*semantics.Snapshot, error) {
+	key := fmt.Sprintf("%s/%d", scale, seed)
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.cache == nil {
+		tr.cache = map[string]*semantics.Snapshot{}
+	}
+	if snap, ok := tr.cache[key]; ok {
+		return snap, nil
+	}
+	p, err := gen.Preset(scale)
+	if err != nil {
+		return nil, err
+	}
+	p.Seed = seed
+	eng := semantics.NewEngine(semantics.Config{Workers: 1})
+	defer eng.Close()
+	p.Tap = eng.Tap()
+	l, err := attack.NewLab(p, scenario.DefaultVPs)
+	if err != nil {
+		return nil, fmt.Errorf("train dictionary %s: %w", key, err)
+	}
+	if _, err := l.W.RunChurn(); err != nil {
+		return nil, fmt.Errorf("train dictionary %s: %w", key, err)
+	}
+	snap := eng.Snapshot()
+	tr.cache[key] = snap
+	return snap, nil
+}
+
+// detectorsFor resolves the arm into a concrete detector list for one
+// cell, training/fetching the cell's dictionary when the arm needs it.
+func detectorsFor(arm *Arm, tr *trainer, scale string, seed int64) ([]watch.Detector, error) {
+	var dict *semantics.Snapshot
+	if arm != nil && arm.Dict {
+		var err error
+		if dict, err = tr.snapshot(scale, seed); err != nil {
+			return nil, err
+		}
+	}
+	if arm == nil || len(arm.Detectors) == 0 {
+		dets := watch.Detectors()
+		if dict != nil {
+			dets = append(dets, watch.DictDetectors(dict)...)
+		}
+		return dets, nil
+	}
+	byName := map[string]watch.Detector{}
+	if dict != nil {
+		for _, d := range watch.DictDetectors(dict) {
+			byName[d.Name()] = d
+		}
+	}
+	var dets []watch.Detector
+	for _, name := range arm.Detectors {
+		if d, ok := byName[name]; ok {
+			dets = append(dets, d)
+			continue
+		}
+		d, ok := watch.LookupDetector(name)
+		if !ok {
+			return nil, fmt.Errorf("arm %s: unknown detector %q", arm.label(), name)
+		}
+		dets = append(dets, d)
+	}
+	return dets, nil
+}
+
+// Run executes every suite cell — the scenario replayed through the
+// watch engine with the arm's detectors, plus a dictionary-inference
+// pass where gated — then aggregates seed groups, applies every gate,
+// and folds the confusion matrix. Cells land at their grid index and
+// all folds run in grid order, so the report is bit-identical across
+// worker counts.
+func Run(s *Suite, opt Options) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	arm := opt.Arm
+	if arm == nil {
+		arm = s.Arm
+	}
+	if err := arm.validate(); err != nil {
+		return nil, err
+	}
+	specs := s.cells()
+	cells := make([]CellResult, len(specs))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tr := &trainer{}
+	conc.Do(len(specs), workers, func(i int) {
+		cells[i] = s.runCell(specs[i], arm, tr)
+	})
+
+	rep := &Report{Suite: s.Name, Arm: arm.label(), Cells: cells, Ran: len(cells)}
+	rep.Detectors = detectorNames(arm)
+	rep.Matrix = map[string]map[string]int{}
+	for i := range cells {
+		c := &cells[i]
+		switch {
+		case c.Err != "":
+			rep.Errored++
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: error: %s", c.Key, c.Err))
+		case len(c.Failures) > 0:
+			rep.Failed++
+			for _, f := range c.Failures {
+				rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %s", c.Key, f))
+			}
+		default:
+			rep.Passed++
+		}
+		if c.AsExpected {
+			rep.AsExpected++
+		}
+		row := rep.Matrix[c.Scenario]
+		if row == nil {
+			row = map[string]int{}
+			rep.Matrix[c.Scenario] = row
+		}
+		for det, n := range c.Fired {
+			row[det] += n
+		}
+	}
+	rep.Groups = s.groupCells(specs, cells)
+	for i := range rep.Groups {
+		for _, f := range rep.Groups[i].Failures {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %s", rep.Groups[i].Key, f))
+		}
+	}
+	rep.Pass = len(rep.Failures) == 0
+	return rep, nil
+}
+
+// detectorNames lists the arm's detector names (registry defaults
+// expanded), sorted — the report's record of what was evaluated.
+func detectorNames(arm *Arm) []string {
+	var names []string
+	if arm == nil || len(arm.Detectors) == 0 {
+		names = watch.DetectorNames()
+		if arm != nil && arm.Dict {
+			names = append(names, watch.DictSquatName, watch.UnknownActionName)
+		}
+	} else {
+		names = append(names, arm.Detectors...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Suite) runCell(spec cellSpec, arm *Arm, tr *trainer) CellResult {
+	e := &s.Entries[spec.entry]
+	out := CellResult{
+		Key: spec.key(), Scenario: spec.scenario, Scale: spec.scale,
+		Seed: spec.seed, Engine: spec.engine, CommunitySet: spec.communitySet,
+	}
+	grid := scenario.Grid{
+		Scenarios: []string{spec.scenario},
+		Values:    scenario.Values(e.Params),
+	}
+	cell := scenario.Cell{
+		Scenario: spec.scenario, Scale: spec.scale, Seed: spec.seed,
+		EngineWorkers: 1, Engine: spec.engine, CommunitySet: spec.communitySet,
+	}
+	ctx, err := grid.ContextFor(cell)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	dets, err := detectorsFor(arm, tr, spec.scale, spec.seed)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	shards := s.Defaults.Shards
+	if shards == 0 {
+		shards = 2
+	}
+	rep, err := watch.EvalScenario(spec.scenario, ctx, watch.Config{Shards: shards, Detectors: dets})
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	m := rep.Metrics()
+	out.Precision, out.Recall = m.Precision, m.Recall
+	out.TP, out.FP, out.FN = m.TP, m.FP, m.FN
+	out.Alerts, out.NoiseAlerts, out.Fired = m.Alerts, m.NoiseAlerts, m.Fired
+	out.Success = rep.Result != nil && rep.Result.Success
+	if e.Expect != nil {
+		out.Expected = *e.Expect
+	} else if sc, ok := scenario.Get(spec.scenario); ok && rep.Result != nil {
+		out.Expected = sc.ExpectedFor(rep.Result.Hijack)
+	}
+	out.AsExpected = out.Success == out.Expected
+
+	if e.Dict != nil {
+		dctx, err := grid.ContextFor(cell)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		drep, _, err := watch.EvalDictionaryScenario(spec.scenario, dctx, semantics.Config{Workers: 1})
+		if err != nil {
+			out.Err = fmt.Sprintf("dictionary eval: %s", err)
+			return out
+		}
+		dm := drep.Score.Summary()
+		out.Dict = &dm
+	}
+
+	out.Failures = s.gateCell(e, &out)
+	return out
+}
+
+// gateCell applies every per-cell assertion, returning one line per
+// breach.
+func (s *Suite) gateCell(e *Entry, c *CellResult) []string {
+	var fails []string
+	if !c.AsExpected {
+		fails = append(fails, fmt.Sprintf("outcome success=%v, expected %v", c.Success, c.Expected))
+	}
+	if e.MinPrecision != nil && c.Precision < *e.MinPrecision {
+		fails = append(fails, fmt.Sprintf("precision %.4f < min %.4f", c.Precision, *e.MinPrecision))
+	}
+	if e.MinRecall != nil && c.Recall < *e.MinRecall {
+		fails = append(fails, fmt.Sprintf("recall %.4f < min %.4f", c.Recall, *e.MinRecall))
+	}
+	if e.MaxNoiseAlerts != nil && c.NoiseAlerts > *e.MaxNoiseAlerts {
+		fails = append(fails, fmt.Sprintf("noise alerts %d > max %d", c.NoiseAlerts, *e.MaxNoiseAlerts))
+	}
+	for _, name := range sortedKeys(e.Detectors) {
+		g := e.Detectors[name]
+		fired := c.Fired[name]
+		if g.MustFire && fired == 0 {
+			fails = append(fails, fmt.Sprintf("detector %s never fired", name))
+		}
+		if g.MaxFired != nil && fired > *g.MaxFired {
+			fails = append(fails, fmt.Sprintf("detector %s fired %d > max %d", name, fired, *g.MaxFired))
+		}
+	}
+	if e.Dict != nil && c.Dict != nil {
+		if e.Dict.MinPrecision != nil && c.Dict.Precision < *e.Dict.MinPrecision {
+			fails = append(fails, fmt.Sprintf("dict precision %.4f < min %.4f", c.Dict.Precision, *e.Dict.MinPrecision))
+		}
+		if e.Dict.MinRecall != nil && c.Dict.Recall < *e.Dict.MinRecall {
+			fails = append(fails, fmt.Sprintf("dict recall %.4f < min %.4f", c.Dict.Recall, *e.Dict.MinRecall))
+		}
+		if e.Dict.MinClassAccuracy != nil && c.Dict.ClassAccuracy < *e.Dict.MinClassAccuracy {
+			fails = append(fails, fmt.Sprintf("dict class accuracy %.4f < min %.4f", c.Dict.ClassAccuracy, *e.Dict.MinClassAccuracy))
+		}
+	}
+	return fails
+}
+
+// groupCells folds cells into their cross-seed groups (grid order) and
+// applies the variance gate.
+func (s *Suite) groupCells(specs []cellSpec, cells []CellResult) []GroupResult {
+	order := []string{}
+	byKey := map[string][]int{}
+	for i, spec := range specs {
+		k := spec.groupKey()
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	var groups []GroupResult
+	for _, k := range order {
+		idx := byKey[k]
+		spec := specs[idx[0]]
+		e := &s.Entries[spec.entry]
+		g := GroupResult{
+			Key: k, Scenario: spec.scenario, Scale: spec.scale,
+			Engine: spec.engine, CommunitySet: spec.communitySet,
+			MaxVariance: s.maxVariance(e),
+		}
+		var ps, rs, ns []float64
+		errored := false
+		for _, i := range idx {
+			c := &cells[i]
+			g.Seeds = append(g.Seeds, c.Seed)
+			if c.Err != "" {
+				errored = true
+				continue
+			}
+			ps = append(ps, c.Precision)
+			rs = append(rs, c.Recall)
+			ns = append(ns, float64(c.NoiseAlerts))
+		}
+		if errored || len(ps) == 0 {
+			// Cell errors already fail the report; variance over a
+			// partial group would be noise on top of noise.
+			groups = append(groups, g)
+			continue
+		}
+		g.Precision, g.Recall, g.Noise = aggregate(ps), aggregate(rs), aggregate(ns)
+		if g.Precision.Variance > g.MaxVariance {
+			g.Failures = append(g.Failures, fmt.Sprintf(
+				"precision variance %.6f > bound %.6f (seed-dependent quality)", g.Precision.Variance, g.MaxVariance))
+		}
+		if g.Recall.Variance > g.MaxVariance {
+			g.Failures = append(g.Failures, fmt.Sprintf(
+				"recall variance %.6f > bound %.6f (seed-dependent quality)", g.Recall.Variance, g.MaxVariance))
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+func sortedKeys(m map[string]DetectorGate) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

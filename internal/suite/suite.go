@@ -1,0 +1,393 @@
+// Package suite is the statistical release-gate harness: declarative
+// scenario suites (checked-in JSON under suites/), a multi-seed runner
+// that executes every suite cell through the scenario sweep machinery
+// and the watch/semantics evaluation loops, cross-seed variance gating
+// with per-detector assertion thresholds, a detector-vs-scenario
+// confusion matrix, and a paired A/B decision rule (Compare) that two
+// detector configurations are judged by before one may replace the
+// other.
+//
+// A suite is the repo's analogue of the paper's Table 3 discipline:
+// every registered attack scenario declares what must be detected, the
+// suite pins how well, and CI refuses changes that fall below the pins
+// or whose quality varies across seeds more than the declared bound.
+// Reports are deterministic: the same suite, seeds, and arm produce
+// byte-identical suite_report.json regardless of harness worker count.
+package suite
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"bgpworms/internal/gen"
+	"bgpworms/internal/scenario"
+	"bgpworms/internal/simnet"
+	"bgpworms/internal/watch"
+)
+
+// MinSeeds is the smallest seed list a suite cell may declare: detector
+// quality asserted on fewer repetitions is a point estimate, not a
+// gate (the variance bound needs spread to measure).
+const MinSeeds = 3
+
+// DefaultMaxVariance bounds the cross-seed population variance of
+// precision and recall within a cell group when neither the suite nor
+// the entry declares one. 0.0025 is a standard deviation of 5 points
+// on a [0,1] ratio — far looser than the zero variance healthy
+// scenarios show, tight enough to catch seed-dependent flapping.
+const DefaultMaxVariance = 0.0025
+
+// Arm names one detector configuration under evaluation: which
+// detectors run, and whether a community dictionary is trained (per
+// scale and seed, on a clean churn baseline) to back the
+// dictionary-aware pair. The zero Arm is the default: every registered
+// detector, no dictionary.
+type Arm struct {
+	Name string `json:"name,omitempty"`
+	// Detectors are watch detector registry names (plus the dict pair's
+	// names when Dict is set); empty means every registered detector
+	// (plus the dict pair when Dict is set).
+	Detectors []string `json:"detectors,omitempty"`
+	// Dict trains a per-(scale,seed) community dictionary on a clean
+	// world plus a month of churn and binds the dictionary-aware
+	// detectors to it.
+	Dict bool `json:"dict,omitempty"`
+}
+
+// label names the arm in reports.
+func (a *Arm) label() string {
+	if a == nil {
+		return "default"
+	}
+	if a.Name != "" {
+		return a.Name
+	}
+	if a.Dict {
+		return "dict"
+	}
+	return "custom"
+}
+
+// validate rejects unknown detector names and dict-pair names without a
+// dictionary to back them.
+func (a *Arm) validate() error {
+	if a == nil {
+		return nil
+	}
+	for _, name := range a.Detectors {
+		if name == watch.DictSquatName || name == watch.UnknownActionName {
+			if !a.Dict {
+				return fmt.Errorf("arm %s: detector %q needs \"dict\": true", a.label(), name)
+			}
+			continue
+		}
+		if _, ok := watch.LookupDetector(name); !ok {
+			return fmt.Errorf("arm %s: unknown detector %q (registered: %v)",
+				a.label(), name, watch.DetectorNames())
+		}
+	}
+	return nil
+}
+
+// DetectorGate is one per-detector assertion inside a suite entry.
+type DetectorGate struct {
+	// MustFire requires at least one alert from this detector in every
+	// cell of the entry.
+	MustFire bool `json:"must_fire,omitempty"`
+	// MaxFired caps this detector's alert count per cell.
+	MaxFired *int `json:"max_fired,omitempty"`
+}
+
+// DictGate asserts dictionary-inference quality for an entry: the
+// scenario is additionally replayed through the semantics engine and
+// the inferred dictionary is scored against the generator's ground
+// truth (watch.EvalDictionaryScenario).
+type DictGate struct {
+	MinPrecision     *float64 `json:"min_precision,omitempty"`
+	MinRecall        *float64 `json:"min_recall,omitempty"`
+	MinClassAccuracy *float64 `json:"min_class_accuracy,omitempty"`
+}
+
+func (g *DictGate) validate() error {
+	for name, v := range map[string]*float64{
+		"min_precision": g.MinPrecision, "min_recall": g.MinRecall,
+		"min_class_accuracy": g.MinClassAccuracy,
+	} {
+		if v != nil && (*v < 0 || *v > 1) {
+			return fmt.Errorf("dict.%s %v outside [0,1]", name, *v)
+		}
+	}
+	return nil
+}
+
+// Defaults fill entry dimensions left empty, so a suite states its
+// grid once.
+type Defaults struct {
+	Scales       []string `json:"scales,omitempty"`
+	Seeds        []int64  `json:"seeds,omitempty"`
+	Engines      []string `json:"engines,omitempty"`
+	CommunitySet string   `json:"community_set,omitempty"`
+	// VPs is the Atlas vantage-point count per cell (scenario default
+	// when 0).
+	VPs int `json:"vps,omitempty"`
+	// Shards is the watch engine shard count per cell. Alert sets are
+	// shard-invariant; the knob only trades memory for parallelism.
+	Shards int `json:"shards,omitempty"`
+	// MaxVariance is the suite-wide cross-seed variance bound
+	// (DefaultMaxVariance when nil).
+	MaxVariance *float64 `json:"max_variance,omitempty"`
+}
+
+// Entry is one suite row: a registered scenario, the grid it runs on,
+// and the gates its runs must clear.
+type Entry struct {
+	// Scenario is the registry name (internal/attack registrations).
+	Scenario string `json:"scenario"`
+	// Scales / Seeds / Engines / CommunitySet fan the cell grid; empty
+	// dimensions inherit the suite defaults.
+	Scales       []string `json:"scales,omitempty"`
+	Seeds        []int64  `json:"seeds,omitempty"`
+	Engines      []string `json:"engines,omitempty"`
+	CommunitySet string   `json:"community_set,omitempty"`
+	// Params are fixed scenario parameter overrides for every cell.
+	Params map[string]string `json:"params,omitempty"`
+	// Expect overrides the scenario's declared Table-3 expectation
+	// (rarely needed; nil gates against the registry declaration).
+	Expect *bool `json:"expect,omitempty"`
+	// Thresholds gate the evaluated replay's micro precision/recall,
+	// noise-alert volume, and cross-seed variance.
+	scenario.Thresholds
+	// Detectors are per-detector assertions, keyed by detector name.
+	Detectors map[string]DetectorGate `json:"detectors,omitempty"`
+	// Dict, when set, additionally scores dictionary inference over the
+	// cell and gates its quality.
+	Dict *DictGate `json:"dict,omitempty"`
+}
+
+// Suite is the checked-in declarative format.
+type Suite struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Arm is the detector configuration the suite runs under when the
+	// caller does not override one.
+	Arm      *Arm     `json:"arm,omitempty"`
+	Defaults Defaults `json:"defaults,omitempty"`
+	Entries  []Entry  `json:"entries"`
+}
+
+// Load reads, parses, and validates a suite file.
+func Load(path string) (*Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Parse decodes and validates a suite. Unknown fields, unregistered
+// scenarios, short or duplicated seed lists, unparsable parameters, and
+// out-of-range thresholds are all errors — a malformed suite must
+// never reach the gate looking like a passing one.
+func Parse(data []byte) (*Suite, error) {
+	var s Suite
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("suite: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("suite: trailing data after suite object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the suite against the scenario and detector
+// registries and the simulation preset/engine catalogs.
+func (s *Suite) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("suite: missing name")
+	}
+	if len(s.Entries) == 0 {
+		return fmt.Errorf("suite %s: no entries", s.Name)
+	}
+	if err := s.Arm.validate(); err != nil {
+		return fmt.Errorf("suite %s: %w", s.Name, err)
+	}
+	if s.Defaults.MaxVariance != nil && *s.Defaults.MaxVariance < 0 {
+		return fmt.Errorf("suite %s: defaults.max_variance %v negative", s.Name, *s.Defaults.MaxVariance)
+	}
+	for _, scale := range s.Defaults.Scales {
+		if _, err := gen.Preset(scale); err != nil {
+			return fmt.Errorf("suite %s: defaults: %w", s.Name, err)
+		}
+	}
+	for _, e := range s.Defaults.Engines {
+		if _, err := simnet.ParseEngine(e); err != nil {
+			return fmt.Errorf("suite %s: defaults: %w", s.Name, err)
+		}
+	}
+	for i := range s.Entries {
+		if err := s.validateEntry(&s.Entries[i]); err != nil {
+			return fmt.Errorf("suite %s: entry %d (%s): %w", s.Name, i, s.Entries[i].Scenario, err)
+		}
+	}
+	return nil
+}
+
+func (s *Suite) validateEntry(e *Entry) error {
+	sc, ok := scenario.Get(e.Scenario)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (registered: %v)", e.Scenario, scenario.Names())
+	}
+	seeds := e.Seeds
+	if len(seeds) == 0 {
+		seeds = s.Defaults.Seeds
+	}
+	if len(seeds) < MinSeeds {
+		return fmt.Errorf("%d seed(s); a gated cell needs at least %d for the variance bound", len(seeds), MinSeeds)
+	}
+	seen := map[int64]bool{}
+	for _, seed := range seeds {
+		if seen[seed] {
+			return fmt.Errorf("duplicate seed %d", seed)
+		}
+		seen[seed] = true
+	}
+	for _, scale := range e.Scales {
+		if _, err := gen.Preset(scale); err != nil {
+			return err
+		}
+	}
+	for _, eng := range e.Engines {
+		if _, err := simnet.ParseEngine(eng); err != nil {
+			return err
+		}
+	}
+	if err := sc.Validate(scenario.Values(e.Params)); err != nil {
+		return err
+	}
+	if err := e.Thresholds.Validate(); err != nil {
+		return err
+	}
+	for name, g := range e.Detectors {
+		known := name == watch.DictSquatName || name == watch.UnknownActionName
+		if !known {
+			if _, ok := watch.LookupDetector(name); !ok {
+				return fmt.Errorf("unknown detector %q (registered: %v)", name, watch.DetectorNames())
+			}
+		}
+		if g.MaxFired != nil && *g.MaxFired < 0 {
+			return fmt.Errorf("detector %s: max_fired %d negative", name, *g.MaxFired)
+		}
+		if g.MustFire && g.MaxFired != nil && *g.MaxFired == 0 {
+			return fmt.Errorf("detector %s: must_fire with max_fired 0 can never pass", name)
+		}
+	}
+	if e.Dict != nil {
+		if err := e.Dict.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cellSpec is one expanded grid point, pre-resolution.
+type cellSpec struct {
+	entry        int
+	scenario     string
+	scale        string
+	seed         int64
+	engine       string
+	communitySet string
+}
+
+// key is the canonical pairing identity of a cell across suite runs
+// and A/B arms.
+func (c cellSpec) key() string {
+	return fmt.Sprintf("%d/%s/%s/%s/%s/seed=%d", c.entry, c.scenario, c.scale, c.engine, c.communitySet, c.seed)
+}
+
+// groupKey identifies the cross-seed aggregation group.
+func (c cellSpec) groupKey() string {
+	return fmt.Sprintf("%d/%s/%s/%s/%s", c.entry, c.scenario, c.scale, c.engine, c.communitySet)
+}
+
+// cells expands the suite into canonical order: entry, scale, seed,
+// engine (outermost first). Validation has already run; expansion is
+// mechanical.
+func (s *Suite) cells() []cellSpec {
+	var out []cellSpec
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		scales := pick(e.Scales, s.Defaults.Scales, []string{scenario.DefaultScale})
+		seeds := e.Seeds
+		if len(seeds) == 0 {
+			seeds = s.Defaults.Seeds
+		}
+		engines := pick(e.Engines, s.Defaults.Engines, []string{"delta"})
+		set := e.CommunitySet
+		if set == "" {
+			set = s.Defaults.CommunitySet
+		}
+		if set == "" {
+			set = scenario.DefaultCommunitySet
+		}
+		for _, scale := range scales {
+			for _, seed := range seeds {
+				for _, eng := range engines {
+					out = append(out, cellSpec{
+						entry: i, scenario: e.Scenario, scale: scale,
+						seed: seed, engine: eng, communitySet: set,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func pick(own, def, fallback []string) []string {
+	if len(own) > 0 {
+		return own
+	}
+	if len(def) > 0 {
+		return def
+	}
+	return fallback
+}
+
+// maxVariance resolves the variance bound for an entry.
+func (s *Suite) maxVariance(e *Entry) float64 {
+	if e.MaxVariance != nil {
+		return *e.MaxVariance
+	}
+	if s.Defaults.MaxVariance != nil {
+		return *s.Defaults.MaxVariance
+	}
+	return DefaultMaxVariance
+}
+
+// Scenarios returns the sorted, deduplicated scenario names the suite
+// covers (the registry-coverage invariant reads it).
+func (s *Suite) Scenarios() []string {
+	set := map[string]bool{}
+	for i := range s.Entries {
+		set[s.Entries[i].Scenario] = true
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -107,8 +107,11 @@ func (d unknownAction) Observe(st *PrefixState, ev *Event, emit func(Alert)) {
 	}
 }
 
-// dictDetectors builds the dictionary-aware set bound to dict, in name
-// order (the registry's ordering discipline).
-func dictDetectors(dict semantics.Provider) []Detector {
+// DictDetectors builds the dictionary-aware set bound to dict, in name
+// order (the registry's ordering discipline). Harnesses that assemble
+// detector arms by name (internal/suite) use it to add the pair to an
+// explicit Config.Detectors list; Config.Dict adds it implicitly when
+// no list is given.
+func DictDetectors(dict semantics.Provider) []Detector {
 	return []Detector{NewDictSquat(dict), NewUnknownActionCommunity(dict)}
 }

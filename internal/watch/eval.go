@@ -13,12 +13,17 @@ import (
 // detector is scored against the scenario's declared ground truth.
 
 // Truth declares which detectors a scenario's feed is expected to
-// trigger. Must detectors count toward recall; May detectors are
-// tolerated (no false-positive charge) because the scenario's machinery
-// plausibly trips them; anything else that fires is a false positive.
+// trigger. Must detectors count toward recall; each AnyOf group counts
+// toward recall once and is satisfied when any member fires (the
+// groups express detector families — the value-pattern and the
+// dictionary-aware squat detectors are interchangeable evidence of the
+// same squat, so an arm may carry either); May detectors are tolerated
+// (no false-positive charge) because the scenario's machinery plausibly
+// trips them; anything else that fires is a false positive.
 type Truth struct {
-	Must []string `json:"must"`
-	May  []string `json:"may,omitempty"`
+	Must  []string   `json:"must"`
+	AnyOf [][]string `json:"any_of,omitempty"`
+	May   []string   `json:"may,omitempty"`
 }
 
 // scenarioTruth maps registry scenario names to detection ground truth.
@@ -44,13 +49,14 @@ var scenarioTruth = map[string]Truth{
 	},
 	// The squat announces a decoy :666 value, which the value-pattern
 	// blackhole detector cannot distinguish from a real trigger — the
-	// §7.6 over-counting, reproduced live. With a trained dictionary the
-	// dict-aware pair catches the decoy too (their Must status depends
-	// on training, so they stay tolerated here; the dedicated tests
-	// assert their behavior).
+	// §7.6 over-counting, reproduced live. The squat itself must be
+	// caught by either squat detector: the value-pattern rule or (when
+	// a dictionary is trained) the dict-aware one — they are
+	// interchangeable evidence, so an A/B arm may carry either.
 	"blackhole-squatting": {
-		Must: []string{"blackhole-onset", "community-squat"},
-		May:  []string{"prop-distance", DictSquatName, UnknownActionName},
+		Must:  []string{"blackhole-onset"},
+		AnyOf: [][]string{{"community-squat", DictSquatName}},
+		May:   []string{"prop-distance", UnknownActionName},
 	},
 	// The sweep announces real triggers and decoys alike.
 	"blackhole-sweep": {
@@ -58,13 +64,14 @@ var scenarioTruth = map[string]Truth{
 		May:  []string{"community-squat", "prop-distance", DictSquatName, UnknownActionName},
 	},
 	// The poisoning probes carry fabricated off-path communities of the
-	// victim AS — squat noise is the attack itself. The scenario runs
-	// churn for a realistic training baseline, so churn's RTBH episodes
-	// may raise blackhole alerts too.
+	// victim AS — squat noise is the attack itself, and either squat
+	// detector counts as catching it. The scenario runs churn for a
+	// realistic training baseline, so churn's RTBH episodes may raise
+	// blackhole alerts too.
 	"dictionary-poisoning": {
-		Must: []string{"community-squat"},
+		AnyOf: [][]string{{"community-squat", DictSquatName}},
 		May: []string{"blackhole-onset", "prop-distance", "route-leak",
-			DictSquatName, UnknownActionName},
+			UnknownActionName},
 	},
 	// The hygiene sweep fires an RTBH attempt per filtering rate; the
 	// first-hop delivery always carries the blackhole-valued trigger.
@@ -108,6 +115,49 @@ type EvalReport struct {
 	// (micro-averaged; 1.0 when nothing was expected or fired).
 	Precision float64 `json:"precision"`
 	Recall    float64 `json:"recall"`
+	// TP/FP/FN are the micro counts behind Precision and Recall:
+	// required detectors (and AnyOf groups) that fired / unexpected
+	// untolerated detectors that fired / required ones that stayed
+	// silent — detectors absent from the evaluated configuration
+	// included, so a thinned-out arm is charged for what it cannot see.
+	TP int `json:"tp"`
+	FP int `json:"fp"`
+	FN int `json:"fn"`
+	// NoiseAlerts counts alerts the ground truth did not require:
+	// everything fired by detectors outside Must and outside every
+	// AnyOf group (tolerated May noise included), and — for scenarios
+	// with no declared truth — every alert. It is the false-positive
+	// alert volume the suite harness gates and A/B-compares.
+	NoiseAlerts int `json:"noise_alerts"`
+}
+
+// Metrics is the flat, structured slice of an EvalReport a suite
+// harness aggregates: quality ratios, micro counts, and per-detector
+// alert volume. Fired maps detector name to alert count (absent
+// detectors that the truth required appear with count 0).
+type Metrics struct {
+	Precision   float64        `json:"precision"`
+	Recall      float64        `json:"recall"`
+	TP          int            `json:"tp"`
+	FP          int            `json:"fp"`
+	FN          int            `json:"fn"`
+	Alerts      int            `json:"alerts"`
+	NoiseAlerts int            `json:"noise_alerts"`
+	Fired       map[string]int `json:"fired"`
+}
+
+// Metrics flattens the report for aggregation.
+func (r *EvalReport) Metrics() Metrics {
+	m := Metrics{
+		Precision: r.Precision, Recall: r.Recall,
+		TP: r.TP, FP: r.FP, FN: r.FN,
+		Alerts: len(r.Alerts), NoiseAlerts: r.NoiseAlerts,
+		Fired: make(map[string]int, len(r.Scores)),
+	}
+	for _, s := range r.Scores {
+		m.Fired[s.Detector] = s.Fired
+	}
+	return m
 }
 
 // EvalScenario replays the named registered scenario with a lossless
@@ -143,12 +193,22 @@ func (r *EvalReport) score(dets []Detector, truth Truth) {
 	for _, d := range truth.May {
 		may[d] = true
 	}
+	// AnyOf members are tolerated individually; the group is scored
+	// once below.
+	member := make(map[string]bool)
+	for _, g := range truth.AnyOf {
+		for _, d := range g {
+			member[d] = true
+		}
+	}
 	fired := make(map[string]int)
 	for _, a := range r.Alerts {
 		fired[a.Detector]++
 	}
 	var tp, fp, fn int
+	have := make(map[string]bool, len(dets))
 	for _, d := range dets {
+		have[d.Name()] = true
 		s := DetectorScore{Detector: d.Name(), Fired: fired[d.Name()]}
 		if r.Known {
 			s.Expected = must[s.Detector]
@@ -157,14 +217,51 @@ func (r *EvalReport) score(dets []Detector, truth Truth) {
 				s.TP = 1
 			case s.Expected:
 				s.FN = 1
-			case s.Fired > 0 && !may[s.Detector]:
+			case s.Fired > 0 && !may[s.Detector] && !member[s.Detector]:
 				s.FP = 1
 			}
 			tp, fp, fn = tp+s.TP, fp+s.FP, fn+s.FN
 		}
 		r.Scores = append(r.Scores, s)
 	}
+	if r.Known {
+		// A Must detector the evaluated configuration does not carry is
+		// still a miss: the arm cannot see what the truth requires. A
+		// synthetic zero-fire row keeps the gap visible in reports.
+		for _, d := range truth.Must {
+			if !have[d] {
+				r.Scores = append(r.Scores, DetectorScore{Detector: d, Expected: true, FN: 1})
+				fn++
+			}
+		}
+		// Each AnyOf group counts once: satisfied by any member firing,
+		// missed otherwise (even when no member is configured).
+		for _, g := range truth.AnyOf {
+			sat := false
+			for _, d := range g {
+				if fired[d] > 0 {
+					sat = true
+				}
+			}
+			if sat {
+				tp++
+			} else {
+				fn++
+			}
+		}
+	}
 	sort.Slice(r.Scores, func(i, j int) bool { return r.Scores[i].Detector < r.Scores[j].Detector })
+	for _, s := range r.Scores {
+		if !r.Known {
+			// No truth: every alert is unrequested volume.
+			r.NoiseAlerts += s.Fired
+			continue
+		}
+		if !must[s.Detector] && !member[s.Detector] {
+			r.NoiseAlerts += s.Fired
+		}
+	}
+	r.TP, r.FP, r.FN = tp, fp, fn
 	r.Precision, r.Recall = 1, 1
 	if tp+fp > 0 {
 		r.Precision = float64(tp) / float64(tp+fp)

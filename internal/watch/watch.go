@@ -154,7 +154,7 @@ func (c Config) withDefaults() Config {
 	if c.Detectors == nil {
 		c.Detectors = Detectors()
 		if c.Dict != nil {
-			c.Detectors = append(c.Detectors, dictDetectors(c.Dict)...)
+			c.Detectors = append(c.Detectors, DictDetectors(c.Dict)...)
 		}
 	}
 	return c
