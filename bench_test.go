@@ -24,6 +24,7 @@ import (
 	"bgpworms/internal/netx"
 	"bgpworms/internal/policy"
 	"bgpworms/internal/router"
+	"bgpworms/internal/scenario"
 	"bgpworms/internal/semantics"
 	"bgpworms/internal/simnet"
 	"bgpworms/internal/topo"
@@ -926,5 +927,85 @@ func BenchmarkAblationConvergence(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Warm-world snapshot benches (PR 7's tentpole) ---
+
+// BenchmarkSnapshotFork measures the copy-on-write fork: one op turns a
+// frozen medium world into a fresh mutable Internet — collectors, route
+// servers, registry, and tap replay included. Build cost is paid once
+// outside the timer; the per-op cost is what every warm sweep cell pays
+// instead of a full rebuild.
+func BenchmarkSnapshotFork(b *testing.B) {
+	p := gen.Medium()
+	p.Engine = "delta"
+	p.Workers = runtime.GOMAXPROCS(0)
+	snap, err := gen.BuildSnapshot(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := snap.Fork(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(w.Graph.NumASes()), "ases")
+		}
+	}
+}
+
+// BenchmarkSweepWarm runs the same 10-cell sweep cold and warm: five
+// single-shot scenarios crossed with two community sets, all on one
+// (scale, seed, engine) coordinate. Cold pays a full world build per
+// cell; warm builds once and forks nine more times. The warm/cold
+// ns-per-op ratio is the snapshot layer's headline speedup
+// (BENCH_pr7.json). Heavy world-churning scenarios (blackhole-sweep)
+// are deliberately absent: the bench isolates build amortization, the
+// cost the snapshot layer actually removes.
+func BenchmarkSweepWarm(b *testing.B) {
+	names := []string{
+		"rtbh", "steering-localpref", "steering-prepend",
+		"route-manipulation", "propagation-distance",
+	}
+	for _, scale := range []string{"medium", "large"} {
+		for _, mode := range []struct {
+			name string
+			cold bool
+		}{{"cold", true}, {"warm", false}} {
+			b.Run(scale+"/"+mode.name, func(b *testing.B) {
+				runtime.GC()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					g := scenario.Grid{
+						Scenarios:     names,
+						Scales:        []string{scale},
+						Seeds:         []int64{1},
+						Engines:       []string{"delta"},
+						CommunitySets: []string{"verified", "likely"},
+						Cold:          mode.cold,
+					}
+					rep, err := scenario.Sweep(g, runtime.GOMAXPROCS(0))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Errored > 0 {
+						for _, c := range rep.Cells {
+							if c.Err != "" {
+								b.Fatalf("cell %s errored: %s", c.Scenario, c.Err)
+							}
+						}
+					}
+					if !mode.cold && rep.SnapshotForks < len(names) {
+						b.Fatalf("warm sweep forked %d times, want >= %d", rep.SnapshotForks, len(names))
+					}
+					b.ReportMetric(float64(rep.Ran), "cells")
+					b.ReportMetric(float64(rep.SnapshotBuilds), "builds")
+					b.ReportMetric(float64(rep.SnapshotForks), "forks")
+				}
+			})
+		}
 	}
 }

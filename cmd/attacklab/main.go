@@ -60,6 +60,7 @@ func main() {
 		engines       = flag.String("engines", "auto", "sweep: comma-separated simnet engines (auto|serial|rounds|delta)")
 		sets          = flag.String("sets", "verified", "sweep: comma-separated community sets")
 		workers       = flag.Int("workers", 0, "sweep harness worker pool (0 = one per CPU)")
+		cold          = flag.Bool("cold", false, "sweep: build every cell's world from scratch instead of forking warm snapshots (bisection/benchmark escape hatch)")
 
 		verbose = flag.Bool("v", false, "print per-scenario evidence")
 		params  multiFlag
@@ -73,7 +74,7 @@ func main() {
 	case *run != "":
 		runOne(*run, *scale, *eng, *seed, *vps, *set, params, *asJSON, *verbose)
 	case *sweep:
-		runSweep(*scenarios, *scales, *seeds, *engineWorkers, *engines, *sets, *vps, *workers, params, *asJSON)
+		runSweep(*scenarios, *scales, *seeds, *engineWorkers, *engines, *sets, *vps, *workers, *cold, params, *asJSON)
 	default:
 		fullReport(*scale, *eng, *seed, *vps, *verbose)
 	}
@@ -110,7 +111,7 @@ func runOne(name, scale, engine string, seed int64, vps int, set string, params 
 	}
 }
 
-func runSweep(scenarios, scales, seeds, engineWorkers, engines, sets string, vps, workers int, params multiFlag, asJSON bool) {
+func runSweep(scenarios, scales, seeds, engineWorkers, engines, sets string, vps, workers int, cold bool, params multiFlag, asJSON bool) {
 	g := scenario.Grid{
 		Scenarios:     splitList(scenarios),
 		Scales:        splitList(scales),
@@ -118,6 +119,7 @@ func runSweep(scenarios, scales, seeds, engineWorkers, engines, sets string, vps
 		CommunitySets: splitList(sets),
 		VPs:           vps,
 		Values:        parseParams(params),
+		Cold:          cold,
 	}
 	for _, s := range splitList(seeds) {
 		n, err := strconv.ParseInt(s, 10, 64)
@@ -142,6 +144,9 @@ func runSweep(scenarios, scales, seeds, engineWorkers, engines, sets string, vps
 		return
 	}
 	fmt.Println(scenario.RenderSweep(rep))
+	if rep.SnapshotBuilds > 0 {
+		fmt.Printf("warm worlds: %d built, %d cell runs forked\n", rep.SnapshotBuilds, rep.SnapshotForks)
+	}
 }
 
 func splitList(s string) []string {

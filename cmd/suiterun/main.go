@@ -86,6 +86,10 @@ func main() {
 		fatal(err)
 	}
 	prov := suite.NewProvenance(s, *suitePath, data, rep, *workers, time.Since(start))
+	if rep.SnapshotBuilds > 0 {
+		fmt.Fprintf(os.Stderr, "warm worlds: %d built, %d cell runs forked\n",
+			rep.SnapshotBuilds, rep.SnapshotForks)
+	}
 
 	if *outDir != "" {
 		if err := writeJSON(filepath.Join(*outDir, "suite_report.json"), rep); err != nil {

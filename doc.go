@@ -56,6 +56,12 @@
 // online side: prefix-sharded windows make alert sets shard-count
 // invariant, and the dictionary engine's commutative evidence folds
 // make inferred dictionaries worker-count invariant.
+// Converged worlds can be frozen into immutable snapshots
+// (simnet.Network.Freeze, gen.BuildSnapshot) and forked copy-on-write,
+// so a sweep or release suite builds each (scale, seed, engine) world
+// once and every cell perturbs a cheap fork; warm runs are held
+// bit-identical to scratch builds by a differential equivalence suite
+// (internal/simnet and internal/attack warm tests).
 //
 // # Verification
 //

@@ -180,7 +180,7 @@ func (l *Lab) ensurePrependTarget(minPrepend uint32) (target, via topo.ASN, svc 
 		Community: bgp.C(uint16(p), val), Kind: policy.SvcPrepend,
 		Param: minPrepend, CustomerOnly: true,
 	}
-	l.W.Catalogs[p].Add(svc)
+	l.mutableCatalog(p).Add(svc)
 	return p, fwd, svc
 }
 
@@ -308,7 +308,7 @@ func (l *Lab) armLeakAmplifier(amp topo.ASN) (bgp.Community, uint32) {
 		val++
 	}
 	raise := bgp.C(uint16(amp), val)
-	l.W.Catalogs[amp].Add(policy.Service{
+	l.mutableCatalog(amp).Add(policy.Service{
 		Community: raise, Kind: policy.SvcLocalPref, Param: pref,
 	})
 	return raise, pref

@@ -17,6 +17,7 @@ import (
 	"bgpworms/internal/netx"
 	"bgpworms/internal/policy"
 	"bgpworms/internal/router"
+	"bgpworms/internal/simnet"
 	"bgpworms/internal/topo"
 )
 
@@ -64,6 +65,24 @@ func NewLab(p gen.Params, nVPs int) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newLabOver(w, nVPs)
+}
+
+// NewWarmLab forks a frozen world snapshot instead of building from
+// scratch and attaches the identical lab infrastructure. Because the
+// snapshot is frozen immediately after gen.Build — before any injector,
+// IRR state, or catalog edit exists — the fork runs the exact same
+// attachment code a scratch lab runs, so a warm lab is bit-identical to
+// a cold one built from the snapshot's parameters.
+func NewWarmLab(s *gen.Snapshot, nVPs int, tap simnet.UpdateTap) (*Lab, error) {
+	w, err := s.Fork(tap)
+	if err != nil {
+		return nil, err
+	}
+	return newLabOver(w, nVPs)
+}
+
+func newLabOver(w *gen.Internet, nVPs int) (*Lab, error) {
 	l := &Lab{W: w}
 	if err := l.attachResearch(); err != nil {
 		return nil, err
@@ -71,8 +90,21 @@ func NewLab(p gen.Params, nVPs int) (*Lab, error) {
 	if err := l.attachPeering(); err != nil {
 		return nil, err
 	}
-	l.Atlas = atlas.New(w.Net, w.StubASes(), nVPs, p.Seed+7)
+	l.Atlas = atlas.New(w.Net, w.StubASes(), nVPs, w.Params.Seed+7)
 	return l, nil
+}
+
+// mutableCatalog returns a lab-private clone of the AS's service
+// catalog, installed both in the world's ground-truth map and on the
+// (copy-on-write) router. It always clones — on cold labs too — so the
+// warm and scratch paths mutate byte-identical state.
+func (l *Lab) mutableCatalog(asn topo.ASN) *policy.Catalog {
+	cat := l.W.Catalogs[asn].Clone()
+	l.W.Catalogs[asn] = cat
+	if r := l.W.Net.MutableRouter(asn); r != nil {
+		r.Config().Catalog = cat
+	}
+	return cat
 }
 
 // attachResearch wires a stub AS with exactly two upstream mids: one
@@ -119,7 +151,7 @@ func (l *Lab) attachResearch() error {
 	allowed := &policy.PrefixList{}
 	allowed.AddRange(researchPrefix, 24, 32)
 	for _, up := range []topo.ASN{forwarder, stripper} {
-		cfg := l.W.Net.Router(up).Config()
+		cfg := l.W.Net.MutableRouter(up).Config()
 		if cfg.CustomerPrefixes == nil {
 			cfg.CustomerPrefixes = map[topo.ASN]*policy.PrefixList{}
 		}
@@ -166,11 +198,12 @@ func (l *Lab) ensureRTBHProvider(near topo.ASN) topo.ASN {
 	}
 	p := provs[0]
 	bh := bgp.C(uint16(p), 666)
-	l.W.Catalogs[p].Add(policy.Service{Community: bh, Kind: policy.SvcBlackhole})
-	l.W.Net.Router(p).Config().BlackholeMinLen = 24
+	l.mutableCatalog(p).Add(policy.Service{Community: bh, Kind: policy.SvcBlackhole})
+	l.W.Net.MutableRouter(p).Config().BlackholeMinLen = 24
 	// Keep the registry's ground truth consistent: the community is now a
-	// verified trigger, not a decoy.
-	likely := l.W.Registry.Likely[:0]
+	// verified trigger, not a decoy. Filter into a fresh slice — a warm
+	// lab's Likely shares its backing array with the frozen snapshot.
+	likely := make([]bgp.Community, 0, len(l.W.Registry.Likely))
 	for _, c := range l.W.Registry.Likely {
 		if c != bh {
 			likely = append(likely, c)

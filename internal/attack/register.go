@@ -21,11 +21,12 @@ var hijackParam = scenario.Param{
 }
 
 // withLab builds a fresh lab from the context and hands it to run. Every
-// run gets its own world, so registered scenarios are safe to execute
-// concurrently from the sweep harness.
+// run gets its own world — forked from the context's warm snapshot when
+// one is provided, built from scratch otherwise — so registered
+// scenarios are safe to execute concurrently from the sweep harness.
 func withLab(run func(l *Lab, ctx *scenario.Context) (*Result, error)) scenario.RunFunc {
 	return func(ctx *scenario.Context) (*Result, error) {
-		l, err := NewLab(ctx.Gen, ctx.VPs)
+		l, err := newLabFor(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -34,6 +35,20 @@ func withLab(run func(l *Lab, ctx *scenario.Context) (*Result, error)) scenario.
 		}
 		return run(l, ctx)
 	}
+}
+
+// newLabFor builds the lab a context asks for: a warm fork when the
+// context carries a compatible snapshot, a scratch build otherwise. An
+// incompatible snapshot is an error, never a silent rebuild — the warm
+// path's whole claim is equivalence with the cold one.
+func newLabFor(ctx *scenario.Context) (*Lab, error) {
+	if ctx.Warm != nil {
+		if err := ctx.Warm.Compatible(ctx.Gen); err != nil {
+			return nil, err
+		}
+		return NewWarmLab(ctx.Warm, ctx.VPs, ctx.Tap)
+	}
+	return NewLab(ctx.Gen, ctx.VPs)
 }
 
 func builtinScenarios() []*scenario.Scenario {
@@ -190,8 +205,10 @@ func builtinScenarios() []*scenario.Scenario {
 				Name: "rates", Kind: scenario.KindString, Default: "0,25,50,75,100",
 				Help: "comma-separated strip-foreign adoption percentages to sweep",
 			}},
-			// Builds one world per rate, so it manages labs itself.
-			Run: RunHygieneFiltering,
+			// Builds one world per rate, so it manages labs itself; warm
+			// harnesses must not provision a snapshot it would never fork.
+			Run:           RunHygieneFiltering,
+			ManagesWorlds: true,
 		},
 		{
 			Name:       "route-leak-amplification",

@@ -87,6 +87,7 @@ type Collector struct {
 
 	peers map[topo.ASN]Peer
 	node  *router.Router
+	net   *simnet.Network
 	obs   []Observation
 	subs  []func(Observation)
 	clock time.Time
@@ -133,6 +134,7 @@ func (c *Collector) Peers() []Peer {
 // exports its entire table; customer feeds ride a peer relationship), and
 // a tap recording every delivery to the collector.
 func (c *Collector) Attach(n *simnet.Network) error {
+	c.net = n
 	n.AddRouter(c.node)
 	for _, p := range c.Peers() {
 		switch p.Feed {
@@ -153,30 +155,67 @@ func (c *Collector) Attach(n *simnet.Network) error {
 			pr.EnableFullCommunityExport(c.ASN)
 		}
 	}
-	n.Tap(func(from, to topo.ASN, prefix netip.Prefix, rt *policy.Route) {
-		if to != c.ASN {
-			return
-		}
-		p, ok := c.peers[from]
-		if !ok {
-			return
-		}
-		if p.Feed == PartialFeed && !partialKeeps(c.ASN, from, prefix) {
-			return
-		}
-		c.seq++
-		c.clock = c.clock.Add(37 * time.Millisecond) // logical session clock
-		var cp *policy.Route
-		if rt != nil {
-			cp = rt.Clone()
-		}
-		ob := Observation{Seq: c.seq, Time: c.clock, PeerAS: from, Prefix: prefix, Route: cp}
-		c.obs = append(c.obs, ob)
-		for _, fn := range c.subs {
-			fn(ob)
-		}
-	})
+	n.Tap(c.tap)
 	return nil
+}
+
+// tap records one delivery to the collector; it is the method value
+// Attach and ForkInto register with the network.
+func (c *Collector) tap(from, to topo.ASN, prefix netip.Prefix, rt *policy.Route) {
+	if to != c.ASN {
+		return
+	}
+	p, ok := c.peers[from]
+	if !ok {
+		return
+	}
+	if p.Feed == PartialFeed && !partialKeeps(c.ASN, from, prefix) {
+		return
+	}
+	c.seq++
+	c.clock = c.clock.Add(37 * time.Millisecond) // logical session clock
+	var cp *policy.Route
+	if rt != nil {
+		cp = rt.Clone()
+	}
+	ob := Observation{Seq: c.seq, Time: c.clock, PeerAS: from, Prefix: prefix, Route: cp}
+	c.obs = append(c.obs, ob)
+	for _, fn := range c.subs {
+		fn(ob)
+	}
+}
+
+// ForkInto clones the collector against a forked network: observations
+// recorded so far are shared read-only (capacity-clamped so appends
+// reallocate), the session clock and sequence continue where the
+// snapshot stopped, and a fresh tap is registered on the fork. Live
+// subscribers do not carry over — forks attach their own.
+func (c *Collector) ForkInto(n *simnet.Network) *Collector {
+	cp := &Collector{
+		Platform: c.Platform,
+		Name:     c.Name,
+		ASN:      c.ASN,
+		peers:    c.peers,
+		node:     c.node,
+		net:      n,
+		obs:      c.obs[:len(c.obs):len(c.obs)],
+		clock:    c.clock,
+		seq:      c.seq,
+	}
+	n.Tap(cp.tap)
+	return cp
+}
+
+// router resolves the collector's speaker in the attached network, so a
+// forked collector reads the fork's copy-on-write router rather than the
+// sealed snapshot original.
+func (c *Collector) router() *router.Router {
+	if c.net != nil {
+		if r := c.net.Router(c.ASN); r != nil {
+			return r
+		}
+	}
+	return c.node
 }
 
 // OnObservation subscribes fn to the collector's live export: it runs
@@ -206,8 +245,9 @@ func partialKeeps(collector, peer topo.ASN, p netip.Prefix) bool {
 func (c *Collector) Observations() []Observation { return c.obs }
 
 // Node exposes the collector's router (its Adj-RIB-In is the RIB snapshot
-// source).
-func (c *Collector) Node() *router.Router { return c.node }
+// source). In a forked world this resolves through the network, so the
+// fork's copy-on-write state is what callers read.
+func (c *Collector) Node() *router.Router { return c.router() }
 
 // peerIP derives a deterministic session address.
 func peerIP(collector, peer topo.ASN) netip.Addr {
@@ -291,7 +331,7 @@ func (c *Collector) WriteRIBSnapshotMRT(w io.Writer, at time.Time) (int, error) 
 	type entryKey struct{ p netip.Prefix }
 	byPrefix := make(map[entryKey][]mrt.RIBEntry)
 	var order []netip.Prefix
-	c.node.EachAdjIn(func(p netip.Prefix, from topo.ASN, rt *policy.Route) {
+	c.router().EachAdjIn(func(p netip.Prefix, from topo.ASN, rt *policy.Route) {
 		// Partial feeds are partial in the table too.
 		if pr, ok := c.peers[from]; ok && pr.Feed == PartialFeed && !partialKeeps(c.ASN, from, p) {
 			return

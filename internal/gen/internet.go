@@ -48,6 +48,10 @@ type Internet struct {
 	tagTruth semantics.Truth
 
 	rng *rand.Rand
+	// rngSrc is the counted source behind rng: it tracks how many raw
+	// draws construction consumed so a warm fork can replay the stream
+	// to the identical position (see Snapshot.Fork).
+	rngSrc *countingSource
 }
 
 // communityValuePool mirrors the paper's observation (Fig. 5c) that
@@ -88,13 +92,15 @@ func Build(p Params) (*Internet, error) {
 			return nil, fmt.Errorf("gen: %d route servers overrun the 16-bit window into the stub range at %d", p.IXPs, ASNStubBase)
 		}
 	}
+	src := newCountingSource(p.Seed)
 	w := &Internet{
 		Params:     p,
 		Origins:    make(map[topo.ASN][]netip.Prefix),
 		OriginTags: make(map[netip.Prefix]bgp.CommunitySet),
 		Catalogs:   make(map[topo.ASN]*policy.Catalog),
 		tagTruth:   make(semantics.Truth),
-		rng:        rand.New(rand.NewSource(p.Seed)),
+		rng:        rand.New(src),
+		rngSrc:     src,
 	}
 	w.buildGraph()
 	w.buildNetwork(engine)

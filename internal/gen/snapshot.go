@@ -1,0 +1,209 @@
+package gen
+
+import (
+	"fmt"
+	"maps"
+	"math/rand"
+	"net/netip"
+	"reflect"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/collector"
+	"bgpworms/internal/ixp"
+	"bgpworms/internal/policy"
+	"bgpworms/internal/simnet"
+	"bgpworms/internal/topo"
+)
+
+// Warm worlds: BuildSnapshot freezes a converged Internet right after
+// Build, before any scenario perturbs it, and Fork hands out mutable
+// worlds that share the frozen routing state copy-on-write. Everything a
+// fork could diverge on is made fork-private here — maps are cloned,
+// slices capacity-clamped so appends reallocate, and the construction
+// RNG is replayed to the exact draw position Build stopped at — so a
+// fork-then-perturb run is bit-identical to building the same perturbed
+// world from scratch. The differential suite (internal/attack warm
+// tests) holds every registered scenario to that equivalence.
+
+// countingSource wraps a math/rand source and counts raw draws. Both
+// Int63 and Uint64 advance the underlying generator by exactly one step,
+// so the count alone pins the stream position: a replayed source that
+// burns the same number of draws is in the identical state.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.n = 0
+	s.src.Seed(seed)
+}
+
+// replaySource returns a source seeded like the original and advanced
+// past the same number of draws.
+func replaySource(seed int64, draws uint64) *countingSource {
+	s := newCountingSource(seed)
+	for i := uint64(0); i < draws; i++ {
+		s.src.Uint64()
+	}
+	s.n = draws
+	return s
+}
+
+// TapEvent is one recorded update delivery from world construction. The
+// route pointer is the shared (sealed, immutable) slab object the live
+// tap saw; consumers that retain routes clone them, exactly as they do
+// on the live stream.
+type TapEvent struct {
+	From, To topo.ASN
+	Prefix   netip.Prefix
+	Route    *policy.Route
+}
+
+// Snapshot is a frozen, converged Internet plus everything needed to
+// hand out equivalent warm forks: the sealed network, the construction
+// tap stream (replayed into each fork's tap so stream consumers see the
+// full history a scratch build would have shown them), and the RNG draw
+// count at freeze time.
+type Snapshot struct {
+	params Params // Tap preserved from build time, excluded from Compatible
+	world  *Internet
+	net    *simnet.Snapshot
+	stream []TapEvent
+	draws  uint64
+}
+
+// BuildSnapshot builds a world exactly as Build does and freezes it.
+// p.Tap, if set, observes the construction stream live, exactly as under
+// Build; the stream is additionally recorded for replay into forks.
+func BuildSnapshot(p Params) (*Snapshot, error) {
+	userTap := p.Tap
+	var stream []TapEvent
+	p.Tap = func(from, to topo.ASN, prefix netip.Prefix, rt *policy.Route) {
+		stream = append(stream, TapEvent{From: from, To: to, Prefix: prefix, Route: rt})
+		if userTap != nil {
+			userTap(from, to, prefix, rt)
+		}
+	}
+	w, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	net, err := w.Net.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	params := p
+	params.Tap = userTap
+	return &Snapshot{params: params, world: w, net: net, stream: stream, draws: w.rngSrc.n}, nil
+}
+
+// Params returns the parameters the snapshot was built with (with the
+// build-time tap, which forks do not inherit).
+func (s *Snapshot) Params() Params { return s.params }
+
+// Forks reports how many forks the snapshot has handed out.
+func (s *Snapshot) Forks() int { return s.net.Forks() }
+
+// Discard retires the snapshot; further Fork calls fail loudly.
+func (s *Snapshot) Discard() error { return s.net.Discard() }
+
+// Compatible reports whether a world built from p would be the world
+// this snapshot froze — every parameter except the tap must match. Warm
+// harnesses call it before forking so a snapshot can never silently
+// stand in for a differently parameterized world.
+func (s *Snapshot) Compatible(p Params) error {
+	a, b := s.params, p
+	a.Tap, b.Tap = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		return fmt.Errorf("gen: warm snapshot built for %+v cannot serve params %+v", a, b)
+	}
+	return nil
+}
+
+// Fork returns a mutable Internet backed by the snapshot. tap, if
+// non-nil, first replays the recorded construction stream (so streaming
+// consumers see what a live tap on a scratch build would have seen) and
+// is then registered on the fork in the same position Build registers
+// Params.Tap — before the collectors' taps. All ground-truth maps and
+// registries are fork-private; routers copy-on-write as the fork's runs
+// touch them.
+func (s *Snapshot) Fork(tap simnet.UpdateTap) (*Internet, error) {
+	n, err := s.net.Fork()
+	if err != nil {
+		return nil, err
+	}
+	if tap != nil {
+		for _, ev := range s.stream {
+			tap(ev.From, ev.To, ev.Prefix, ev.Route)
+		}
+		n.Tap(tap)
+	}
+	w := s.world
+	f := &Internet{
+		Params:     s.params,
+		Graph:      w.Graph,
+		Net:        n,
+		Origins:    clampSliceMap(w.Origins),
+		OriginTags: clampTagMap(w.OriginTags),
+		Registry:   w.Registry.forkClone(),
+		Catalogs:   maps.Clone(w.Catalogs),
+		tagTruth:   maps.Clone(w.tagTruth),
+	}
+	f.Params.Tap = tap
+	f.rngSrc = replaySource(s.params.Seed, s.draws)
+	f.rng = rand.New(f.rngSrc)
+	f.Collectors = make([]*collector.Collector, 0, len(w.Collectors))
+	for _, c := range w.Collectors {
+		f.Collectors = append(f.Collectors, c.ForkInto(n))
+	}
+	f.RouteServers = make([]*ixp.RouteServer, 0, len(w.RouteServers))
+	for _, rs := range w.RouteServers {
+		f.RouteServers = append(f.RouteServers, rs.ForkInto(n))
+	}
+	return f, nil
+}
+
+// clampSliceMap clones a map of slices with each value capacity-clamped,
+// so a fork appending to an entry reallocates instead of writing into
+// the snapshot's backing array.
+func clampSliceMap(m map[topo.ASN][]netip.Prefix) map[topo.ASN][]netip.Prefix {
+	out := make(map[topo.ASN][]netip.Prefix, len(m))
+	for k, v := range m {
+		out[k] = v[:len(v):len(v)]
+	}
+	return out
+}
+
+func clampTagMap(m map[netip.Prefix]bgp.CommunitySet) map[netip.Prefix]bgp.CommunitySet {
+	out := make(map[netip.Prefix]bgp.CommunitySet, len(m))
+	for k, v := range m {
+		out[k] = v[:len(v):len(v)]
+	}
+	return out
+}
+
+// forkClone returns a fork-private registry: the community lists are
+// capacity-clamped (labs append and sort them in place) and the sealed
+// dictionary map is cloned.
+func (r *Registry) forkClone() *Registry {
+	return &Registry{
+		Verified: r.Verified[:len(r.Verified):len(r.Verified)],
+		Likely:   r.Likely[:len(r.Likely):len(r.Likely)],
+		Dict:     maps.Clone(r.Dict),
+	}
+}

@@ -47,6 +47,7 @@ type RouteServer struct {
 	order   EvalOrder
 	members []topo.ASN
 	rt      *router.Router
+	net     *simnet.Network
 }
 
 // NewRouteServer creates a route server with the given AS number (used
@@ -72,8 +73,45 @@ func (rs *RouteServer) ASN() topo.ASN { return rs.asn }
 // Order returns the published evaluation order.
 func (rs *RouteServer) Order() EvalOrder { return rs.order }
 
-// Router exposes the underlying speaker (for simnet attachment).
-func (rs *RouteServer) Router() *router.Router { return rs.rt }
+// Router exposes the underlying speaker (for simnet attachment). In a
+// forked world this resolves through the network, so callers read the
+// fork's copy-on-write state.
+func (rs *RouteServer) Router() *router.Router { return rs.router() }
+
+// router resolves the route server's speaker in the attached network,
+// falling back to the original before attachment.
+func (rs *RouteServer) router() *router.Router {
+	if rs.net != nil {
+		if r := rs.net.Router(rs.asn); r != nil {
+			return r
+		}
+	}
+	return rs.rt
+}
+
+// mutableRouter resolves the speaker for mutation: in a forked world the
+// sealed snapshot router is copy-on-written into the fork first.
+func (rs *RouteServer) mutableRouter() *router.Router {
+	if rs.net != nil {
+		if r := rs.net.MutableRouter(rs.asn); r != nil {
+			return r
+		}
+	}
+	return rs.rt
+}
+
+// ForkInto clones the route server against a forked network: the member
+// list is capacity-clamped so AddMember on the fork reallocates instead
+// of reaching the snapshot's backing array.
+func (rs *RouteServer) ForkInto(n *simnet.Network) *RouteServer {
+	return &RouteServer{
+		asn:     rs.asn,
+		order:   rs.order,
+		members: rs.members[:len(rs.members):len(rs.members)],
+		rt:      rs.rt,
+		net:     n,
+	}
+}
 
 // Members lists member ASNs in ascending order.
 func (rs *RouteServer) Members() []topo.ASN {
@@ -127,12 +165,13 @@ func (rs *RouteServer) rebuildCatalog() {
 		add(policy.SvcAnnounceTo)
 		add(policy.SvcNoAnnounceTo)
 	}
-	rs.rt.Config().Catalog = cat
+	rs.mutableRouter().Config().Catalog = cat
 }
 
 // Attach inserts the route server into a network and wires sessions to
 // every registered member (members must already exist in the network).
 func (rs *RouteServer) Attach(n *simnet.Network) error {
+	rs.net = n
 	n.AddRouter(rs.rt)
 	for _, m := range rs.Members() {
 		if err := n.Connect(m, rs.asn, topo.RelPeer); err != nil {
@@ -146,9 +185,10 @@ func (rs *RouteServer) Attach(n *simnet.Network) error {
 // a prefix — the "public per-peer view of the accepted prefixes and
 // communities" that PEERING exposes (§7.5).
 func (rs *RouteServer) PeerView(member topo.ASN) []*policy.Route {
+	r := rs.router()
 	var out []*policy.Route
-	for _, p := range rs.rt.Prefixes() {
-		if rt, ok := rs.rt.Advertised(member, p); ok {
+	for _, p := range r.Prefixes() {
+		if rt, ok := r.Advertised(member, p); ok {
 			out = append(out, rt)
 		}
 	}

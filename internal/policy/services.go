@@ -80,6 +80,15 @@ type Catalog struct {
 // NewCatalog returns an empty catalog for owner.
 func NewCatalog(owner topo.ASN) *Catalog { return &Catalog{Owner: owner} }
 
+// Clone returns a copy with a privately owned service list, so a forked
+// world can Add services without reaching the snapshot it forked from.
+func (c *Catalog) Clone() *Catalog {
+	if c == nil {
+		return nil
+	}
+	return &Catalog{Owner: c.Owner, Services: append([]Service(nil), c.Services...)}
+}
+
 // Add appends svc to the evaluation order.
 func (c *Catalog) Add(svc Service) *Catalog {
 	c.Services = append(c.Services, svc)

@@ -67,6 +67,15 @@ func materialize(e inEntry) *policy.Route {
 // trie's shape depends only on the stored prefixes (bit paths), so the
 // rebuild is deterministic regardless of map iteration order.
 func (r *Router) ensureRIB() {
+	if r.sealed {
+		// Sealed routers are shared read-only across concurrent forks, and
+		// the lazy rebuild is the one write they still perform — serialize
+		// it (and the stale check) so two forks' data-plane reads cannot
+		// race. The rebuilt trie is deterministic, so whoever wins builds
+		// the same view.
+		r.ribMu.Lock()
+		defer r.ribMu.Unlock()
+	}
 	if !r.ribStale {
 		return
 	}

@@ -389,6 +389,7 @@ func (r *Router) ExportAll(p netip.Prefix, nbs []topo.ASN, hints *ExportHints, b
 // simulator deliver only genuine changes. It returns true when the new
 // announcement differs from the previous one.
 func (r *Router) RecordAdvertised(neighbor topo.ASN, p netip.Prefix, rt *policy.Route) bool {
+	r.mustMutable()
 	p = p.Masked()
 	st := r.state[p]
 	if st == nil {
@@ -433,6 +434,7 @@ func (r *Router) RecordAdvertised(neighbor topo.ASN, p netip.Prefix, rt *policy.
 // (ExportAll output); sessions absent from items keep their recorded
 // state. Items whose Dec is not ExportSent count as withdrawals.
 func (r *Router) RecordAdvertisedAll(p netip.Prefix, items []ExportItem, emit func(nb topo.ASN, rt *policy.Route)) {
+	r.mustMutable()
 	p = p.Masked()
 	st := r.state[p]
 	if st == nil {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/netx"
@@ -162,6 +163,14 @@ type Router struct {
 	bestLen  int
 	locRIB   *netx.Trie[*policy.Route]
 	ribStale bool
+
+	// sealed marks the router as part of a frozen world snapshot: shared
+	// read-only across forks, with every mutator panicking (cow.go). ribMu
+	// guards the one sanctioned write on a sealed router — the lazy
+	// Loc-RIB rebuild in ensureRIB — plus reads of locRIB/ribStale by
+	// concurrent cloners.
+	sealed bool
+	ribMu  sync.Mutex
 }
 
 // New constructs a router from cfg.
@@ -201,6 +210,7 @@ func (r *Router) Config() *Config { return &r.cfg }
 // AddNeighbor registers an eBGP session with the given relationship
 // (what the neighbor is to us).
 func (r *Router) AddNeighbor(asn topo.ASN, rel topo.Rel) {
+	r.mustMutable()
 	r.neighbors[asn] = rel
 	r.nbVersion++
 }
@@ -215,6 +225,7 @@ func (r *Router) NeighborVersion() int { return r.nbVersion }
 // these peerings is often collector specific and may differ from the
 // regular policy of the AS" (§4.3).
 func (r *Router) EnableFullCommunityExport(neighbor topo.ASN) {
+	r.mustMutable()
 	if r.cfg.PropagationPerNeighbor == nil {
 		r.cfg.PropagationPerNeighbor = make(map[topo.ASN]policy.PropagationMode)
 	}
@@ -244,6 +255,7 @@ func (r *Router) NeighborRel(asn topo.ASN) topo.Rel { return r.neighbors[asn] }
 // with communities (the attacker's tool in every scenario), and reports
 // whether the Loc-RIB changed.
 func (r *Router) Originate(p netip.Prefix, comms ...bgp.Community) bool {
+	r.mustMutable()
 	rt := policy.NewLocalRoute(p)
 	rt.Communities = bgp.NewCommunitySet(comms...)
 	r.locals[rt.Prefix] = rt
@@ -252,6 +264,7 @@ func (r *Router) Originate(p netip.Prefix, comms ...bgp.Community) bool {
 
 // WithdrawLocal removes a locally-originated prefix.
 func (r *Router) WithdrawLocal(p netip.Prefix) bool {
+	r.mustMutable()
 	p = p.Masked()
 	if _, ok := r.locals[p]; !ok {
 		return false
@@ -306,6 +319,7 @@ func (ir ImportResult) String() string {
 // ReceiveUpdate processes an announcement from neighbor `from`. It returns
 // the import outcome and whether the Loc-RIB best route changed.
 func (r *Router) ReceiveUpdate(from topo.ASN, in *policy.Route) (ImportResult, bool) {
+	r.mustMutable()
 	res := r.receive(from, in, false)
 	if res != ImportAccepted {
 		return res, false
@@ -321,6 +335,7 @@ func (r *Router) ReceiveUpdate(from topo.ASN, in *policy.Route) (ImportResult, b
 // outcome and resulting RIB state are identical to ReceiveUpdate's; the
 // caller guarantees the shared input is never mutated in place.
 func (r *Router) ReceiveShared(from topo.ASN, in *policy.Route) (ImportResult, bool) {
+	r.mustMutable()
 	res := r.receive(from, in, true)
 	if res != ImportAccepted {
 		return res, false
@@ -337,12 +352,16 @@ func (r *Router) ReceiveShared(from topo.ASN, in *policy.Route) (ImportResult, b
 // while transient intermediate best routes (which could only trigger
 // no-op re-exports) are never computed.
 func (r *Router) ReceiveSharedNoDecide(from topo.ASN, in *policy.Route) ImportResult {
+	r.mustMutable()
 	return r.receive(from, in, true)
 }
 
 // Decide runs the decision process for p and reports whether the best
 // route changed. Pair with ReceiveSharedNoDecide / WithdrawNoDecide.
-func (r *Router) Decide(p netip.Prefix) bool { return r.decide(p.Masked()) }
+func (r *Router) Decide(p netip.Prefix) bool {
+	r.mustMutable()
+	return r.decide(p.Masked())
+}
 
 // receive runs the import policy for an update and stores the accepted
 // candidate in the Adj-RIB-In; callers run the decision process.
@@ -622,6 +641,7 @@ func (r *Router) importScan(from topo.ASN, rel topo.Rel, in *policy.Route) (Impo
 // ReceiveWithdraw processes a withdrawal from a neighbor and reports
 // whether the best route changed.
 func (r *Router) ReceiveWithdraw(from topo.ASN, p netip.Prefix) bool {
+	r.mustMutable()
 	p = p.Masked()
 	if !r.withdraw(from, p) {
 		return false
@@ -633,6 +653,7 @@ func (r *Router) ReceiveWithdraw(from topo.ASN, p netip.Prefix) bool {
 // running the decision process, reporting whether an entry was removed;
 // the ReceiveSharedNoDecide batching contract applies.
 func (r *Router) WithdrawNoDecide(from topo.ASN, p netip.Prefix) bool {
+	r.mustMutable()
 	return r.withdraw(from, p.Masked())
 }
 

@@ -169,6 +169,10 @@ type Scenario struct {
 	// Run executes the scenario. It must be deterministic for a fixed
 	// Context.
 	Run RunFunc `json:"-"`
+	// ManagesWorlds marks scenarios that build their own worlds (several
+	// per run, or with modified generator parameters). Warm harnesses
+	// skip snapshot provisioning for them: Context.Warm would go unused.
+	ManagesWorlds bool `json:"manages_worlds,omitempty"`
 }
 
 // ExpectedFor returns the declared Table-3 expectation for the variant
@@ -250,6 +254,14 @@ type Context struct {
 	// e.g. the community dictionary the semantics engine is scored
 	// against. Scenarios that build several worlds invoke it per world.
 	World func(*gen.Internet)
+	// Warm, when non-nil, is a frozen world snapshot the scenario forks
+	// instead of building from scratch. The snapshot must have been
+	// built with exactly this context's generator parameters
+	// (gen.Snapshot.Compatible) — a mismatch is a loud error, never a
+	// silent rebuild. Tap and World behave identically on the warm
+	// path: the tap sees the full construction stream (replayed), and
+	// World receives the forked Internet.
+	Warm *gen.Snapshot
 
 	scenario *Scenario
 }

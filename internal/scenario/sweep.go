@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"strconv"
+	"sync"
 
 	"bgpworms/internal/conc"
 	"bgpworms/internal/gen"
@@ -37,6 +38,12 @@ type Grid struct {
 	VPs int `json:"vps"`
 	// Values applies fixed parameter overrides to every cell.
 	Values Values `json:"values,omitempty"`
+	// Cold disables warm-world snapshot reuse: every cell builds its
+	// world from scratch, as sweeps did before snapshots existed. The
+	// warm path is provably equivalent (the differential warm suite),
+	// so this is an escape hatch for benchmarking and bisection, not a
+	// correctness knob.
+	Cold bool `json:"cold,omitempty"`
 }
 
 func (g Grid) withDefaults() Grid {
@@ -159,13 +166,85 @@ type SweepReport struct {
 	// AsExpected counts cells whose Success matches the scenario's
 	// declared Table-3 expectation for the variant that ran.
 	AsExpected int `json:"as_expected"`
+	// SnapshotBuilds and SnapshotForks account for warm-world reuse:
+	// how many worlds were actually built from scratch and how many
+	// cells ran on cheap forks of them. A cold sweep reports zero for
+	// both.
+	SnapshotBuilds int `json:"snapshot_builds,omitempty"`
+	SnapshotForks  int `json:"snapshot_forks,omitempty"`
+}
+
+// warmKey identifies one shared world build: cells agreeing on every
+// generator-relevant coordinate fork the same snapshot.
+type warmKey struct {
+	scale   string
+	seed    int64
+	workers int
+	engine  string
+}
+
+// WarmCache lazily builds at most one frozen world snapshot per (scale,
+// seed, engine, engine-workers) coordinate. Each snapshot is built by
+// the first cell that needs it (under sync.Once, so concurrent harness
+// workers block instead of double-building) and forked by the rest.
+// Sweep uses one per sweep; external cell executors (internal/suite)
+// share the same mechanism so a suite cell and a sweep cell stay
+// bit-identical runs.
+type WarmCache struct {
+	mu      sync.Mutex
+	entries map[warmKey]*warmEntry
+}
+
+type warmEntry struct {
+	once sync.Once
+	snap *gen.Snapshot
+	err  error
+}
+
+// NewWarmCache returns an empty cache.
+func NewWarmCache() *WarmCache {
+	return &WarmCache{entries: make(map[warmKey]*warmEntry)}
+}
+
+// Snapshot returns the frozen world for the cell's coordinates, building
+// it exactly once. The build uses params with the tap stripped: per-cell
+// taps are replayed at fork time, never recorded into the shared world.
+func (wc *WarmCache) Snapshot(c Cell, params gen.Params) (*gen.Snapshot, error) {
+	key := warmKey{scale: c.Scale, seed: c.Seed, workers: c.EngineWorkers, engine: c.Engine}
+	wc.mu.Lock()
+	e := wc.entries[key]
+	if e == nil {
+		e = &warmEntry{}
+		wc.entries[key] = e
+	}
+	wc.mu.Unlock()
+	e.once.Do(func() {
+		params.Tap = nil
+		e.snap, e.err = gen.BuildSnapshot(params)
+	})
+	return e.snap, e.err
+}
+
+// Stats reports how many worlds were built and how many forks they
+// served.
+func (wc *WarmCache) Stats() (builds, forks int) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	for _, e := range wc.entries {
+		if e.snap != nil {
+			builds++
+			forks += e.snap.Forks()
+		}
+	}
+	return builds, forks
 }
 
 // Sweep executes every grid cell over a pool of at most workers harness
-// goroutines (0 or negative: one per CPU). Each cell builds its own lab
-// from (scale, seed, engine workers), so cells share no mutable state;
-// results land at their grid index and the fold runs in grid order —
-// the report is therefore bit-identical across harness worker counts.
+// goroutines (0 or negative: one per CPU). Cells agreeing on (scale,
+// seed, engine, engine workers) share one frozen world build and fork it
+// per run (unless Grid.Cold), so cells share no mutable state; results
+// land at their grid index and the fold runs in grid order — the report
+// is therefore bit-identical across harness worker counts, warm or cold.
 func Sweep(g Grid, workers int) (*SweepReport, error) {
 	g = g.withDefaults()
 	cells, err := g.Cells()
@@ -175,10 +254,17 @@ func Sweep(g Grid, workers int) (*SweepReport, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var warm *WarmCache
+	if !g.Cold {
+		warm = NewWarmCache()
+	}
 	conc.Do(len(cells), workers, func(i int) {
-		runCell(&cells[i], g)
+		runCell(&cells[i], g, warm)
 	})
 	rep := &SweepReport{Cells: cells, Ran: len(cells)}
+	if warm != nil {
+		rep.SnapshotBuilds, rep.SnapshotForks = warm.Stats()
+	}
 	for i := range cells {
 		c := &cells[i]
 		switch {
@@ -234,11 +320,24 @@ func (g Grid) ContextFor(c Cell) (*Context, error) {
 	return &Context{Gen: p, VPs: vps, CommunitySet: c.CommunitySet, Values: vals}, nil
 }
 
-func runCell(c *Cell, g Grid) {
+func runCell(c *Cell, g Grid, warm *WarmCache) {
 	ctx, err := g.ContextFor(*c)
 	if err != nil {
 		c.Err = err.Error()
 		return
+	}
+	// Scenarios that manage their own worlds never fork the shared
+	// snapshot; provisioning one for them would build a world nobody
+	// uses.
+	if warm != nil {
+		if s, _ := Get(c.Scenario); s != nil && !s.ManagesWorlds {
+			snap, err := warm.Snapshot(*c, ctx.Gen)
+			if err != nil {
+				c.Err = err.Error()
+				return
+			}
+			ctx.Warm = snap
+		}
 	}
 	res, err := Run(c.Scenario, ctx)
 	if err != nil {

@@ -163,6 +163,15 @@ func (n *Network) runDelta(workers int) (int, error) {
 
 	for len(st.srcs) > 0 {
 		slices.Sort(st.srcs)
+		if n.cow {
+			// Copy-on-write barrier: phase 1 mutates source Adj-RIB-Outs
+			// from worker goroutines; clone sealed sources here, in the
+			// serial section. Destinations are cloned at first touch in
+			// the (serial) phase-2 binning loop below.
+			for _, ri := range st.srcs {
+				n.mutable(st.order[ri])
+			}
+		}
 		for _, ri := range st.srcs {
 			ps := st.items[ri]
 			slices.SortFunc(ps, netx.ComparePrefix)
@@ -217,6 +226,9 @@ func (n *Network) runDelta(workers int) (int, error) {
 				di := st.idx(d.to)
 				if len(st.inbox[di]) == 0 {
 					st.touched = append(st.touched, di)
+					if n.cow {
+						n.mutable(d.to)
+					}
 				}
 				st.inbox[di] = append(st.inbox[di], d)
 			}

@@ -72,6 +72,34 @@ func buildOutcome(t *testing.T, cfg worldCfg, engine string, workers int) (*outc
 	if err != nil {
 		return nil, err
 	}
+	return perturbAndCollapse(w)
+}
+
+// buildWarmOutcome builds the same world warm: freeze right after
+// construction, fork, and run the identical perturbation on the fork.
+// Its outcome must be bit-identical to buildOutcome's for every engine
+// and worker count — the copy-on-write equivalence the snapshot layer
+// promises.
+func buildWarmOutcome(t *testing.T, cfg worldCfg, engine string, workers int) (*outcome, error) {
+	t.Helper()
+	p := cfg.params()
+	p.Engine = engine
+	p.Workers = workers
+	snap, err := gen.BuildSnapshot(p)
+	if err != nil {
+		return nil, err
+	}
+	w, err := snap.Fork(nil)
+	if err != nil {
+		return nil, err
+	}
+	return perturbAndCollapse(w)
+}
+
+// perturbAndCollapse runs the churn month and collapses the observable
+// state: delivery count, collector archives (updates + RIB dumps), and
+// every router's converged RIB.
+func perturbAndCollapse(w *gen.Internet) (*outcome, error) {
 	if _, err := w.RunChurn(); err != nil {
 		return nil, err
 	}
@@ -138,14 +166,15 @@ func checkCfg(t *testing.T, cfg worldCfg) string {
 	return ""
 }
 
-// shrink halves one dimension at a time while the failure reproduces,
-// returning the smallest still-failing configuration and its failure.
-func shrink(t *testing.T, cfg worldCfg, failure string) (worldCfg, string) {
+// shrink halves one dimension at a time while the failure (under check)
+// reproduces, returning the smallest still-failing configuration and its
+// failure.
+func shrink(t *testing.T, cfg worldCfg, failure string, check func(*testing.T, worldCfg) string) (worldCfg, string) {
 	t.Helper()
 	for improved := true; improved; {
 		improved = false
 		for _, cand := range shrinkSteps(cfg) {
-			if msg := checkCfg(t, cand); msg != "" {
+			if msg := check(t, cand); msg != "" {
 				cfg, failure = cand, msg
 				improved = true
 				break
@@ -197,10 +226,73 @@ func TestDifferentialEngines(t *testing.T) {
 	for i := 0; i < configs; i++ {
 		cfg := randomCfg(rng)
 		if msg := checkCfg(t, cfg); msg != "" {
-			min, minMsg := shrink(t, cfg, msg)
+			min, minMsg := shrink(t, cfg, msg, checkCfg)
 			t.Fatalf("engines diverge on {%s}: %s\nminimal failing config: {%s}: %s",
 				cfg, msg, min, minMsg)
 		}
+	}
+}
+
+// checkWarmCfg reports a non-empty divergence description if a warm
+// fork-then-perturb world differs from the scratch build anywhere: any
+// engine, any worker count, any observable (delivery count, collector
+// archives, converged RIBs).
+func checkWarmCfg(t *testing.T, cfg worldCfg) string {
+	t.Helper()
+	for _, v := range []struct {
+		engine  string
+		workers int
+	}{
+		{"serial", 1},
+		{"rounds", 1}, {"rounds", 4}, {"rounds", 16},
+		{"delta", 1}, {"delta", 4}, {"delta", 16},
+	} {
+		cold, err := buildOutcome(t, cfg, v.engine, v.workers)
+		if err != nil {
+			return fmt.Sprintf("%s/%d cold build error: %v", v.engine, v.workers, err)
+		}
+		warm, err := buildWarmOutcome(t, cfg, v.engine, v.workers)
+		if err != nil {
+			return fmt.Sprintf("%s/%d warm build error: %v", v.engine, v.workers, err)
+		}
+		if warm.steps != cold.steps {
+			return fmt.Sprintf("%s/%d warm deliveries %d != cold %d", v.engine, v.workers, warm.steps, cold.steps)
+		}
+		if !bytes.Equal(warm.archives, cold.archives) {
+			return fmt.Sprintf("%s/%d warm collector archives diverge from cold", v.engine, v.workers)
+		}
+		if warm.ribs != cold.ribs {
+			return fmt.Sprintf("%s/%d warm RIBs diverge from cold", v.engine, v.workers)
+		}
+	}
+	return ""
+}
+
+// TestDifferentialWarmForks is the randomized fork-vs-scratch
+// equivalence check with shrinking: a perturbed fork of a frozen world
+// must be indistinguishable from the same world built and perturbed
+// from scratch.
+func TestDifferentialWarmForks(t *testing.T) {
+	rng := rand.New(rand.NewSource(20180402))
+	configs := 3
+	if testing.Short() {
+		configs = 1
+	}
+	for i := 0; i < configs; i++ {
+		cfg := randomCfg(rng)
+		if msg := checkWarmCfg(t, cfg); msg != "" {
+			min, minMsg := shrink(t, cfg, msg, checkWarmCfg)
+			t.Fatalf("warm fork diverges from scratch on {%s}: %s\nminimal failing config: {%s}: %s",
+				cfg, msg, min, minMsg)
+		}
+	}
+}
+
+// TestDifferentialWarmForkTinyPreset pins the canonical tiny preset.
+func TestDifferentialWarmForkTinyPreset(t *testing.T) {
+	cfg := worldCfg{Tier1: 3, Mid: 10, Stubs: 40, Churn: 25, RTBH: 4, Seed: 1} // == gen.Tiny()
+	if msg := checkWarmCfg(t, cfg); msg != "" {
+		t.Fatalf("warm fork diverges from scratch on the tiny preset: %s", msg)
 	}
 }
 

@@ -86,6 +86,15 @@ func (n *Network) runRounds(workers int) (int, error) {
 			bySrc[it.asn] = append(bySrc[it.asn], it)
 		}
 
+		// Copy-on-write barrier: phase 1 mutates source Adj-RIB-Outs from
+		// worker goroutines, so any still-sealed sources are cloned here,
+		// in the serial section, where the router map is single-owner.
+		if n.cow {
+			for _, a := range srcOrder {
+				n.mutable(a)
+			}
+		}
+
 		// Phase 1: compute exports per source.
 		outs := make([][]delivery, len(srcOrder))
 		conc.Do(len(srcOrder), workers, func(i int) {
@@ -133,6 +142,11 @@ func (n *Network) runRounds(workers int) (int, error) {
 		for _, d := range round {
 			if _, seen := byDst[d.to]; !seen {
 				dstOrder = append(dstOrder, d.to)
+				if n.cow {
+					// Destinations mutate in phase 3's worker pool; clone
+					// sealed ones now, while still serial.
+					n.mutable(d.to)
+				}
 			}
 			byDst[d.to] = append(byDst[d.to], d)
 		}

@@ -55,6 +55,14 @@ type Network struct {
 	engine Engine
 	// delta is the delta engine's cached index and scratch (delta.go).
 	delta *deltaState
+	// frozen marks a network sealed by Freeze: its routers are shared
+	// with a Snapshot and every mutation panics (snapshot.go).
+	frozen bool
+	// cow marks a network created by Snapshot.Fork: some routers may be
+	// sealed originals that engines must copy-on-write before mutating.
+	cow bool
+	// cloned counts routers this fork has copy-on-written.
+	cloned int
 }
 
 // Engine selects the propagation algorithm Run uses. All engines
@@ -164,6 +172,9 @@ func (n *Network) Router(asn topo.ASN) *router.Router { return n.routers[asn] }
 // platform) that is not part of the relationship graph. Sessions must be
 // wired explicitly with Connect.
 func (n *Network) AddRouter(r *router.Router) {
+	if n.frozen {
+		panic(fmt.Sprintf("simnet: AddRouter(AS%d) on frozen network — fork the snapshot instead", r.ASN()))
+	}
 	n.routers[r.ASN()] = r
 	n.invalidateDelta()
 }
@@ -171,10 +182,10 @@ func (n *Network) AddRouter(r *router.Router) {
 // Connect wires a bilateral session between two present routers, with rel
 // describing what b is to a.
 func (n *Network) Connect(a, b topo.ASN, rel topo.Rel) error {
-	ra, rb := n.routers[a], n.routers[b]
-	if ra == nil || rb == nil {
+	if n.routers[a] == nil || n.routers[b] == nil {
 		return fmt.Errorf("simnet: connect %d-%d: missing router", a, b)
 	}
+	ra, rb := n.mutable(a), n.mutable(b)
 	ra.AddNeighbor(b, rel)
 	var back topo.Rel
 	switch rel {
@@ -228,11 +239,10 @@ func (n *Network) SetSchedulingDedup(enabled bool) { n.noDedup = !enabled }
 // Announce originates prefix at asn with optional communities and runs the
 // network to convergence, returning the number of deliveries processed.
 func (n *Network) Announce(asn topo.ASN, p netip.Prefix, comms ...bgp.Community) (int, error) {
-	r := n.routers[asn]
-	if r == nil {
+	if n.routers[asn] == nil {
 		return 0, fmt.Errorf("simnet: announce from unknown AS%d", asn)
 	}
-	if r.Originate(p, comms...) {
+	if n.mutable(asn).Originate(p, comms...) {
 		n.schedule(asn, p)
 	}
 	return n.Run()
@@ -240,11 +250,10 @@ func (n *Network) Announce(asn topo.ASN, p netip.Prefix, comms ...bgp.Community)
 
 // Withdraw removes a locally originated prefix at asn and reconverges.
 func (n *Network) Withdraw(asn topo.ASN, p netip.Prefix) (int, error) {
-	r := n.routers[asn]
-	if r == nil {
+	if n.routers[asn] == nil {
 		return 0, fmt.Errorf("simnet: withdraw from unknown AS%d", asn)
 	}
-	if r.WithdrawLocal(p) {
+	if n.mutable(asn).WithdrawLocal(p) {
 		n.schedule(asn, p)
 	}
 	return n.Run()
@@ -308,10 +317,12 @@ func (n *Network) runSerial() (int, error) {
 		n.queue = n.queue[1:]
 		delete(n.queued, it)
 
-		src := n.routers[it.asn]
+		// The serial engine is single-threaded, so copy-on-write can happen
+		// right at the touch points: the source when its exports are
+		// recomputed, each destination when a delivery actually lands.
+		src := n.mutable(it.asn)
 		for _, nb := range src.Neighbors() {
-			dst := n.routers[nb]
-			if dst == nil {
+			if n.routers[nb] == nil {
 				continue // session to an unmodelled node (e.g. a pure tap)
 			}
 			out, decision := src.ExportTo(nb, it.prefix)
@@ -327,7 +338,7 @@ func (n *Network) runSerial() (int, error) {
 						t(it.asn, nb, it.prefix, out)
 					}
 				}
-				if res, changed := dst.ReceiveUpdate(it.asn, out); res == router.ImportAccepted && changed {
+				if res, changed := n.mutable(nb).ReceiveUpdate(it.asn, out); res == router.ImportAccepted && changed {
 					n.schedule(nb, it.prefix)
 				}
 			default:
@@ -342,7 +353,7 @@ func (n *Network) runSerial() (int, error) {
 						t(it.asn, nb, it.prefix, nil)
 					}
 				}
-				if dst.ReceiveWithdraw(it.asn, it.prefix) {
+				if n.mutable(nb).ReceiveWithdraw(it.asn, it.prefix) {
 					n.schedule(nb, it.prefix)
 				}
 			}

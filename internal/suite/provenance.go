@@ -35,7 +35,12 @@ type Provenance struct {
 	Cells       int      `json:"cells"`
 	Workers     int      `json:"workers"`
 	WallMS      int64    `json:"wall_ms"`
-	Pass        bool     `json:"pass"`
+	// SnapshotBuilds/SnapshotForks record warm-world reuse: how many
+	// frozen worlds the run built and how many cell executions forked
+	// them instead of rebuilding.
+	SnapshotBuilds int  `json:"snapshot_builds"`
+	SnapshotForks  int  `json:"snapshot_forks"`
+	Pass           bool `json:"pass"`
 }
 
 // NewProvenance assembles the record for one completed run. suiteData
@@ -51,10 +56,12 @@ func NewProvenance(s *Suite, path string, suiteData []byte, rep *Report, workers
 		SuitePath: path,
 		Arm:       rep.Arm,
 		Scenarios: s.Scenarios(),
-		Cells:     rep.Ran,
-		Workers:   workers,
-		WallMS:    wall.Milliseconds(),
-		Pass:      rep.Pass,
+		Cells:          rep.Ran,
+		Workers:        workers,
+		WallMS:         wall.Milliseconds(),
+		SnapshotBuilds: rep.SnapshotBuilds,
+		SnapshotForks:  rep.SnapshotForks,
+		Pass:           rep.Pass,
 	}
 	if len(suiteData) > 0 {
 		sum := sha256.Sum256(suiteData)

@@ -125,6 +125,12 @@ type Report struct {
 	// order, each prefixed with the breaching key.
 	Failures []string `json:"failures,omitempty"`
 	Pass     bool     `json:"pass"`
+	// SnapshotBuilds/SnapshotForks count warm-world reuse: how many
+	// frozen worlds were built and how many cell runs forked them. They
+	// are deterministic for a given suite but are recorded in
+	// provenance.json, not here, so the report stays focused on quality.
+	SnapshotBuilds int `json:"-"`
+	SnapshotForks  int `json:"-"`
 }
 
 // trainer builds and caches clean-baseline dictionaries per
@@ -230,11 +236,16 @@ func Run(s *Suite, opt Options) (*Report, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	tr := &trainer{}
+	// One frozen world per (scale, seed, engine) group: every cell in
+	// the group forks it instead of rebuilding. The scenario layer's
+	// cache is shared so suite cells and sweep cells run the same code.
+	warm := scenario.NewWarmCache()
 	conc.Do(len(specs), workers, func(i int) {
-		cells[i] = s.runCell(specs[i], arm, tr)
+		cells[i] = s.runCell(specs[i], arm, tr, warm)
 	})
 
 	rep := &Report{Suite: s.Name, Arm: arm.label(), Cells: cells, Ran: len(cells)}
+	rep.SnapshotBuilds, rep.SnapshotForks = warm.Stats()
 	rep.Detectors = detectorNames(arm)
 	rep.Matrix = map[string]map[string]int{}
 	for i := range cells {
@@ -289,7 +300,7 @@ func detectorNames(arm *Arm) []string {
 	return names
 }
 
-func (s *Suite) runCell(spec cellSpec, arm *Arm, tr *trainer) CellResult {
+func (s *Suite) runCell(spec cellSpec, arm *Arm, tr *trainer, warm *scenario.WarmCache) CellResult {
 	e := &s.Entries[spec.entry]
 	out := CellResult{
 		Key: spec.key(), Scenario: spec.scenario, Scale: spec.scale,
@@ -307,6 +318,23 @@ func (s *Suite) runCell(spec cellSpec, arm *Arm, tr *trainer) CellResult {
 	if err != nil {
 		out.Err = err.Error()
 		return out
+	}
+	// Scenarios that manage their own worlds never fork the shared
+	// snapshot, so provisioning one for them would be a wasted build.
+	warmFork := func(params gen.Params) (*gen.Snapshot, error) {
+		if warm == nil {
+			return nil, nil
+		}
+		if sc, _ := scenario.Get(spec.scenario); sc == nil || sc.ManagesWorlds {
+			return nil, nil
+		}
+		return warm.Snapshot(cell, params)
+	}
+	if snap, err := warmFork(ctx.Gen); err != nil {
+		out.Err = err.Error()
+		return out
+	} else if snap != nil {
+		ctx.Warm = snap
 	}
 	dets, err := detectorsFor(arm, tr, spec.scale, spec.seed)
 	if err != nil {
@@ -339,6 +367,12 @@ func (s *Suite) runCell(spec cellSpec, arm *Arm, tr *trainer) CellResult {
 		if err != nil {
 			out.Err = err.Error()
 			return out
+		}
+		if snap, err := warmFork(dctx.Gen); err != nil {
+			out.Err = err.Error()
+			return out
+		} else if snap != nil {
+			dctx.Warm = snap
 		}
 		drep, _, err := watch.EvalDictionaryScenario(spec.scenario, dctx, semantics.Config{Workers: 1})
 		if err != nil {

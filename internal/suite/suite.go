@@ -123,6 +123,19 @@ func (g *DictGate) validate() error {
 	return nil
 }
 
+// SnapshotGroup declares one warm-world reuse group: a (scale, engine)
+// pair whose member entries all run on exactly those coordinates, so
+// every member cell with the same seed forks one frozen snapshot
+// instead of rebuilding the world. The runner derives reuse from cell
+// coordinates on its own; a named group is the suite author's pinned
+// claim about which entries share worlds, and a member whose grid
+// strays from the group's coordinates is a validation error — snapshot
+// reuse across mismatched worlds would be a silent equivalence break.
+type SnapshotGroup struct {
+	Scale  string `json:"scale"`
+	Engine string `json:"engine"`
+}
+
 // Defaults fill entry dimensions left empty, so a suite states its
 // grid once.
 type Defaults struct {
@@ -165,6 +178,9 @@ type Entry struct {
 	// Dict, when set, additionally scores dictionary inference over the
 	// cell and gates its quality.
 	Dict *DictGate `json:"dict,omitempty"`
+	// SnapshotGroup names a suite-level SnapshotGroup this entry belongs
+	// to; validation pins the entry's scales and engines to the group's.
+	SnapshotGroup string `json:"snapshot_group,omitempty"`
 }
 
 // Suite is the checked-in declarative format.
@@ -175,7 +191,10 @@ type Suite struct {
 	// caller does not override one.
 	Arm      *Arm     `json:"arm,omitempty"`
 	Defaults Defaults `json:"defaults,omitempty"`
-	Entries  []Entry  `json:"entries"`
+	// SnapshotGroups are the declared warm-world reuse groups entries
+	// may opt into via Entry.SnapshotGroup.
+	SnapshotGroups map[string]SnapshotGroup `json:"snapshot_groups,omitempty"`
+	Entries        []Entry                  `json:"entries"`
 }
 
 // Load reads, parses, and validates a suite file.
@@ -234,6 +253,14 @@ func (s *Suite) Validate() error {
 	for _, e := range s.Defaults.Engines {
 		if _, err := simnet.ParseEngine(e); err != nil {
 			return fmt.Errorf("suite %s: defaults: %w", s.Name, err)
+		}
+	}
+	for name, g := range s.SnapshotGroups {
+		if _, err := gen.Preset(g.Scale); err != nil {
+			return fmt.Errorf("suite %s: snapshot group %s: %w", s.Name, name, err)
+		}
+		if _, err := simnet.ParseEngine(g.Engine); err != nil {
+			return fmt.Errorf("suite %s: snapshot group %s: %w", s.Name, name, err)
 		}
 	}
 	for i := range s.Entries {
@@ -296,6 +323,23 @@ func (s *Suite) validateEntry(e *Entry) error {
 	if e.Dict != nil {
 		if err := e.Dict.validate(); err != nil {
 			return err
+		}
+	}
+	if e.SnapshotGroup != "" {
+		g, ok := s.SnapshotGroups[e.SnapshotGroup]
+		if !ok {
+			return fmt.Errorf("unknown snapshot group %q", e.SnapshotGroup)
+		}
+		scales := pick(e.Scales, s.Defaults.Scales, []string{scenario.DefaultScale})
+		engines := pick(e.Engines, s.Defaults.Engines, []string{"delta"})
+		if len(scales) != 1 || scales[0] != g.Scale {
+			return fmt.Errorf("snapshot group %q pins scale %q but the entry runs on %v; "+
+				"snapshot reuse across mismatched worlds is not a cache miss, it is a different experiment",
+				e.SnapshotGroup, g.Scale, scales)
+		}
+		if len(engines) != 1 || engines[0] != g.Engine {
+			return fmt.Errorf("snapshot group %q pins engine %q but the entry runs on %v",
+				e.SnapshotGroup, g.Engine, engines)
 		}
 	}
 	return nil
