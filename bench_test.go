@@ -22,6 +22,7 @@ import (
 	"bgpworms/internal/core"
 	"bgpworms/internal/gen"
 	"bgpworms/internal/netx"
+	"bgpworms/internal/obs"
 	"bgpworms/internal/policy"
 	"bgpworms/internal/router"
 	"bgpworms/internal/scenario"
@@ -1007,5 +1008,45 @@ func BenchmarkSweepWarm(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// --- Observability benches (PR 8's tentpole) ---
+
+// BenchmarkWatchIngestWithMetrics replays the BenchmarkWatchIngest feed
+// against an engine with a metrics registry attached. Comparing the two
+// updates/sec numbers bounds the observability tax on the hot path; the
+// ratchet holds it under 5%.
+func BenchmarkWatchIngestWithMetrics(b *testing.B) {
+	events := watchFeed(1024)
+	e := watch.NewEngine(watch.Config{Metrics: obs.NewRegistry()})
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range events {
+			e.Ingest(events[j])
+		}
+	}
+	e.Flush()
+	b.ReportMetric(float64(b.N*len(events))/b.Elapsed().Seconds(), "updates/sec")
+	b.StopTimer()
+	if st := e.Stats(); st.Dropped != 0 || st.Alerts == 0 {
+		b.Fatalf("stats=%+v", st)
+	}
+}
+
+// BenchmarkObsCounter measures the registry's per-increment cost — the
+// price every instrumented event pays, so it has to stay in the
+// nanoseconds.
+func BenchmarkObsCounter(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_total", "bench counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatalf("count=%d, want %d", c.Value(), b.N)
 	}
 }

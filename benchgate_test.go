@@ -17,7 +17,9 @@ const benchgateBaseline = `{
   "_meta": {"goos": "linux", "goarch": "amd64", "cpu": "test"},
   "BenchmarkSimnetEngines/delta/toy": {"iterations": 100, "ns_per_op": 10000000, "allocs/op": 45000},
   "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 3000},
-  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60}
+  "BenchmarkWatchIngestWithMetrics": {"iterations": 100, "ns_per_op": 510000, "allocs/op": 3000},
+  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60},
+  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0}
 }
 `
 
@@ -59,7 +61,9 @@ func TestBenchgateRegressionFails(t *testing.T) {
   "_meta": {"goos": "linux", "goarch": "amd64", "cpu": "test"},
   "BenchmarkSimnetEngines/delta/toy": {"iterations": 100, "ns_per_op": 10000000, "allocs/op": 45000},
   "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 600000, "allocs/op": 3000},
-  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60}
+  "BenchmarkWatchIngestWithMetrics": {"iterations": 100, "ns_per_op": 510000, "allocs/op": 3000},
+  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60},
+  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0}
 }
 `)
 	out, err := runBenchgate(t, cur, base)
@@ -77,7 +81,9 @@ func TestBenchgateAllocRegressionFails(t *testing.T) {
   "_meta": {"goos": "linux", "goarch": "amd64", "cpu": "test"},
   "BenchmarkSimnetEngines/delta/toy": {"iterations": 100, "ns_per_op": 10000000, "allocs/op": 45000},
   "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 4000},
-  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60}
+  "BenchmarkWatchIngestWithMetrics": {"iterations": 100, "ns_per_op": 510000, "allocs/op": 3000},
+  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60},
+  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0}
 }
 `)
 	out, err := runBenchgate(t, cur, base)
@@ -95,7 +101,9 @@ func TestBenchgateImprovementSuggestsUpdate(t *testing.T) {
   "_meta": {"goos": "linux", "goarch": "amd64", "cpu": "test"},
   "BenchmarkSimnetEngines/delta/toy": {"iterations": 100, "ns_per_op": 5000000, "allocs/op": 45000},
   "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 3000},
-  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60}
+  "BenchmarkWatchIngestWithMetrics": {"iterations": 100, "ns_per_op": 510000, "allocs/op": 3000},
+  "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60},
+  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0}
 }
 `)
 	out, err := runBenchgate(t, cur, base)
@@ -132,7 +140,9 @@ func TestBenchgateStripsCPUSuffix(t *testing.T) {
   "_meta": {"goos": "linux", "goarch": "amd64", "cpu": "test"},
   "BenchmarkSimnetEngines/delta/toy-8": {"iterations": 100, "ns_per_op": 10000000, "allocs/op": 45000},
   "BenchmarkWatchIngest-8": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 3000},
-  "BenchmarkSemanticsIngest-8": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60}
+  "BenchmarkWatchIngestWithMetrics-8": {"iterations": 100, "ns_per_op": 510000, "allocs/op": 3000},
+  "BenchmarkSemanticsIngest-8": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60},
+  "BenchmarkObsCounter-8": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0}
 }
 `)
 	out, err := runBenchgate(t, cur, base)

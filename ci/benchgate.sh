@@ -21,8 +21,10 @@ cd "$(dirname "$0")/.."
 TOL="${BENCHGATE_TOLERANCE:-0.15}"
 BASELINE="ci/bench_baseline.json"
 # One canonical representative per subsystem: the delta simulation
-# engine, the watch ingest hot loop, and the semantics ingest hot loop.
-GATED="BenchmarkSimnetEngines/delta/toy BenchmarkWatchIngest BenchmarkSemanticsIngest"
+# engine, the watch ingest hot loop (bare and with the metrics registry
+# attached, bounding the observability tax), the semantics ingest hot
+# loop, and the obs counter primitive itself.
+GATED="BenchmarkSimnetEngines/delta/toy BenchmarkWatchIngest BenchmarkWatchIngestWithMetrics BenchmarkSemanticsIngest BenchmarkObsCounter"
 # 100 measured iterations per benchmark: the ingest loops finish in
 # well under a millisecond, so the sample needs repetitions before
 # scheduler jitter stays inside the tolerance. Still ~2s total.
@@ -35,8 +37,13 @@ run_bench() {
     out="$1"
     go test -run '^$' -bench '^BenchmarkSimnetEngines$/^delta$/^toy$' \
         -benchtime "$BENCHTIME" -benchmem -timeout 20m . > bench_gate.out
-    go test -run '^$' -bench '^(BenchmarkWatchIngest|BenchmarkSemanticsIngest)$' \
+    go test -run '^$' -bench '^(BenchmarkWatchIngest|BenchmarkWatchIngestWithMetrics|BenchmarkSemanticsIngest)$' \
         -benchtime "$BENCHTIME" -benchmem -timeout 20m . >> bench_gate.out
+    # The counter op is single-digit nanoseconds, so it needs far more
+    # iterations than the ingest loops before clock granularity stays
+    # inside the tolerance.
+    go test -run '^$' -bench '^BenchmarkObsCounter$' \
+        -benchtime 1000000x -benchmem -timeout 20m . >> bench_gate.out
     ./ci/benchjson.sh bench_gate.out "$out"
 }
 

@@ -60,4 +60,21 @@ fi
 echo "== /dict/$asn"
 curl -fsS "http://$ADDR/dict/$asn" | head -30
 
-echo "watchsmoke: OK — $count alerts, $comms dictionary communities from scenario $SCENARIO"
+# Metrics: the Prometheus endpoint must serve the watch/semantics/HTTP
+# series, and the watch counters must reflect the replay that just ran.
+echo "== /metrics (head)"
+metrics=$(curl -fsS "http://$ADDR/metrics")
+echo "$metrics" | head -20
+for series in watch_ingested_total watch_alerts_total semantics_ingested_total http_requests_total; do
+    if ! echo "$metrics" | grep -q "^$series"; then
+        echo "watchsmoke: FAIL — /metrics missing series $series"
+        exit 1
+    fi
+done
+ingested=$(echo "$metrics" | sed -n 's/^watch_ingested_total \([0-9]*\)$/\1/p')
+if [ "${ingested:-0}" -lt 1 ]; then
+    echo "watchsmoke: FAIL — watch_ingested_total is zero after scenario replay"
+    exit 1
+fi
+
+echo "watchsmoke: OK — $count alerts, $comms dictionary communities, $ingested updates scraped from scenario $SCENARIO"

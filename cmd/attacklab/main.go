@@ -22,11 +22,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"bgpworms/internal/attack"
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/gen"
 	"bgpworms/internal/netx"
+	"bgpworms/internal/obs"
 	"bgpworms/internal/policy"
 	"bgpworms/internal/router"
 	"bgpworms/internal/scenario"
@@ -62,8 +65,9 @@ func main() {
 		workers       = flag.Int("workers", 0, "sweep harness worker pool (0 = one per CPU)")
 		cold          = flag.Bool("cold", false, "sweep: build every cell's world from scratch instead of forking warm snapshots (bisection/benchmark escape hatch)")
 
-		verbose = flag.Bool("v", false, "print per-scenario evidence")
-		params  multiFlag
+		traceOut = flag.String("trace", "", "sweep: write a JSON span trace with one span per grid cell")
+		verbose  = flag.Bool("v", false, "print per-scenario evidence (sweep: per-cell progress on stderr)")
+		params   multiFlag
 	)
 	flag.Var(&params, "p", "scenario parameter as name=value (repeatable)")
 	flag.Parse()
@@ -74,7 +78,7 @@ func main() {
 	case *run != "":
 		runOne(*run, *scale, *eng, *seed, *vps, *set, params, *asJSON, *verbose)
 	case *sweep:
-		runSweep(*scenarios, *scales, *seeds, *engineWorkers, *engines, *sets, *vps, *workers, *cold, params, *asJSON)
+		runSweep(*scenarios, *scales, *seeds, *engineWorkers, *engines, *sets, *vps, *workers, *cold, params, *asJSON, *traceOut, *verbose)
 	default:
 		fullReport(*scale, *eng, *seed, *vps, *verbose)
 	}
@@ -111,7 +115,7 @@ func runOne(name, scale, engine string, seed int64, vps int, set string, params 
 	}
 }
 
-func runSweep(scenarios, scales, seeds, engineWorkers, engines, sets string, vps, workers int, cold bool, params multiFlag, asJSON bool) {
+func runSweep(scenarios, scales, seeds, engineWorkers, engines, sets string, vps, workers int, cold bool, params multiFlag, asJSON bool, traceOut string, verbose bool) {
 	g := scenario.Grid{
 		Scenarios:     splitList(scenarios),
 		Scales:        splitList(scales),
@@ -135,9 +139,27 @@ func runSweep(scenarios, scales, seeds, engineWorkers, engines, sets string, vps
 		}
 		g.EngineWorkers = append(g.EngineWorkers, n)
 	}
-	rep, err := scenario.Sweep(g, workers)
+	var opt scenario.SweepOpt
+	if traceOut != "" {
+		opt.Trace = obs.NewTrace("attacklab sweep")
+	}
+	if verbose {
+		var mu sync.Mutex
+		opt.Progress = func(done, total int, c *scenario.Cell, d time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s seed=%d (%v)\n",
+				done, total, c.Scenario, c.Scale, c.Seed, d.Round(time.Millisecond))
+		}
+	}
+	rep, err := scenario.SweepOpts(g, workers, opt)
 	if err != nil {
 		fail(err)
+	}
+	if traceOut != "" {
+		if err := opt.Trace.WriteFile(traceOut); err != nil {
+			fail(err)
+		}
 	}
 	if asJSON {
 		emitJSON(rep)

@@ -26,8 +26,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
+	"bgpworms/internal/obs"
 	"bgpworms/internal/suite"
 )
 
@@ -41,6 +43,8 @@ func main() {
 		detectors = flag.String("detectors", "", "comma-separated detector names overriding the suite's arm")
 		dict      = flag.Bool("dict", false, "train per-(scale,seed) dictionaries and enable the dictionary-aware detectors")
 		ab        = flag.String("ab", "", "old.json,new.json: compare two suite reports with the paired decision rule")
+		traceOut  = flag.String("trace", "", "write a JSON span trace of the run (per-cell build/eval breakdown)")
+		verbose   = flag.Bool("v", false, "report per-cell progress on stderr and print the span summary")
 		recallTol = flag.Float64("recall-tol", 0, "A/B: tolerated per-cell recall drop")
 		precTol   = flag.Float64("precision-tol", 0, "A/B: tolerated per-cell precision drop")
 		noiseTol  = flag.Int("noise-tol", 0, "A/B: tolerated per-cell noise-alert increase")
@@ -69,7 +73,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := suite.Options{Workers: *workers}
+	// The trace is always collected: it is cheap, and provenance.json
+	// carries the per-cell span breakdown whether or not -trace asked
+	// for a standalone file.
+	tr := obs.NewTrace("suiterun " + s.Name)
+	opt := suite.Options{Workers: *workers, Trace: tr}
+	if *verbose {
+		var mu sync.Mutex
+		opt.Progress = func(done, total int, c *suite.CellResult, d time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%v)\n", done, total, c.Key, d.Round(time.Millisecond))
+		}
+	}
 	if *detectors != "" || *dict {
 		arm := &suite.Arm{Name: *armName, Dict: *dict}
 		if *detectors != "" {
@@ -86,6 +102,15 @@ func main() {
 		fatal(err)
 	}
 	prov := suite.NewProvenance(s, *suitePath, data, rep, *workers, time.Since(start))
+	prov.Spans = tr.Records()
+	if *traceOut != "" {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *verbose {
+		fmt.Fprint(os.Stderr, tr.Summary())
+	}
 	if rep.SnapshotBuilds > 0 {
 		fmt.Fprintf(os.Stderr, "warm worlds: %d built, %d cell runs forked\n",
 			rep.SnapshotBuilds, rep.SnapshotForks)

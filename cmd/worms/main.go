@@ -33,6 +33,7 @@ import (
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/core"
 	"bgpworms/internal/gen"
+	"bgpworms/internal/obs"
 	"bgpworms/internal/stats"
 )
 
@@ -44,7 +45,20 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU); simulation engine parallelism when generating")
 	engine := flag.String("engine", "auto", "simulation engine: auto|serial|rounds|delta")
 	years := flag.Bool("evolution", true, "compute the Figure 3 time series (builds one Internet per year)")
+	traceOut := flag.String("trace", "", "write a JSON span trace of the pipeline phases (build/churn/load/analyze/evolution)")
 	flag.Parse()
+
+	// tr stays nil without -trace; obs span calls on a nil trace are
+	// no-ops, so the pipeline below needs no conditionals.
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace("worms")
+		defer func() {
+			if err := tr.WriteFile(*traceOut); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	if *stream && *mrtDir == "" {
 		fail(fmt.Errorf("-stream requires -mrt (there is no byte stream to classify when simulating in memory)"))
@@ -58,20 +72,24 @@ func main() {
 	)
 	switch {
 	case *mrtDir != "" && *stream:
+		sp := tr.Start("stream")
 		a, err := pipe.StreamMRTDir(*mrtDir, nil)
+		sp.End()
 		if err != nil {
 			fail(err)
 		}
 		printAnalysis(a)
 		return
 	case *mrtDir != "":
+		sp := tr.Start("load")
 		var err error
 		ds, err = pipe.LoadMRTDir(*mrtDir)
+		sp.End()
 		if err != nil {
 			fail(err)
 		}
 	default:
-		w, err := buildWorld(*scale, *engine, *seed, *workers)
+		w, err := buildWorld(*scale, *engine, *seed, *workers, tr)
 		if err != nil {
 			fail(err)
 		}
@@ -79,9 +97,14 @@ func main() {
 		blackhole = w.Registry.All()
 	}
 
-	printAnalysis(pipe.Analyze(ds, blackhole))
+	sp := tr.Start("analyze")
+	a := pipe.Analyze(ds, blackhole)
+	sp.End()
+	printAnalysis(a)
 
 	if *years && *mrtDir == "" {
+		evoSp := tr.Start("evolution")
+		defer evoSp.End()
 		fmt.Println("== Figure 3: community use over time ==")
 		base := gen.Tiny()
 		base.Seed = *seed
@@ -140,7 +163,7 @@ func printAnalysis(a *core.Analysis) {
 	fmt.Println()
 }
 
-func buildWorld(scale, engine string, seed int64, workers int) (*gen.Internet, error) {
+func buildWorld(scale, engine string, seed int64, workers int, tr *obs.Trace) (*gen.Internet, error) {
 	p, err := gen.Preset(scale)
 	if err != nil {
 		return nil, err
@@ -148,11 +171,17 @@ func buildWorld(scale, engine string, seed int64, workers int) (*gen.Internet, e
 	p.Seed = seed
 	p.Workers = workers
 	p.Engine = engine
+	sp := tr.Start("build")
+	sp.SetAttr("scale", scale)
 	w, err := gen.Build(p)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	if _, err := w.RunChurn(); err != nil {
+	sp = tr.Start("churn")
+	_, err = w.RunChurn()
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return w, nil

@@ -11,6 +11,9 @@
 //	GET /dict         index of ASes with inferred dictionary entries
 //	GET /dict/stats   dictionary-inference engine statistics
 //	GET /dict/{asn}   one AS's inferred community dictionary
+//	GET /metrics      Prometheus text exposition (watch, semantics,
+//	                  simnet, HTTP-layer series)
+//	GET /debug/pprof/ Go profiling endpoints (only with -pprof)
 //
 // Unless -dict=false, every ingested event also feeds a semantics
 // dictionary-inference engine; its snapshots power the /dict endpoints
@@ -43,6 +46,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -58,6 +62,7 @@ import (
 	_ "bgpworms/internal/attack" // registers the builtin scenarios
 	"bgpworms/internal/gen"
 	"bgpworms/internal/mrt"
+	"bgpworms/internal/obs"
 	"bgpworms/internal/scenario"
 	"bgpworms/internal/semantics"
 	"bgpworms/internal/watch"
@@ -78,6 +83,7 @@ func main() {
 		detNames  = flag.String("detectors", "", "comma-separated detector subset (default: all registered)")
 		dict      = flag.Bool("dict", true, "infer per-AS community dictionaries and enable the dictionary-aware detectors")
 		dictWk    = flag.Int("dict-workers", 0, "dictionary-inference workers (0 = one per CPU)")
+		pprofOn   = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -95,14 +101,18 @@ func main() {
 		}
 	}
 
-	cfg := watch.Config{Shards: *shards, Window: *window, WindowEvents: *winEvts, MaxAlerts: *maxAlerts}
+	// The process registry already carries the package-level simnet /
+	// collector / gen series; the watch and semantics engines attach
+	// their own here, and /metrics serves the whole page.
+	reg := obs.Default
+	cfg := watch.Config{Shards: *shards, Window: *window, WindowEvents: *winEvts, MaxAlerts: *maxAlerts, Metrics: reg}
 	// The dictionary stack: a semantics engine fed by event mirroring,
 	// and a holder the detectors read — refreshed on the flush heartbeat,
 	// so detection always consults a recent frozen snapshot.
 	var sem *semantics.Engine
 	var holder *semantics.Holder
 	if *dict {
-		sem = semantics.NewEngine(semantics.Config{Workers: *dictWk})
+		sem = semantics.NewEngine(semantics.Config{Workers: *dictWk, Metrics: reg})
 		holder = &semantics.Holder{}
 		cfg.Semantics = sem
 		cfg.Dict = holder
@@ -120,8 +130,9 @@ func main() {
 	}
 	eng := watch.NewEngine(cfg)
 
-	srv := newServer(eng, sem, holder)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
+	srv := newServer(eng, sem, holder, reg)
+	srv.pprof = *pprofOn
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 	go func() {
 		log.Printf("wormwatchd: listening on http://%s", *addr)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -315,6 +326,8 @@ type server struct {
 	eng       *watch.Engine
 	sem       *semantics.Engine
 	holder    *semantics.Holder
+	reg       *obs.Registry
+	pprof     bool
 	start     time.Time
 	alerts    snapshotCache
 	stats     snapshotCache
@@ -322,8 +335,8 @@ type server struct {
 	dictStats snapshotCache
 }
 
-func newServer(eng *watch.Engine, sem *semantics.Engine, holder *semantics.Holder) *server {
-	return &server{eng: eng, sem: sem, holder: holder, start: time.Now()}
+func newServer(eng *watch.Engine, sem *semantics.Engine, holder *semantics.Holder, reg *obs.Registry) *server {
+	return &server{eng: eng, sem: sem, holder: holder, reg: reg, start: time.Now()}
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -335,7 +348,48 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("/dict", s.handleDictIndex)
 	m.HandleFunc("/dict/stats", s.handleDictStats)
 	m.HandleFunc("/dict/", s.handleDictAS)
+	m.Handle("/metrics", s.reg.Handler())
+	if s.pprof {
+		m.HandleFunc("/debug/pprof/", pprof.Index)
+		m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return m
+}
+
+// handler wraps the mux with the HTTP-layer instrumentation: a request
+// counter per route class and one latency histogram. Routes are
+// labeled by their fixed first segment (parameterized tails collapse),
+// so series cardinality is bounded by the endpoint table above.
+func (s *server) handler() http.Handler {
+	m := s.mux()
+	hist := s.reg.Histogram("http_request_seconds",
+		"HTTP request service time", obs.DurationBuckets)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.ServeHTTP(w, r)
+		hist.ObserveSince(start)
+		s.reg.Counter(`http_requests_total{path="`+routeLabel(r.URL.Path)+`"}`,
+			"HTTP requests by route").Inc()
+	})
+}
+
+// routeLabel collapses a request path to its route class.
+func routeLabel(path string) string {
+	switch {
+	case path == "/healthz", path == "/stats", path == "/alerts", path == "/metrics", path == "/dict", path == "/dict/stats":
+		return path
+	case strings.HasPrefix(path, "/prefix/"):
+		return "/prefix"
+	case strings.HasPrefix(path, "/dict/"):
+		return "/dict/{asn}"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "/debug/pprof"
+	default:
+		return "other"
+	}
 }
 
 // dictSnapshot returns the dictionary view requests are served from:
@@ -394,9 +448,13 @@ func writeJSON(w http.ResponseWriter, body []byte) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
+	build := obs.BuildInfo()
 	body, _ := json.Marshal(map[string]any{
 		"status":         "ok",
+		"start_time":     s.start.UTC().Format(time.RFC3339),
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"go_version":     build.GoVersion,
+		"git_sha":        build.GitSHA,
 		"ingested":       st.Ingested,
 		"dropped":        st.Dropped,
 		"alerts":         st.Alerts,

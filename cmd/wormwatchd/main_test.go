@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/obs"
+	"bgpworms/internal/semantics"
+	"bgpworms/internal/watch"
+)
+
+// newTestServer assembles the daemon's HTTP stack on fresh engines and
+// a private registry (never obs.Default — tests must not cross-talk).
+func newTestServer(t *testing.T) (*watch.Engine, *semantics.Engine, http.Handler) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	sem := semantics.NewEngine(semantics.Config{Workers: 2, Metrics: reg})
+	holder := &semantics.Holder{}
+	eng := watch.NewEngine(watch.Config{Shards: 4, Metrics: reg, Semantics: sem, Dict: holder})
+	srv := newServer(eng, sem, holder, reg)
+	srv.pprof = true
+	return eng, sem, srv.handler()
+}
+
+func testEvent(i int) watch.Event {
+	return watch.Event{
+		PeerAS:      65001,
+		Prefix:      netip.MustParsePrefix("10.0.0.0/24"),
+		ASPath:      []uint32{65001, 65000, uint32(7000 + i%4)},
+		Communities: bgp.NewCommunitySet(bgp.C(65000, uint16(i%8))),
+	}
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	b, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(b)
+}
+
+// TestMetricsAndStatsDuringIngest hammers /metrics and /stats while a
+// concurrent feed is mid-flight; under -race this is the daemon-level
+// thread-safety proof for the scrape path.
+func TestMetricsAndStatsDuringIngest(t *testing.T) {
+	eng, sem, h := newTestServer(t)
+	defer sem.Close()
+	defer eng.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if code, _ := get(t, h, "/metrics"); code != http.StatusOK {
+					t.Errorf("/metrics status %d", code)
+					return
+				}
+				if code, _ := get(t, h, "/stats"); code != http.StatusOK {
+					t.Errorf("/stats status %d", code)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20000; i++ {
+		eng.Ingest(testEvent(i))
+	}
+	eng.Flush()
+	close(stop)
+	wg.Wait()
+
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, series := range []string{
+		"watch_ingested_total 20000",
+		"semantics_ingested_total 20000",
+		"# TYPE watch_batch_seconds histogram",
+		"# TYPE http_request_seconds histogram",
+		`http_requests_total{path="/metrics"}`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("/metrics missing %q:\n%s", series, body)
+		}
+	}
+}
+
+// TestHealthzBuildInfo pins the /healthz shape: liveness counters plus
+// the build record shared with suite provenance.
+func TestHealthzBuildInfo(t *testing.T) {
+	eng, sem, h := newTestServer(t)
+	defer sem.Close()
+	defer eng.Close()
+	code, body := get(t, h, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+	for _, key := range []string{"status", "start_time", "uptime_seconds", "go_version", "git_sha", "ingested"} {
+		if _, ok := payload[key]; !ok {
+			t.Fatalf("/healthz missing %q: %s", key, body)
+		}
+	}
+	if payload["go_version"] == "" || payload["git_sha"] == "" {
+		t.Fatalf("empty build info: %s", body)
+	}
+}
+
+// TestPprofGate pins that the profiling mux is flag-gated.
+func TestPprofGate(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := watch.NewEngine(watch.Config{Shards: 1, Metrics: reg})
+	defer eng.Close()
+	srv := newServer(eng, nil, nil, reg)
+	if code, _ := get(t, srv.handler(), "/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof served without -pprof: %d", code)
+	}
+	srv.pprof = true
+	if code, _ := get(t, srv.handler(), "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("pprof gated despite -pprof: %d", code)
+	}
+}

@@ -15,11 +15,18 @@ import (
 
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/mrt"
+	"bgpworms/internal/obs"
 	"bgpworms/internal/policy"
 	"bgpworms/internal/router"
 	"bgpworms/internal/simnet"
 	"bgpworms/internal/topo"
 )
+
+// observationsTotal counts every observation recorded by any collector
+// tap in the process (one atomic add per kept delivery; metrics are
+// observational only — recorded streams are identical either way).
+var observationsTotal = obs.Default.Counter("collector_observations_total",
+	"observations recorded across all collectors")
 
 // Platform identifies a collector platform.
 type Platform string
@@ -180,6 +187,7 @@ func (c *Collector) tap(from, to topo.ASN, prefix netip.Prefix, rt *policy.Route
 	}
 	ob := Observation{Seq: c.seq, Time: c.clock, PeerAS: from, Prefix: prefix, Route: cp}
 	c.obs = append(c.obs, ob)
+	observationsTotal.Inc()
 	for _, fn := range c.subs {
 		fn(ob)
 	}

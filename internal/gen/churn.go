@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"time"
 
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/netx"
@@ -32,6 +33,7 @@ type ChurnReport struct {
 // community retagging, blackhole episodes, and IXP-community tagging. All
 // of it lands in the collectors' update archives.
 func (w *Internet) RunChurn() (*ChurnReport, error) {
+	defer churnSecs.ObserveSince(time.Now())
 	rep := &ChurnReport{}
 	prefixes := w.AllPrefixes()
 	if len(prefixes) == 0 {

@@ -78,6 +78,7 @@ func (w *Internet) drawValue(rng *rand.Rand) uint16 {
 // Build constructs the topology, assigns policies, attaches IXPs and
 // collectors, and announces every origin prefix to convergence.
 func Build(p Params) (*Internet, error) {
+	defer buildSecs.ObserveSince(time.Now())
 	engine, err := simnet.ParseEngine(p.Engine)
 	if err != nil {
 		return nil, err

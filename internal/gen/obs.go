@@ -1,0 +1,15 @@
+package gen
+
+import "bgpworms/internal/obs"
+
+// World-construction timing on the process registry: cold builds, warm
+// forks, and churn months. One histogram observation per call — the
+// cheap end of the obs cost spectrum — and observational only.
+var (
+	buildSecs = obs.Default.Histogram("gen_build_seconds",
+		"cold world build + convergence wall time", obs.DurationBuckets)
+	forkSecs = obs.Default.Histogram("gen_fork_seconds",
+		"warm snapshot fork wall time", obs.DurationBuckets)
+	churnSecs = obs.Default.Histogram("gen_churn_seconds",
+		"observation-month churn wall time", obs.DurationBuckets)
+)

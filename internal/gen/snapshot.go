@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"reflect"
+	"time"
 
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/collector"
@@ -143,6 +144,7 @@ func (s *Snapshot) Compatible(p Params) error {
 // registries are fork-private; routers copy-on-write as the fork's runs
 // touch them.
 func (s *Snapshot) Fork(tap simnet.UpdateTap) (*Internet, error) {
+	defer forkSecs.ObserveSince(time.Now())
 	n, err := s.net.Fork()
 	if err != nil {
 		return nil, err

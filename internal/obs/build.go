@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Build identifies the binary: toolchain, platform, and the commit it
+// was built from. Suite provenance and the wormwatchd health endpoint
+// serve the same record, so an archived suite report and a scraped
+// daemon agree on what ran.
+type Build struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GitSHA    string `json:"git_sha"`
+}
+
+var buildOnce = sync.OnceValue(func() Build {
+	return Build{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GitSHA:    GitSHA(),
+	}
+})
+
+// BuildInfo returns the cached build record.
+func BuildInfo() Build { return buildOnce() }
+
+// GitSHA reads the checked-out commit: `git rev-parse HEAD`, then the
+// GITHUB_SHA CI fallback, then "unknown" — build info must never fail
+// a run.
+func GitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	return "unknown"
+}

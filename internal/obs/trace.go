@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span tracing: the flight-recorder half of the package. A Trace is a
+// flat, append-only list of named spans with start/end times, string
+// attributes, and parent links; it serializes as one JSON document and
+// renders as an aggregated summary table. Traces are wall-clock
+// artifacts and therefore live beside deterministic outputs, never
+// inside them (suite reports stay byte-identical; provenance.json and
+// -trace files carry the timings).
+//
+// Every method is safe on a nil *Trace and nil *Span and does nothing,
+// so call sites plumb an optional trace with no conditionals:
+//
+//	sp := trace.Start("cell "+key)   // nil trace -> nil span
+//	defer sp.End()                   // no-op on nil
+type Trace struct {
+	mu    sync.Mutex
+	name  string
+	start time.Time
+	spans []*Span
+}
+
+// Span is one named timed region. Fields are written only by the
+// owning goroutine between Start and End; Records snapshots them under
+// the trace lock.
+type Span struct {
+	t      *Trace
+	id     int
+	parent int // 0 = root
+	name   string
+	attrs  map[string]string
+	start  time.Time
+	end    time.Time
+}
+
+// NewTrace starts an empty trace.
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now()}
+}
+
+// Start opens a root span.
+func (t *Trace) Start(name string) *Span {
+	return t.add(name, 0)
+}
+
+func (t *Trace) add(name string, parent int) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{t: t, id: len(t.spans) + 1, parent: parent, name: name, start: time.Now()}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.add(name, s.id)
+}
+
+// SetAttr attaches a string attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.t.mu.Unlock()
+}
+
+// End closes the span. A second End is a no-op (first end time wins).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.t.mu.Unlock()
+}
+
+// SpanRecord is the exported, serializable form of one span. An open
+// span records a zero duration.
+type SpanRecord struct {
+	ID     int    `json:"id"`
+	Parent int    `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// StartUS is microseconds since the trace started.
+	StartUS int64 `json:"start_us"`
+	// DurUS is the span duration in microseconds (0 if never ended).
+	DurUS int64             `json:"dur_us"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceRecord is the JSON document shape a -trace file holds.
+type TraceRecord struct {
+	Trace string       `json:"trace"`
+	Start time.Time    `json:"start"`
+	Spans []SpanRecord `json:"spans"`
+}
+
+// Records snapshots every span in start order.
+func (t *Trace) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.spans))
+	for _, s := range t.spans {
+		r := SpanRecord{
+			ID:      s.id,
+			Parent:  s.parent,
+			Name:    s.name,
+			StartUS: s.start.Sub(t.start).Microseconds(),
+		}
+		if !s.end.IsZero() {
+			r.DurUS = s.end.Sub(s.start).Microseconds()
+		}
+		if len(s.attrs) > 0 {
+			r.Attrs = make(map[string]string, len(s.attrs))
+			for k, v := range s.attrs {
+				r.Attrs[k] = v
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// WriteJSON serializes the trace as one indented JSON document.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	name, start := t.name, t.start
+	t.mu.Unlock()
+	doc := TraceRecord{Trace: name, Start: start, Spans: t.Records()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteFile writes the JSON trace to path. A nil trace writes nothing.
+func (t *Trace) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Summary renders an aggregate table: spans grouped by name (root and
+// child names alike), with count, total, min, max, and the share of
+// the trace's wall clock. Open spans count with zero duration.
+func (t *Trace) Summary() string {
+	if t == nil {
+		return ""
+	}
+	recs := t.Records()
+	type agg struct {
+		name     string
+		count    int
+		total    time.Duration
+		min, max time.Duration
+	}
+	order := []string{}
+	byName := map[string]*agg{}
+	var last time.Duration
+	for _, r := range recs {
+		d := time.Duration(r.DurUS) * time.Microsecond
+		if end := time.Duration(r.StartUS+r.DurUS) * time.Microsecond; end > last {
+			last = end
+		}
+		a := byName[r.Name]
+		if a == nil {
+			a = &agg{name: r.Name, min: d}
+			byName[r.Name] = a
+			order = append(order, r.Name)
+		}
+		a.count++
+		a.total += d
+		if d < a.min {
+			a.min = d
+		}
+		if d > a.max {
+			a.max = d
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return byName[order[i]].total > byName[order[j]].total
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s: %d spans, %s wall\n", t.name, len(recs), last.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "%-40s %7s %12s %12s %12s %6s\n", "span", "count", "total", "min", "max", "share")
+	for _, name := range order {
+		a := byName[name]
+		share := 0.0
+		if last > 0 {
+			share = float64(a.total) / float64(last) * 100
+		}
+		fmt.Fprintf(&sb, "%-40s %7d %12s %12s %12s %5.1f%%\n",
+			a.name, a.count, a.total.Round(time.Microsecond),
+			a.min.Round(time.Microsecond), a.max.Round(time.Microsecond), share)
+	}
+	return sb.String()
+}

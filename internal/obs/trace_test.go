@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("test")
+	root := tr.Start("cell a")
+	child := root.Child("eval")
+	child.SetAttr("scenario", "rtbh")
+	time.Sleep(2 * time.Millisecond)
+	child.End()
+	root.End()
+	root.End() // second End keeps the first end time
+
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("spans=%d", len(recs))
+	}
+	if recs[0].Name != "cell a" || recs[0].Parent != 0 {
+		t.Fatalf("root record: %+v", recs[0])
+	}
+	if recs[1].Parent != recs[0].ID || recs[1].Attrs["scenario"] != "rtbh" {
+		t.Fatalf("child record: %+v", recs[1])
+	}
+	if recs[1].DurUS <= 0 || recs[0].DurUS < recs[1].DurUS {
+		t.Fatalf("durations: root=%dus child=%dus", recs[0].DurUS, recs[1].DurUS)
+	}
+}
+
+// TestTraceNilSafety pins the plumb-through contract: every method on
+// a nil trace or span is a no-op, so optional tracing needs no
+// conditionals at call sites.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil trace returned a span")
+	}
+	sp.Child("y").SetAttr("k", "v")
+	sp.End()
+	if tr.Records() != nil || tr.Summary() != "" {
+		t.Fatal("nil trace produced records")
+	}
+	if err := tr.WriteJSON(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceJSONAndSummary(t *testing.T) {
+	tr := NewTrace("suite")
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("cell")
+		sp.Child("eval").End()
+		sp.End()
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"trace": "suite"`, `"spans"`, `"name": "cell"`, `"dur_us"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("JSON missing %q:\n%s", want, sb.String())
+		}
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "6 spans") || !strings.Contains(sum, "cell") || !strings.Contains(sum, "eval") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+}
+
+// TestTraceConcurrentStarts proves concurrent span creation from
+// harness workers is safe (the sweep and suite integration point).
+func TestTraceConcurrentStarts(t *testing.T) {
+	tr := NewTrace("parallel")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("cell")
+				sp.Child("inner").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Records()); n != 1600 {
+		t.Fatalf("spans=%d want 1600", n)
+	}
+}

@@ -5,9 +5,12 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bgpworms/internal/conc"
 	"bgpworms/internal/gen"
+	"bgpworms/internal/obs"
 	"bgpworms/internal/simnet"
 	"bgpworms/internal/stats"
 )
@@ -246,6 +249,24 @@ func (wc *WarmCache) Stats() (builds, forks int) {
 // land at their grid index and the fold runs in grid order — the report
 // is therefore bit-identical across harness worker counts, warm or cold.
 func Sweep(g Grid, workers int) (*SweepReport, error) {
+	return SweepOpts(g, workers, SweepOpt{})
+}
+
+// SweepOpt carries the sweep's optional observability hooks. The zero
+// value is a plain sweep; nothing here can change the report.
+type SweepOpt struct {
+	// Progress, when set, is called after every completed cell with the
+	// done count, the grid total, the cell just finished, and its wall
+	// time. Calls come concurrently from harness goroutines and in
+	// completion order, not grid order — serialize in the callback.
+	Progress func(done, total int, c *Cell, d time.Duration)
+	// Trace, when set, records one "cell <scenario>" span per grid cell
+	// (scale/seed/engine attributes attached). Nil is a no-op.
+	Trace *obs.Trace
+}
+
+// SweepOpts is Sweep with observability hooks attached.
+func SweepOpts(g Grid, workers int, opt SweepOpt) (*SweepReport, error) {
 	g = g.withDefaults()
 	cells, err := g.Cells()
 	if err != nil {
@@ -258,8 +279,19 @@ func Sweep(g Grid, workers int) (*SweepReport, error) {
 	if !g.Cold {
 		warm = NewWarmCache()
 	}
+	var done atomic.Int64
 	conc.Do(len(cells), workers, func(i int) {
-		runCell(&cells[i], g, warm)
+		c := &cells[i]
+		start := time.Now()
+		sp := opt.Trace.Start("cell " + c.Scenario)
+		sp.SetAttr("scale", c.Scale)
+		sp.SetAttr("seed", strconv.FormatInt(c.Seed, 10))
+		sp.SetAttr("engine", c.Engine)
+		runCell(c, g, warm)
+		sp.End()
+		if opt.Progress != nil {
+			opt.Progress(int(done.Add(1)), len(cells), c, time.Since(start))
+		}
 	})
 	rep := &SweepReport{Cells: cells, Ran: len(cells)}
 	if warm != nil {

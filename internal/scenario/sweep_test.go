@@ -3,9 +3,12 @@ package scenario_test
 import (
 	"bytes"
 	"encoding/json"
+	"sync"
 	"testing"
+	"time"
 
 	_ "bgpworms/internal/attack" // registers the builtin scenarios
+	"bgpworms/internal/obs"
 	"bgpworms/internal/scenario"
 )
 
@@ -165,5 +168,57 @@ func TestSweepEngineWorkerInvariance(t *testing.T) {
 	jb, _ := json.Marshal(b.Result)
 	if !bytes.Equal(ja, jb) {
 		t.Fatalf("engine workers changed the outcome:\nw=2: %s\nw=8: %s", ja, jb)
+	}
+}
+
+// TestSweepOptsHooks pins the observability satellite: the progress
+// callback sees every cell exactly once with a sane done/total, the
+// trace records one span per cell, and attaching the hooks leaves the
+// report bit-identical to a bare sweep.
+func TestSweepOptsHooks(t *testing.T) {
+	g := scenario.Grid{
+		Scenarios: []string{"rtbh", "propagation-distance"},
+		Scales:    []string{"tiny"},
+		Seeds:     []int64{1, 2},
+	}
+	bare, err := scenario.Sweep(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var calls int
+	seen := map[string]int{}
+	tr := obs.NewTrace("sweep-test")
+	hooked, err := scenario.SweepOpts(g, 2, scenario.SweepOpt{
+		Trace: tr,
+		Progress: func(done, total int, c *scenario.Cell, d time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			seen[c.Scenario]++
+			if done < 1 || done > total || total != 4 || d < 0 {
+				t.Errorf("progress(done=%d, total=%d, d=%v)", done, total, d)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || seen["rtbh"] != 2 || seen["propagation-distance"] != 2 {
+		t.Fatalf("progress calls=%d seen=%v", calls, seen)
+	}
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("trace spans=%d want 4", len(recs))
+	}
+	for _, r := range recs {
+		if r.DurUS <= 0 || r.Attrs["scale"] != "tiny" {
+			t.Fatalf("span %+v", r)
+		}
+	}
+	b1, _ := json.Marshal(bare)
+	b2, _ := json.Marshal(hooked)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("hooks changed the report:\nbare:   %s\nhooked: %s", b1, b2)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bgpworms/internal/bgp"
+	"bgpworms/internal/obs"
 )
 
 // Config sizes the engine. The zero value is usable: every field has a
@@ -21,6 +22,13 @@ type Config struct {
 	BatchSize int
 	// QueueDepth is the per-worker batch queue (default 64 batches).
 	QueueDepth int
+	// Metrics, when non-nil, exposes the engine on that registry:
+	// ingest/drop counters, a fold-batch latency histogram, and a
+	// snapshot-merge counter. The scrape collector reads only the
+	// engine's atomics — never Snapshot or Stats, which flush and could
+	// stall a scrape behind a full worker queue. Metrics are
+	// observational only; the dictionary is bit-identical either way.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +85,11 @@ type Engine struct {
 	processed atomic.Uint64
 	dropped   atomic.Uint64
 	version   atomic.Uint64
+	merges    atomic.Uint64
+
+	// Metrics plumbing (nil when Config.Metrics is unset).
+	foldHist  *obs.Histogram
+	collector *obs.CollectorHandle
 
 	snapMu sync.Mutex
 	snap   *Snapshot
@@ -101,13 +114,36 @@ func NewEngine(cfg Config) *Engine {
 		e.wg.Add(1)
 		go e.run(w)
 	}
+	if cfg.Metrics != nil {
+		e.bindMetrics(cfg.Metrics)
+	}
 	return e
+}
+
+// bindMetrics attaches the engine to a registry. The collector touches
+// only atomics, so scrapes never block on worker queues.
+func (e *Engine) bindMetrics(reg *obs.Registry) {
+	e.foldHist = reg.Histogram("semantics_fold_seconds",
+		"worker fold-batch latency", obs.DurationBuckets)
+	e.collector = reg.RegisterCollector(func(emit func(obs.Sample)) {
+		counter := func(name, help string, v uint64) {
+			emit(obs.Sample{Name: name, Help: help, Type: obs.TypeCounter, Value: float64(v)})
+		}
+		counter("semantics_ingested_total", "observations accepted for folding", e.ingested.Load())
+		counter("semantics_processed_total", "observations folded by workers", e.processed.Load())
+		counter("semantics_dropped_total", "observations shed by the non-blocking ingest path", e.dropped.Load())
+		counter("semantics_merges_total", "snapshot merges of worker partials", e.merges.Load())
+	})
 }
 
 func (e *Engine) run(w *worker) {
 	defer e.wg.Done()
 	for b := range w.ch {
 		if len(b.obs) > 0 {
+			var start time.Time
+			if e.foldHist != nil {
+				start = time.Now()
+			}
 			w.mu.Lock()
 			for i := range b.obs {
 				ob := &b.obs[i]
@@ -121,6 +157,9 @@ func (e *Engine) run(w *worker) {
 				}
 			}
 			w.mu.Unlock()
+			if e.foldHist != nil {
+				e.foldHist.ObserveSince(start)
+			}
 			e.processed.Add(uint64(len(b.obs)))
 			e.version.Add(1)
 			buf := b.obs[:0]
@@ -235,6 +274,7 @@ func (e *Engine) Close() {
 		close(w.ch)
 	}
 	e.wg.Wait()
+	e.collector.Unregister()
 }
 
 // Version is a monotone token advancing whenever folded state may have
@@ -254,6 +294,7 @@ func (e *Engine) Snapshot() *Snapshot {
 	if e.snap != nil && e.snap.Version == v {
 		return e.snap
 	}
+	e.merges.Add(1)
 	merged := make(map[bgp.Community]*evidence)
 	for _, w := range e.workers {
 		w.mu.Lock()

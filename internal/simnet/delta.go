@@ -161,7 +161,14 @@ func (n *Network) runDelta(workers int) (int, error) {
 	n.queue = n.queue[:0]
 	clear(n.queued)
 
+	// Churn tallies accumulate locally in the serial sections and flush
+	// to the package counters once per run (obs.go).
+	var tally deltaRoundTally
+	defer tally.flush()
+
 	for len(st.srcs) > 0 {
+		tally.rounds++
+		tally.exports += uint64(len(st.srcs))
 		slices.Sort(st.srcs)
 		if n.cow {
 			// Copy-on-write barrier: phase 1 mutates source Adj-RIB-Outs
@@ -174,6 +181,7 @@ func (n *Network) runDelta(workers int) (int, error) {
 		}
 		for _, ri := range st.srcs {
 			ps := st.items[ri]
+			tally.prefixes += uint64(len(ps))
 			slices.SortFunc(ps, netx.ComparePrefix)
 		}
 		for len(st.outs) < len(st.srcs) {

@@ -1,0 +1,55 @@
+package simnet
+
+import (
+	"time"
+
+	"bgpworms/internal/obs"
+)
+
+// Package-level instrumentation on obs.Default: simnet has no config
+// surface to thread a registry through (networks are built by gen and
+// scenarios everywhere), and its series are process-global by nature —
+// a daemon replaying scenarios feeds its /metrics page automatically.
+// All writes happen at run or round granularity in serial sections, so
+// the hot per-delivery loops are untouched. Metrics are observational
+// only: tap streams and convergence results are identical either way.
+var (
+	simnetRuns       = make(map[Engine]*obs.Counter)
+	simnetDeliveries = make(map[Engine]*obs.Counter)
+	simnetRunSecs    = make(map[Engine]*obs.Histogram)
+
+	deltaRounds        = obs.Default.Counter("simnet_delta_rounds_total", "delta engine convergence rounds")
+	deltaDirtyPrefixes = obs.Default.Counter("simnet_delta_dirty_prefixes_total", "dirty (router,prefix) work items across delta rounds")
+	deltaExports       = obs.Default.Counter("simnet_delta_export_batches_total", "phase-1 export shards (one per dirty source router per round)")
+)
+
+func init() {
+	for _, e := range []Engine{EngineSerial, EngineRounds, EngineDelta} {
+		label := `{engine="` + e.String() + `"}`
+		simnetRuns[e] = obs.Default.Counter("simnet_runs_total"+label, "convergence runs")
+		simnetDeliveries[e] = obs.Default.Counter("simnet_deliveries_total"+label, "route deliveries (convergence steps)")
+		simnetRunSecs[e] = obs.Default.Histogram("simnet_run_seconds"+label, "convergence wall time", obs.DurationBuckets)
+	}
+}
+
+// observeRun tallies one Run() invocation.
+func observeRun(e Engine, delivered int, start time.Time) {
+	simnetRuns[e].Inc()
+	simnetDeliveries[e].Add(uint64(delivered))
+	simnetRunSecs[e].ObserveSince(start)
+}
+
+// deltaRoundTally accumulates per-round churn locally inside runDelta
+// (the counters are flushed once per run, not per round).
+type deltaRoundTally struct {
+	rounds, prefixes, exports uint64
+}
+
+func (t *deltaRoundTally) flush() {
+	if t.rounds == 0 {
+		return
+	}
+	deltaRounds.Add(t.rounds)
+	deltaDirtyPrefixes.Add(t.prefixes)
+	deltaExports.Add(t.exports)
+}

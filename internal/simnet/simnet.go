@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"time"
 
 	"bgpworms/internal/bgp"
 	"bgpworms/internal/policy"
@@ -298,14 +299,20 @@ func (n *Network) ResolvedEngine() Engine {
 // number of deliveries. With the default EngineAuto, SetWorkers(>1)
 // selects the delta engine; SetEngine pins a specific one.
 func (n *Network) Run() (int, error) {
-	switch n.ResolvedEngine() {
+	eng := n.ResolvedEngine()
+	start := time.Now()
+	var delivered int
+	var err error
+	switch eng {
 	case EngineRounds:
-		return n.runRounds(n.Workers())
+		delivered, err = n.runRounds(n.Workers())
 	case EngineDelta:
-		return n.runDelta(n.Workers())
+		delivered, err = n.runDelta(n.Workers())
 	default:
-		return n.runSerial()
+		delivered, err = n.runSerial()
 	}
+	observeRun(eng, delivered, start)
+	return delivered, err
 }
 
 // runSerial is the original FIFO work-queue engine: one delivery at a

@@ -3,12 +3,10 @@ package suite
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"os"
-	"os/exec"
-	"runtime"
 	"sort"
-	"strings"
 	"time"
+
+	"bgpworms/internal/obs"
 )
 
 // Provenance records where a suite report came from: toolchain, commit,
@@ -41,21 +39,26 @@ type Provenance struct {
 	SnapshotBuilds int  `json:"snapshot_builds"`
 	SnapshotForks  int  `json:"snapshot_forks"`
 	Pass           bool `json:"pass"`
+	// Spans is the run's per-cell timing breakdown (Options.Trace):
+	// wall-clock state, which is exactly what provenance exists to
+	// carry so the report itself can stay byte-stable.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // NewProvenance assembles the record for one completed run. suiteData
 // may be nil when the suite was built in memory.
 func NewProvenance(s *Suite, path string, suiteData []byte, rep *Report, workers int, wall time.Duration) Provenance {
+	build := obs.BuildInfo()
 	p := Provenance{
-		Tool:      "suiterun",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		GitSHA:    gitSHA(),
-		Suite:     s.Name,
-		SuitePath: path,
-		Arm:       rep.Arm,
-		Scenarios: s.Scenarios(),
+		Tool:           "suiterun",
+		GoVersion:      build.GoVersion,
+		GOOS:           build.GOOS,
+		GOARCH:         build.GOARCH,
+		GitSHA:         build.GitSHA,
+		Suite:          s.Name,
+		SuitePath:      path,
+		Arm:            rep.Arm,
+		Scenarios:      s.Scenarios(),
 		Cells:          rep.Ran,
 		Workers:        workers,
 		WallMS:         wall.Milliseconds(),
@@ -86,20 +89,4 @@ func NewProvenance(s *Suite, path string, suiteData []byte, rep *Report, workers
 	}
 	sort.Slice(p.Seeds, func(i, j int) bool { return p.Seeds[i] < p.Seeds[j] })
 	return p
-}
-
-// gitSHA reads the checked-out commit: `git rev-parse HEAD`, then the
-// GITHUB_SHA CI fallback, then "unknown" — provenance must never fail
-// a run.
-func gitSHA() string {
-	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
-	if err == nil {
-		if sha := strings.TrimSpace(string(out)); sha != "" {
-			return sha
-		}
-	}
-	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
-		return sha
-	}
-	return "unknown"
 }

@@ -5,10 +5,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bgpworms/internal/attack"
 	"bgpworms/internal/conc"
 	"bgpworms/internal/gen"
+	"bgpworms/internal/obs"
 	"bgpworms/internal/scenario"
 	"bgpworms/internal/semantics"
 	"bgpworms/internal/watch"
@@ -21,6 +24,16 @@ type Options struct {
 	Workers int
 	// Arm overrides the suite's declared detector configuration.
 	Arm *Arm
+	// Trace, when set, records one root span per cell with
+	// build/detectors/eval/dict children — the per-cell wall-time
+	// breakdown suiterun writes into provenance.json. Purely
+	// observational: the report bytes are identical with or without it.
+	Trace *obs.Trace
+	// Progress, when set, is called after each completed cell with the
+	// done count, cell total, the finished cell, and its wall time.
+	// Calls come concurrently from harness goroutines in completion
+	// order — serialize in the callback.
+	Progress func(done, total int, c *CellResult, d time.Duration)
 }
 
 // DictMetrics is the gateable slice of a dictionary-inference score.
@@ -240,8 +253,15 @@ func Run(s *Suite, opt Options) (*Report, error) {
 	// the group forks it instead of rebuilding. The scenario layer's
 	// cache is shared so suite cells and sweep cells run the same code.
 	warm := scenario.NewWarmCache()
+	var done atomic.Int64
 	conc.Do(len(specs), workers, func(i int) {
-		cells[i] = s.runCell(specs[i], arm, tr, warm)
+		start := time.Now()
+		sp := opt.Trace.Start("cell " + specs[i].key())
+		cells[i] = s.runCell(specs[i], arm, tr, warm, sp)
+		sp.End()
+		if opt.Progress != nil {
+			opt.Progress(int(done.Add(1)), len(specs), &cells[i], time.Since(start))
+		}
 	})
 
 	rep := &Report{Suite: s.Name, Arm: arm.label(), Cells: cells, Ran: len(cells)}
@@ -300,7 +320,7 @@ func detectorNames(arm *Arm) []string {
 	return names
 }
 
-func (s *Suite) runCell(spec cellSpec, arm *Arm, tr *trainer, warm *scenario.WarmCache) CellResult {
+func (s *Suite) runCell(spec cellSpec, arm *Arm, tr *trainer, warm *scenario.WarmCache, sp *obs.Span) CellResult {
 	e := &s.Entries[spec.entry]
 	out := CellResult{
 		Key: spec.key(), Scenario: spec.scenario, Scale: spec.scale,
@@ -330,13 +350,19 @@ func (s *Suite) runCell(spec cellSpec, arm *Arm, tr *trainer, warm *scenario.War
 		}
 		return warm.Snapshot(cell, params)
 	}
+	buildSp := sp.Child("build")
 	if snap, err := warmFork(ctx.Gen); err != nil {
+		buildSp.End()
 		out.Err = err.Error()
 		return out
 	} else if snap != nil {
+		buildSp.SetAttr("warm", "true")
 		ctx.Warm = snap
 	}
+	buildSp.End()
+	detSp := sp.Child("detectors")
 	dets, err := detectorsFor(arm, tr, spec.scale, spec.seed)
+	detSp.End()
 	if err != nil {
 		out.Err = err.Error()
 		return out
@@ -345,7 +371,9 @@ func (s *Suite) runCell(spec cellSpec, arm *Arm, tr *trainer, warm *scenario.War
 	if shards == 0 {
 		shards = 2
 	}
+	evalSp := sp.Child("eval")
 	rep, err := watch.EvalScenario(spec.scenario, ctx, watch.Config{Shards: shards, Detectors: dets})
+	evalSp.End()
 	if err != nil {
 		out.Err = err.Error()
 		return out
@@ -363,6 +391,8 @@ func (s *Suite) runCell(spec cellSpec, arm *Arm, tr *trainer, warm *scenario.War
 	out.AsExpected = out.Success == out.Expected
 
 	if e.Dict != nil {
+		dictSp := sp.Child("dict")
+		defer dictSp.End()
 		dctx, err := grid.ContextFor(cell)
 		if err != nil {
 			out.Err = err.Error()

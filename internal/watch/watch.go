@@ -29,11 +29,13 @@ import (
 	"net/netip"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bgpworms/internal/bgp"
+	"bgpworms/internal/obs"
 	"bgpworms/internal/semantics"
 )
 
@@ -119,6 +121,14 @@ type Config struct {
 	// *semantics.Snapshot for deterministic alert sets, or a
 	// *semantics.Holder a daemon refreshes while ingesting.
 	Dict semantics.Provider
+	// Metrics, when non-nil, exposes the engine on that registry:
+	// ingest/drop/alert counters, queue-depth and tracked-prefix gauges,
+	// per-detector firing counts, and a batch-latency histogram. Almost
+	// everything is pulled at scrape time from counters the engine
+	// already maintains, so the only hot-path cost is one histogram
+	// observation per shard batch. Metrics are observational only — the
+	// alert set is bit-identical with or without a registry attached.
+	Metrics *obs.Registry
 	// Semantics, when non-nil, mirrors every ingested event into the
 	// dictionary-inference engine. With lossless feeds (Ingest,
 	// BlockingTap) dictionaries build from exactly the stream the
@@ -212,6 +222,10 @@ type Engine struct {
 	alerts    atomic.Uint64
 	truncated atomic.Uint64
 	version   atomic.Uint64
+
+	// Metrics plumbing (nil when Config.Metrics is unset).
+	batchHist *obs.Histogram
+	collector *obs.CollectorHandle
 }
 
 // NewEngine starts an engine with one worker goroutine per shard. Close
@@ -260,7 +274,58 @@ func NewEngine(cfg Config) *Engine {
 		e.wg.Add(1)
 		go e.runShard(s)
 	}
+	if cfg.Metrics != nil {
+		e.bindMetrics(cfg.Metrics)
+	}
 	return e
+}
+
+// bindMetrics attaches the engine to a registry: one batch-latency
+// histogram written by the shard workers, and a scrape-time collector
+// for everything the engine already counts. The collector takes the
+// shard locks exactly like Stats does, so a scrape is as safe (and as
+// cheap) as a /stats query.
+func (e *Engine) bindMetrics(reg *obs.Registry) {
+	e.batchHist = reg.Histogram("watch_batch_seconds",
+		"shard batch apply latency", obs.DurationBuckets)
+	e.collector = reg.RegisterCollector(func(emit func(obs.Sample)) {
+		counter := func(name, help string, v uint64) {
+			emit(obs.Sample{Name: name, Help: help, Type: obs.TypeCounter, Value: float64(v)})
+		}
+		gauge := func(name, help string, v float64) {
+			emit(obs.Sample{Name: name, Help: help, Type: obs.TypeGauge, Value: v})
+		}
+		ingested, processed, dropped := e.ingested.Load(), e.processed.Load(), e.dropped.Load()
+		counter("watch_ingested_total", "events accepted for processing", ingested)
+		counter("watch_processed_total", "events applied by shard workers", processed)
+		counter("watch_dropped_total", "events shed by the non-blocking ingest path", dropped)
+		counter("watch_alerts_total", "alerts raised across all detectors", e.alerts.Load())
+		counter("watch_alerts_truncated_total", "old alerts discarded under the retention cap", e.truncated.Load())
+		var pending uint64
+		if ingested > processed+dropped {
+			pending = ingested - processed - dropped
+		}
+		gauge("watch_pending_events", "events ingested but not yet applied", float64(pending))
+		tracked := 0
+		byDet := make(map[string]uint64)
+		for _, s := range e.shards {
+			s.mu.Lock()
+			tracked += len(s.prefixes)
+			for k, v := range s.byDetector {
+				byDet[k] += v
+			}
+			s.mu.Unlock()
+		}
+		gauge("watch_tracked_prefixes", "prefixes with live window state", float64(tracked))
+		for det, v := range byDet {
+			counter(`watch_detector_alerts_total{detector="`+det+`"}`,
+				"alerts raised, by detector", v)
+		}
+		for i, s := range e.shards {
+			gauge(`watch_shard_queue_depth{shard="`+strconv.Itoa(i)+`"}`,
+				"batches queued per shard", float64(len(s.ch)))
+		}
+	})
 }
 
 // shardOf maps a prefix to its home shard (FNV-1a over address+length,
@@ -394,11 +459,18 @@ func (e *Engine) runShard(s *shard) {
 	defer e.wg.Done()
 	for b := range s.ch {
 		if len(b.events) > 0 {
+			var start time.Time
+			if e.batchHist != nil {
+				start = time.Now()
+			}
 			s.mu.Lock()
 			for i := range b.events {
 				e.process(s, &b.events[i])
 			}
 			s.mu.Unlock()
+			if e.batchHist != nil {
+				e.batchHist.ObserveSince(start)
+			}
 			e.processed.Add(uint64(len(b.events)))
 			e.version.Add(1)
 			buf := b.events[:0]
@@ -497,6 +569,11 @@ func (e *Engine) Close() {
 		s.sendMu.Unlock()
 	}
 	e.wg.Wait()
+	// Detach from the registry so a closed engine's series stop
+	// rendering (daemons that rebuild engines would otherwise scrape
+	// stale shards). Counter totals live in the collector, so they
+	// vanish with it — long-lived processes keep the engine open.
+	e.collector.Unregister()
 }
 
 // Version is a monotone snapshot token: it advances whenever queryable
