@@ -12,6 +12,8 @@ package bgpworms
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -27,6 +29,7 @@ import (
 	"bgpworms/internal/router"
 	"bgpworms/internal/scenario"
 	"bgpworms/internal/semantics"
+	"bgpworms/internal/serve"
 	"bgpworms/internal/simnet"
 	"bgpworms/internal/topo"
 	"bgpworms/internal/watch"
@@ -1048,5 +1051,98 @@ func BenchmarkObsCounter(b *testing.B) {
 	}
 	if c.Value() != uint64(b.N) {
 		b.Fatalf("count=%d, want %d", c.Value(), b.N)
+	}
+}
+
+// --- Serving-path benches (PR 9's tentpole) ---
+
+// servingHandler builds the daemon's HTTP stack (internal/serve) over a
+// pre-fed engine pair — the serving-path fixture.
+func servingHandler(b *testing.B, events []watch.Event) (http.Handler, *watch.Engine) {
+	b.Helper()
+	reg := obs.NewRegistry()
+	sem := semantics.NewEngine(semantics.Config{Workers: 2, Metrics: reg})
+	holder := &semantics.Holder{}
+	eng := watch.NewEngine(watch.Config{Semantics: sem, Metrics: reg})
+	b.Cleanup(func() { eng.Close(); sem.Close() })
+	for _, ev := range events {
+		eng.Ingest(ev)
+	}
+	eng.Flush()
+	holder.Store(sem.Snapshot())
+	srv := serve.New(serve.Options{Watch: eng, Semantics: sem, Holder: holder, Registry: reg})
+	return srv.Handler(), eng
+}
+
+func servingGet(b *testing.B, h http.Handler, path string) {
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Errorf("GET %s: status %d", path, rec.Code)
+	}
+}
+
+// BenchmarkServingQuery measures the query fast path on a quiet engine:
+// /alerts and /stats served from the version-keyed render cache. This
+// is the gated serving-path number — it bounds the per-request overhead
+// (mux, instrumentation, cache hit, response copy) with no contention
+// from ingest.
+func BenchmarkServingQuery(b *testing.B) {
+	h, _ := servingHandler(b, watchFeed(4096))
+	paths := []string{"/alerts", "/stats"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			servingGet(b, h, paths[i%len(paths)])
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+}
+
+// BenchmarkServingUnderIngest measures concurrent query throughput
+// while a sustained non-blocking feed hammers the engine — the serving
+// QPS number under load, plus the feed's shed rate (the fraction the
+// lossy live tap dropped while queries held read locks and renders).
+func BenchmarkServingUnderIngest(b *testing.B) {
+	events := watchFeed(4096)
+	h, eng := servingHandler(b, events)
+	stop := make(chan struct{})
+	var offered uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			eng.TryIngest(events[i%len(events)])
+			offered++
+		}
+	}()
+	before := eng.Stats().Dropped
+	paths := []string{"/alerts", "/stats", "/prefix/10.0.0.0/24"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			servingGet(b, h, paths[i%len(paths)])
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+	if offered > 0 {
+		shed := float64(eng.Stats().Dropped-before) / float64(offered) * 100
+		b.ReportMetric(shed, "shed_%")
 	}
 }

@@ -19,7 +19,8 @@ const benchgateBaseline = `{
   "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 3000},
   "BenchmarkWatchIngestWithMetrics": {"iterations": 100, "ns_per_op": 510000, "allocs/op": 3000},
   "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60},
-  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0}
+  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0},
+  "BenchmarkServingQuery": {"iterations": 2000, "ns_per_op": 13500, "allocs/op": 22}
 }
 `
 
@@ -63,7 +64,8 @@ func TestBenchgateRegressionFails(t *testing.T) {
   "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 600000, "allocs/op": 3000},
   "BenchmarkWatchIngestWithMetrics": {"iterations": 100, "ns_per_op": 510000, "allocs/op": 3000},
   "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60},
-  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0}
+  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0},
+  "BenchmarkServingQuery": {"iterations": 2000, "ns_per_op": 13500, "allocs/op": 22}
 }
 `)
 	out, err := runBenchgate(t, cur, base)
@@ -83,7 +85,8 @@ func TestBenchgateAllocRegressionFails(t *testing.T) {
   "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 4000},
   "BenchmarkWatchIngestWithMetrics": {"iterations": 100, "ns_per_op": 510000, "allocs/op": 3000},
   "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60},
-  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0}
+  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0},
+  "BenchmarkServingQuery": {"iterations": 2000, "ns_per_op": 13500, "allocs/op": 22}
 }
 `)
 	out, err := runBenchgate(t, cur, base)
@@ -103,7 +106,8 @@ func TestBenchgateImprovementSuggestsUpdate(t *testing.T) {
   "BenchmarkWatchIngest": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 3000},
   "BenchmarkWatchIngestWithMetrics": {"iterations": 100, "ns_per_op": 510000, "allocs/op": 3000},
   "BenchmarkSemanticsIngest": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60},
-  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0}
+  "BenchmarkObsCounter": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0},
+  "BenchmarkServingQuery": {"iterations": 2000, "ns_per_op": 13500, "allocs/op": 22}
 }
 `)
 	out, err := runBenchgate(t, cur, base)
@@ -142,7 +146,8 @@ func TestBenchgateStripsCPUSuffix(t *testing.T) {
   "BenchmarkWatchIngest-8": {"iterations": 100, "ns_per_op": 500000, "allocs/op": 3000},
   "BenchmarkWatchIngestWithMetrics-8": {"iterations": 100, "ns_per_op": 510000, "allocs/op": 3000},
   "BenchmarkSemanticsIngest-8": {"iterations": 100, "ns_per_op": 150000, "allocs/op": 60},
-  "BenchmarkObsCounter-8": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0}
+  "BenchmarkObsCounter-8": {"iterations": 1000000, "ns_per_op": 6.0, "allocs/op": 0},
+  "BenchmarkServingQuery-8": {"iterations": 2000, "ns_per_op": 13500, "allocs/op": 22}
 }
 `)
 	out, err := runBenchgate(t, cur, base)

@@ -23,8 +23,9 @@ BASELINE="ci/bench_baseline.json"
 # One canonical representative per subsystem: the delta simulation
 # engine, the watch ingest hot loop (bare and with the metrics registry
 # attached, bounding the observability tax), the semantics ingest hot
-# loop, and the obs counter primitive itself.
-GATED="BenchmarkSimnetEngines/delta/toy BenchmarkWatchIngest BenchmarkWatchIngestWithMetrics BenchmarkSemanticsIngest BenchmarkObsCounter"
+# loop, the obs counter primitive, and the serving-path query fast path
+# (mux + cache hit + response copy).
+GATED="BenchmarkSimnetEngines/delta/toy BenchmarkWatchIngest BenchmarkWatchIngestWithMetrics BenchmarkSemanticsIngest BenchmarkObsCounter BenchmarkServingQuery"
 # 100 measured iterations per benchmark: the ingest loops finish in
 # well under a millisecond, so the sample needs repetitions before
 # scheduler jitter stays inside the tolerance. Still ~2s total.
@@ -44,6 +45,10 @@ run_bench() {
     # inside the tolerance.
     go test -run '^$' -bench '^BenchmarkObsCounter$' \
         -benchtime 1000000x -benchmem -timeout 20m . >> bench_gate.out
+    # The cached query is tens of microseconds; give it enough
+    # iterations to average out allocator noise.
+    go test -run '^$' -bench '^BenchmarkServingQuery$' \
+        -benchtime 2000x -benchmem -timeout 20m . >> bench_gate.out
     ./ci/benchjson.sh bench_gate.out "$out"
 }
 

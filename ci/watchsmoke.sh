@@ -77,4 +77,142 @@ if [ "${ingested:-0}" -lt 1 ]; then
     exit 1
 fi
 
-echo "watchsmoke: OK — $count alerts, $comms dictionary communities, $ingested updates scraped from scenario $SCENARIO"
+echo "watchsmoke: stage 1 OK — $count alerts, $comms dictionary communities, $ingested updates scraped from scenario $SCENARIO"
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+# ---------------------------------------------------------------------
+# Stage 2 — durability: hard-kill the daemon mid-feed, restart it on the
+# same WAL directory, and assert recovery converges on a stable alert
+# set that a further kill -9 + restart reproduces byte-for-byte (zero
+# alert loss through recovery).
+ADDR2="${WATCHSMOKE_ADDR2:-127.0.0.1:8572}"
+WALDIR=$(mktemp -d)
+PID2=""
+trap 'kill "$PID2" 2>/dev/null || true; rm -rf "$WALDIR"' EXIT
+
+start_durable() {
+    "$BIN" -addr "$ADDR2" -scenario "$SCENARIO" \
+        -wal "$WALDIR" -fsync 5ms -snapshot-interval 2s &
+    PID2=$!
+    i=0
+    until curl -fsS "http://$ADDR2/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 50 ] && { echo "watchsmoke: durable daemon never became healthy"; exit 1; }
+        sleep 0.2
+    done
+}
+
+# wait_stable polls /alerts until two consecutive reads agree and show
+# at least one alert, then prints the stable body.
+wait_stable() {
+    prev=""
+    i=0
+    while [ "$i" -lt 150 ]; do
+        body=$(curl -fsS "http://$ADDR2/alerts")
+        if [ -n "$prev" ] && [ "$body" = "$prev" ]; then
+            case "$body" in *'"count": 0'*) ;; *) printf '%s' "$body"; return 0 ;; esac
+        fi
+        prev="$body"
+        i=$((i + 1))
+        sleep 0.2
+    done
+    echo "watchsmoke: /alerts never stabilized" >&2
+    return 1
+}
+
+echo "== durability: start with -wal, kill -9 mid-feed"
+start_durable
+# Kill as soon as the first alert lands — the feed is still running.
+i=0
+while [ "$i" -lt 150 ]; do
+    c=$(curl -fsS "http://$ADDR2/alerts" | sed -n 's/.*"count": *\([0-9]*\).*/\1/p' | head -1)
+    [ "${c:-0}" -ge 1 ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+kill -9 "$PID2"
+wait "$PID2" 2>/dev/null || true
+
+echo "== durability: restart 1 — recover + resume the feed"
+start_durable
+alerts_a=$(wait_stable)
+recovered=$(curl -fsS "http://$ADDR2/durable" | sed -n 's/.*"recovered": *\([0-9]*\).*/\1/p' | head -1)
+if [ "${recovered:-0}" -lt 1 ]; then
+    echo "watchsmoke: FAIL — restart did not recover from the WAL"
+    exit 1
+fi
+# Let the WAL group-commit absorb the tail, then hard-kill again.
+sleep 1
+kill -9 "$PID2"
+wait "$PID2" 2>/dev/null || true
+
+echo "== durability: restart 2 — recovered state must be byte-identical"
+start_durable
+alerts_b=$(wait_stable)
+if [ "$alerts_a" != "$alerts_b" ]; then
+    echo "watchsmoke: FAIL — alert set changed across kill -9 + recovery"
+    exit 1
+fi
+metrics=$(curl -fsS "http://$ADDR2/metrics")
+for series in wal_records_total wal_bytes wal_last_seq durable_seq snapshot_seq durable_snapshots_total; do
+    if ! echo "$metrics" | grep -q "^$series"; then
+        echo "watchsmoke: FAIL — /metrics missing durability series $series"
+        exit 1
+    fi
+done
+kill "$PID2" 2>/dev/null || true
+wait "$PID2" 2>/dev/null || true
+count2=$(printf '%s' "$alerts_b" | sed -n 's/.*"count": *\([0-9]*\).*/\1/p' | head -1)
+echo "watchsmoke: stage 2 OK — $count2 alerts stable across two kill -9 recoveries (recovered seq $recovered)"
+
+# ---------------------------------------------------------------------
+# Stage 3 — sharding: two shard daemons on a prefix-range split behind
+# the scatter-gather frontend; the merged surface must serve alerts, a
+# healthy fleet view, and the frontend metrics series.
+SADDR0="${WATCHSMOKE_SADDR0:-127.0.0.1:8573}"
+SADDR1="${WATCHSMOKE_SADDR1:-127.0.0.1:8574}"
+FADDR="${WATCHSMOKE_FADDR:-127.0.0.1:8575}"
+SHDIR=$(mktemp -d)
+SPID0="" SPID1="" FPID=""
+trap 'kill "$SPID0" "$SPID1" "$FPID" 2>/dev/null || true; wait "$SPID0" "$SPID1" "$FPID" 2>/dev/null || true; rm -rf "$WALDIR" "$SHDIR"' EXIT
+
+echo "== sharding: 2 shards + frontend"
+"$BIN" -addr "$SADDR0" -scenario "$SCENARIO" -shards 2 -shard-index 0 -wal "$SHDIR/s0" -fsync 5ms &
+SPID0=$!
+"$BIN" -addr "$SADDR1" -scenario "$SCENARIO" -shards 2 -shard-index 1 -wal "$SHDIR/s1" -fsync 5ms &
+SPID1=$!
+"$BIN" -addr "$FADDR" -frontend "http://$SADDR0,http://$SADDR1" &
+FPID=$!
+i=0
+until curl -fsS "http://$FADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && { echo "watchsmoke: frontend never became healthy"; exit 1; }
+    sleep 0.2
+done
+i=0
+fcount=0
+while [ "$i" -lt 150 ]; do
+    fcount=$(curl -fsS "http://$FADDR/alerts" | sed -n 's/.*"count": *\([0-9]*\).*/\1/p' | head -1)
+    [ "${fcount:-0}" -ge 1 ] && break
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ "${fcount:-0}" -lt 1 ]; then
+    echo "watchsmoke: FAIL — frontend served no merged alerts"
+    exit 1
+fi
+healthy=$(curl -fsS "http://$FADDR/healthz" | sed -n 's/.*"shards_healthy": *\([0-9]*\).*/\1/p' | head -1)
+if [ "${healthy:-0}" -ne 2 ]; then
+    echo "watchsmoke: FAIL — frontend sees $healthy healthy shards, want 2"
+    exit 1
+fi
+fmetrics=$(curl -fsS "http://$FADDR/metrics")
+for series in frontend_scatter_seconds frontend_upstream_errors_total http_requests_total; do
+    if ! echo "$fmetrics" | grep -q "$series"; then
+        echo "watchsmoke: FAIL — frontend /metrics missing series $series"
+        exit 1
+    fi
+done
+
+echo "watchsmoke: OK — stage 1 ($count alerts), stage 2 ($count2 alerts through recovery), stage 3 ($fcount merged alerts from 2 shards)"

@@ -1,6 +1,7 @@
 // Command wormwatchd is the long-running detection daemon: it feeds the
 // streaming watch engine from an update source and serves the engine's
-// state as JSON while ingesting.
+// state as JSON while ingesting (the HTTP layer lives in
+// internal/serve).
 //
 // Endpoints:
 //
@@ -8,11 +9,13 @@
 //	GET /stats        engine statistics snapshot
 //	GET /alerts       every alert so far, ingest order; ?detector= filters
 //	GET /prefix/{p}   window state and alerts for one prefix
+//	GET /durable      durability watermarks (WAL, checkpoints) + shard identity
 //	GET /dict         index of ASes with inferred dictionary entries
 //	GET /dict/stats   dictionary-inference engine statistics
+//	GET /dict/export  the whole inferred dictionary (the scatter unit)
 //	GET /dict/{asn}   one AS's inferred community dictionary
 //	GET /metrics      Prometheus text exposition (watch, semantics,
-//	                  simnet, HTTP-layer series)
+//	                  simnet, WAL, HTTP-layer series)
 //	GET /debug/pprof/ Go profiling endpoints (only with -pprof)
 //
 // Unless -dict=false, every ingested event also feeds a semantics
@@ -30,10 +33,26 @@
 //	                    every updates.*.mrt under it)
 //	-follow             with -mrt FILE: tail the file as it grows
 //
-// Example:
+// Durability (-wal DIR) journals every ingested event to a segmented
+// write-ahead log and checkpoints engine state on -snapshot-interval;
+// a daemon killed mid-feed restarts into restore-from-snapshot plus
+// replay of the WAL tail, with zero loss of durable alerts. Feeds are
+// lossless in durable mode (the WAL is the backpressure point).
 //
-//	wormwatchd -addr 127.0.0.1:8571 -scenario rtbh &
-//	curl -s http://127.0.0.1:8571/alerts | jq .
+// Sharding splits the prefix space across N processes:
+//
+//	wormwatchd -shards 3 -shard-index 0 -addr :8581 -scenario rtbh -wal wal0 &
+//	wormwatchd -shards 3 -shard-index 1 -addr :8582 -scenario rtbh -wal wal1 &
+//	wormwatchd -shards 3 -shard-index 2 -addr :8583 -scenario rtbh -wal wal2 &
+//	wormwatchd -frontend http://:8581,http://:8582,http://:8583 -addr :8580
+//
+// Every shard consumes the full feed and assigns identical global
+// sequence numbers, but journals and processes only its prefix range;
+// the -frontend process scatter-gathers /alerts, /prefix/{p}, /dict,
+// and /stats, merging version-keyed shard snapshots into responses
+// byte-identical to a single-process daemon's (dictionary detectors
+// see per-shard partial dictionaries; run -dict=false for exact
+// cross-shard alert equality).
 //
 // Responses are rendered once per engine change and then served from a
 // cached snapshot, so concurrent readers cost one JSON encoding, not
@@ -41,18 +60,16 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
-	"net/http/pprof"
-	"net/netip"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -60,110 +77,295 @@ import (
 	"time"
 
 	_ "bgpworms/internal/attack" // registers the builtin scenarios
+	"bgpworms/internal/durable"
 	"bgpworms/internal/gen"
 	"bgpworms/internal/mrt"
 	"bgpworms/internal/obs"
 	"bgpworms/internal/scenario"
 	"bgpworms/internal/semantics"
+	"bgpworms/internal/serve"
 	"bgpworms/internal/watch"
 )
 
-func main() {
-	var (
-		addr      = flag.String("addr", "127.0.0.1:8571", "HTTP listen address")
-		scen      = flag.String("scenario", "", "replay a registered attack scenario through the engine")
-		scale     = flag.String("scale", "", "gen preset for -scenario (tiny, small, medium, large, internet; default tiny)")
-		seed      = flag.Int64("seed", 0, "generator seed for -scenario (default 1)")
-		mrtPath   = flag.String("mrt", "", "MRT update archive to stream (file, or dir of updates.*.mrt)")
-		follow    = flag.Bool("follow", false, "with -mrt FILE: keep reading as the file grows")
-		shards    = flag.Int("shards", 0, "engine prefix shards (0 = one per CPU)")
-		window    = flag.Duration("window", 0, "detection window horizon (default 15m)")
-		winEvts   = flag.Int("window-events", 0, "per-prefix ring capacity (default 32)")
-		maxAlerts = flag.Int("max-alerts", 0, "retained alert cap (0 = default 100000, negative = unlimited)")
-		detNames  = flag.String("detectors", "", "comma-separated detector subset (default: all registered)")
-		dict      = flag.Bool("dict", true, "infer per-AS community dictionaries and enable the dictionary-aware detectors")
-		dictWk    = flag.Int("dict-workers", 0, "dictionary-inference workers (0 = one per CPU)")
-		pprofOn   = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
-	)
-	flag.Parse()
+// config is the daemon's parsed command line, shaped so tests can run
+// the same code path in-process (runDaemon / runFrontend) without a
+// flag.Parse.
+type config struct {
+	addr     string
+	scenario string
+	scale    string
+	seed     int64
+	mrtPath  string
+	follow   bool
 
+	engineShards int
+	window       time.Duration
+	windowEvents int
+	maxAlerts    int
+	detectors    string
+	dict         bool
+	dictWorkers  int
+	pprofOn      bool
+
+	walDir       string
+	fsync        time.Duration
+	snapInterval time.Duration
+	walSegment   int64
+
+	shardCount int
+	shardIndex int
+	frontend   string
+
+	// reg defaults to obs.Default; tests inject a private registry.
+	reg *obs.Registry
+	// signals overrides OS signal delivery in tests; nil installs the
+	// real SIGINT/SIGTERM handler.
+	signals chan os.Signal
+	// ready, when set, receives the bound listen address once the HTTP
+	// listener is up (tests bind :0).
+	ready func(addr string)
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8571", "HTTP listen address")
+	flag.StringVar(&cfg.scenario, "scenario", "", "replay a registered attack scenario through the engine")
+	flag.StringVar(&cfg.scale, "scale", "", "gen preset for -scenario (tiny, small, medium, large, internet; default tiny)")
+	flag.Int64Var(&cfg.seed, "seed", 0, "generator seed for -scenario (default 1)")
+	flag.StringVar(&cfg.mrtPath, "mrt", "", "MRT update archive to stream (file, or dir of updates.*.mrt)")
+	flag.BoolVar(&cfg.follow, "follow", false, "with -mrt FILE: keep reading as the file grows")
+	flag.IntVar(&cfg.engineShards, "engine-shards", 0, "in-process engine prefix shards (0 = one per CPU)")
+	flag.DurationVar(&cfg.window, "window", 0, "detection window horizon (default 15m)")
+	flag.IntVar(&cfg.windowEvents, "window-events", 0, "per-prefix ring capacity (default 32)")
+	flag.IntVar(&cfg.maxAlerts, "max-alerts", 0, "retained alert cap (0 = default 100000, negative = unlimited)")
+	flag.StringVar(&cfg.detectors, "detectors", "", "comma-separated detector subset (default: all registered)")
+	flag.BoolVar(&cfg.dict, "dict", true, "infer per-AS community dictionaries and enable the dictionary-aware detectors")
+	flag.IntVar(&cfg.dictWorkers, "dict-workers", 0, "dictionary-inference workers (0 = one per CPU)")
+	flag.BoolVar(&cfg.pprofOn, "pprof", false, "serve Go profiling endpoints under /debug/pprof/")
+	flag.StringVar(&cfg.walDir, "wal", "", "durability directory: journal events to a WAL and checkpoint engine state (empty = in-memory only)")
+	flag.DurationVar(&cfg.fsync, "fsync", 0, "WAL group-commit fsync interval (default 50ms; negative disables fsync)")
+	flag.DurationVar(&cfg.snapInterval, "snapshot-interval", 30*time.Second, "checkpoint cadence with -wal (0 disables automatic checkpoints)")
+	flag.Int64Var(&cfg.walSegment, "wal-segment-bytes", 0, "WAL segment rotation threshold (default 64MiB)")
+	flag.IntVar(&cfg.shardCount, "shards", 1, "total shard processes in the deployment (prefix-range split)")
+	flag.IntVar(&cfg.shardIndex, "shard-index", 0, "this process's shard index in [0, -shards)")
+	flag.StringVar(&cfg.frontend, "frontend", "", "run as a scatter-gather frontend over these comma-separated shard base URLs (no engines, no feeds)")
+	flag.Parse()
+	cfg.reg = obs.Default
+
+	var err error
+	if cfg.frontend != "" {
+		err = runFrontend(cfg)
+	} else {
+		err = runDaemon(cfg)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wormwatchd:", err)
+	os.Exit(1)
+}
+
+// forceExitAfter bounds a graceful shutdown whose feeds cannot be
+// interrupted mid-item.
+const forceExitAfter = 15 * time.Second
+
+// listen binds cfg.addr and reports the concrete address to any test
+// hook.
+func listen(cfg *config) (net.Listener, error) {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ready != nil {
+		cfg.ready(ln.Addr().String())
+	}
+	return ln, nil
+}
+
+// stopSignals returns the channel shutdown waits on: the test override,
+// or a real SIGINT/SIGTERM subscription.
+func stopSignals(cfg *config) chan os.Signal {
+	if cfg.signals != nil {
+		return cfg.signals
+	}
+	stop := make(chan os.Signal, 2)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	return stop
+}
+
+// runFrontend serves the scatter-gather tier: no engines, no feeds,
+// just the shard URL list and the merge logic in internal/serve.
+func runFrontend(cfg config) error {
+	urls := strings.Split(cfg.frontend, ",")
+	for i := range urls {
+		urls[i] = strings.TrimSpace(urls[i])
+	}
+	ln, err := listen(&cfg)
+	if err != nil {
+		return err
+	}
+	fe := serve.NewFrontend(urls, cfg.reg)
+	httpSrv := &http.Server{Handler: fe.Handler()}
+	errs := make(chan error, 1)
+	go func() {
+		log.Printf("wormwatchd: frontend for %d shards listening on http://%s", len(urls), ln.Addr())
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errs <- err
+		}
+	}()
+	select {
+	case err := <-errs:
+		return err
+	case <-stopSignals(&cfg):
+	}
+	log.Printf("wormwatchd: frontend shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(ctx)
+}
+
+// runDaemon is the whole shard (or standalone) daemon life cycle:
+// build engines, recover durable state, start feeds, serve, and on
+// SIGINT/SIGTERM drain the feeds, flush the WAL, write a final
+// checkpoint, and close the listener.
+func runDaemon(cfg config) error {
 	// Validate feed parameters before the listener comes up, so a typo
 	// fails the process instead of leaving a healthy-looking daemon
 	// with no feed.
-	if *scen != "" {
-		if _, ok := scenario.Get(*scen); !ok {
-			fail(fmt.Errorf("unknown scenario %q (have %v)", *scen, scenario.Names()))
+	if cfg.scenario != "" {
+		if _, ok := scenario.Get(cfg.scenario); !ok {
+			return fmt.Errorf("unknown scenario %q (have %v)", cfg.scenario, scenario.Names())
 		}
 	}
-	if *scale != "" {
-		if _, err := gen.Preset(*scale); err != nil {
-			fail(err)
+	if cfg.scale != "" {
+		if _, err := gen.Preset(cfg.scale); err != nil {
+			return err
 		}
+	}
+	if cfg.shardCount < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", cfg.shardCount)
+	}
+	if cfg.shardIndex < 0 || cfg.shardIndex >= cfg.shardCount {
+		return fmt.Errorf("-shard-index %d outside [0, %d)", cfg.shardIndex, cfg.shardCount)
+	}
+	if cfg.shardCount > 1 && cfg.walDir == "" {
+		return fmt.Errorf("sharded mode needs -wal (shards must journal their slice of the feed)")
 	}
 
-	// The process registry already carries the package-level simnet /
-	// collector / gen series; the watch and semantics engines attach
-	// their own here, and /metrics serves the whole page.
-	reg := obs.Default
-	cfg := watch.Config{Shards: *shards, Window: *window, WindowEvents: *winEvts, MaxAlerts: *maxAlerts, Metrics: reg}
+	reg := cfg.reg
+	wcfg := watch.Config{
+		Shards: cfg.engineShards, Window: cfg.window, WindowEvents: cfg.windowEvents,
+		MaxAlerts: cfg.maxAlerts, Metrics: reg,
+	}
 	// The dictionary stack: a semantics engine fed by event mirroring,
-	// and a holder the detectors read — refreshed on the flush heartbeat,
-	// so detection always consults a recent frozen snapshot.
+	// and a holder the detectors read — refreshed on the flush
+	// heartbeat, so detection always consults a recent frozen snapshot.
 	var sem *semantics.Engine
 	var holder *semantics.Holder
-	if *dict {
-		sem = semantics.NewEngine(semantics.Config{Workers: *dictWk, Metrics: reg})
+	if cfg.dict {
+		sem = semantics.NewEngine(semantics.Config{Workers: cfg.dictWorkers, Metrics: reg})
 		holder = &semantics.Holder{}
-		cfg.Semantics = sem
-		cfg.Dict = holder
+		wcfg.Semantics = sem
+		wcfg.Dict = holder
 	}
-	if *detNames != "" {
-		for _, name := range strings.Split(*detNames, ",") {
+	if cfg.detectors != "" {
+		for _, name := range strings.Split(cfg.detectors, ",") {
 			d, ok := watch.LookupDetector(strings.TrimSpace(name))
 			if !ok {
-				fail(fmt.Errorf("unknown detector %q (have %v)", name, watch.DetectorNames()))
+				return fmt.Errorf("unknown detector %q (have %v)", name, watch.DetectorNames())
 			}
-			cfg.Detectors = append(cfg.Detectors, d)
+			wcfg.Detectors = append(wcfg.Detectors, d)
 		}
 		// An explicit -detectors subset is respected verbatim: the
 		// dictionary-aware pair joins only the default set.
 	}
-	eng := watch.NewEngine(cfg)
+	eng := watch.NewEngine(wcfg)
+	defer eng.Close()
+	if sem != nil {
+		defer sem.Close()
+	}
 
-	srv := newServer(eng, sem, holder, reg)
-	srv.pprof = *pprofOn
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	// The durable store sits between the feeds and the engine: it
+	// assigns global sequence numbers, journals owned events, and (in
+	// sharded mode) filters to this shard's prefix range. The current
+	// feed modes all re-read from their beginning on restart, so the
+	// store resumes by skipping what recovery already applied.
+	var store *durable.Store
+	sink := eng.Ingest
+	if cfg.walDir != "" {
+		opts := durable.Options{
+			Dir:              cfg.walDir,
+			FsyncInterval:    cfg.fsync,
+			SegmentBytes:     cfg.walSegment,
+			SnapshotInterval: cfg.snapInterval,
+			ResumeSkip:       true,
+			Metrics:          reg,
+		}
+		if cfg.shardCount > 1 {
+			opts.Owner = serve.NewRangeMap(cfg.shardCount).OwnerFunc(cfg.shardIndex)
+		}
+		var recInfo durable.Recovery
+		var err error
+		store, recInfo, err = durable.Open(eng, sem, opts)
+		if err != nil {
+			return err
+		}
+		sink = store.Sink()
+		log.Printf("wormwatchd: durable: recovered seq %d (checkpoint %d + %d WAL records, %d torn bytes)",
+			recInfo.Seq, recInfo.CheckpointSeq, recInfo.Replayed, recInfo.TornBytes)
+	}
+
+	srv := serve.New(serve.Options{
+		Watch: eng, Semantics: sem, Holder: holder, Registry: reg,
+		Store: store, ShardIndex: cfg.shardIndex, ShardCount: cfg.shardCount,
+		Pprof: cfg.pprofOn,
+	})
+	ln, err := listen(&cfg)
+	if err != nil {
+		if store != nil {
+			store.Close()
+		}
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() {
-		log.Printf("wormwatchd: listening on http://%s", *addr)
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Printf("wormwatchd: shard %d/%d listening on http://%s", cfg.shardIndex, cfg.shardCount, ln.Addr())
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fail(err)
 		}
 	}()
 
+	// stopping flips at the first shutdown signal; feed loops check it
+	// at their boundaries.
+	var stopping atomic.Bool
+
 	var feeds sync.WaitGroup
-	if *scen != "" {
+	if cfg.scenario != "" {
 		feeds.Add(1)
 		go func() {
 			defer feeds.Done()
-			replayScenario(eng, *scen, *scale, *seed)
+			replayScenario(eng, sink, store != nil, cfg.scenario, cfg.scale, cfg.seed)
 		}()
 	}
 	// The tail reader is created here, before the feed goroutine starts,
 	// so shutdown can always reach Stop — otherwise a signal racing feed
-	// startup could leave IngestMRT blocked in the tail forever.
+	// startup could leave the MRT stream blocked in the tail forever.
 	var tail *mrt.TailReader
-	if *mrtPath != "" {
-		paths, tailable, err := mrtInputs(*mrtPath)
+	if cfg.mrtPath != "" {
+		paths, tailable, err := mrtInputs(cfg.mrtPath)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		if *follow && !tailable {
-			fail(fmt.Errorf("-follow needs a single MRT file, not a directory"))
+		if cfg.follow && !tailable {
+			return fmt.Errorf("-follow needs a single MRT file, not a directory")
 		}
-		if *follow {
+		if cfg.follow {
 			f, err := os.Open(paths[0])
 			if err != nil {
-				fail(err)
+				return err
 			}
 			defer f.Close()
 			tail = mrt.NewTailReader(f, 200*time.Millisecond)
@@ -179,14 +381,14 @@ func main() {
 				var n int
 				var err error
 				if tail != nil {
-					n, err = eng.IngestMRT(tail, src)
+					n, err = watch.StreamMRT(tail, src, sink)
 				} else {
 					f, err2 := os.Open(p)
 					if err2 != nil {
 						log.Printf("wormwatchd: skipping %s: %v", p, err2)
 						continue
 					}
-					n, err = eng.IngestMRT(f, src)
+					n, err = watch.StreamMRT(f, src, sink)
 					f.Close()
 				}
 				if err != nil {
@@ -227,8 +429,7 @@ func main() {
 		}
 	}()
 
-	stop := make(chan os.Signal, 2)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	stop := stopSignals(&cfg)
 	<-stop
 	log.Printf("wormwatchd: shutting down (again or wait %s to force)", forceExitAfter)
 	stopping.Store(true)
@@ -238,41 +439,48 @@ func main() {
 	close(flusherDone)
 	// Graceful drain can only stop feeds at their boundaries (a scenario
 	// replay or a single large archive runs to completion); a second
-	// signal or the deadline forces exit so supervisors never hang on us.
+	// signal or the deadline forces exit so supervisors never hang on
+	// us. A clean drain cancels the watchdog.
+	drained := make(chan struct{})
 	go func() {
 		deadline := time.After(forceExitAfter)
 		select {
 		case <-stop:
 		case <-deadline:
+		case <-drained:
+			return
 		}
 		log.Printf("wormwatchd: forced exit with feeds still running")
 		os.Exit(1)
 	}()
 	feeds.Wait()
-	eng.Close()
-	if sem != nil {
-		sem.Close()
+	close(drained)
+	eng.Flush()
+	if store != nil {
+		// Final checkpoint + WAL fsync: the next start restores instead
+		// of replaying the whole feed.
+		if err := store.Close(); err != nil {
+			log.Printf("wormwatchd: durable close: %v", err)
+		} else {
+			log.Printf("wormwatchd: durable: final checkpoint at seq %d", store.Status().SnapshotSeq)
+		}
 	}
-	_ = httpSrv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(ctx)
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "wormwatchd:", err)
-	os.Exit(1)
-}
-
-// stopping flips at the first shutdown signal; feed loops check it at
-// their boundaries.
-var stopping atomic.Bool
-
-// forceExitAfter bounds a graceful shutdown whose feeds cannot be
-// interrupted mid-item.
-const forceExitAfter = 15 * time.Second
-
-// replayScenario drives a registered scenario with a live (lossy,
-// non-blocking) engine tap and logs the Table-3 outcome.
-func replayScenario(eng *watch.Engine, name, scale string, seed int64) {
-	ctx := &scenario.Context{Tap: eng.LiveTap("scenario:" + name)}
+// replayScenario drives a registered scenario through sink and logs the
+// Table-3 outcome. Without a durable store the tap is lossy
+// (non-blocking TryIngest, the live-observation semantics); with one,
+// the feed is lossless — the WAL is the record and must see every
+// event.
+func replayScenario(eng *watch.Engine, sink func(watch.Event), durableFeed bool, name, scale string, seed int64) {
+	tapSink := sink
+	if !durableFeed {
+		tapSink = eng.TryIngest
+	}
+	ctx := &scenario.Context{Tap: watch.EventTap("scenario:"+name, tapSink)}
 	if scale != "" {
 		p, err := gen.Preset(scale)
 		if err != nil {
@@ -317,294 +525,4 @@ func mrtInputs(path string) (paths []string, tailable bool, err error) {
 	}
 	sort.Strings(paths)
 	return paths, false, nil
-}
-
-// server wraps the engines with version-keyed JSON snapshot caches: a
-// response body is rendered once per engine change and shared by every
-// concurrent reader at that version.
-type server struct {
-	eng       *watch.Engine
-	sem       *semantics.Engine
-	holder    *semantics.Holder
-	reg       *obs.Registry
-	pprof     bool
-	start     time.Time
-	alerts    snapshotCache
-	stats     snapshotCache
-	dictIndex snapshotCache
-	dictStats snapshotCache
-}
-
-func newServer(eng *watch.Engine, sem *semantics.Engine, holder *semantics.Holder, reg *obs.Registry) *server {
-	return &server{eng: eng, sem: sem, holder: holder, reg: reg, start: time.Now()}
-}
-
-func (s *server) mux() *http.ServeMux {
-	m := http.NewServeMux()
-	m.HandleFunc("/healthz", s.handleHealthz)
-	m.HandleFunc("/stats", s.handleStats)
-	m.HandleFunc("/alerts", s.handleAlerts)
-	m.HandleFunc("/prefix/", s.handlePrefix)
-	m.HandleFunc("/dict", s.handleDictIndex)
-	m.HandleFunc("/dict/stats", s.handleDictStats)
-	m.HandleFunc("/dict/", s.handleDictAS)
-	m.Handle("/metrics", s.reg.Handler())
-	if s.pprof {
-		m.HandleFunc("/debug/pprof/", pprof.Index)
-		m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		m.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		m.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	return m
-}
-
-// handler wraps the mux with the HTTP-layer instrumentation: a request
-// counter per route class and one latency histogram. Routes are
-// labeled by their fixed first segment (parameterized tails collapse),
-// so series cardinality is bounded by the endpoint table above.
-func (s *server) handler() http.Handler {
-	m := s.mux()
-	hist := s.reg.Histogram("http_request_seconds",
-		"HTTP request service time", obs.DurationBuckets)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		m.ServeHTTP(w, r)
-		hist.ObserveSince(start)
-		s.reg.Counter(`http_requests_total{path="`+routeLabel(r.URL.Path)+`"}`,
-			"HTTP requests by route").Inc()
-	})
-}
-
-// routeLabel collapses a request path to its route class.
-func routeLabel(path string) string {
-	switch {
-	case path == "/healthz", path == "/stats", path == "/alerts", path == "/metrics", path == "/dict", path == "/dict/stats":
-		return path
-	case strings.HasPrefix(path, "/prefix/"):
-		return "/prefix"
-	case strings.HasPrefix(path, "/dict/"):
-		return "/dict/{asn}"
-	case strings.HasPrefix(path, "/debug/pprof"):
-		return "/debug/pprof"
-	default:
-		return "other"
-	}
-}
-
-// dictSnapshot returns the dictionary view requests are served from:
-// the holder's heartbeat copy (at most one heartbeat stale — the same
-// snapshot the detectors consult), computed directly only on cold
-// start before the first heartbeat. Serving the heartbeat snapshot
-// keeps /dict reads from stalling ingest on flush barriers.
-func (s *server) dictSnapshot() *semantics.Snapshot {
-	if snap := s.holder.Load(); snap != nil {
-		return snap
-	}
-	snap := s.sem.Snapshot()
-	s.holder.Store(snap)
-	return snap
-}
-
-// snapshotCache is a version-keyed rendered-JSON cache safe for
-// concurrent readers: the fast path is a shared read lock and a byte
-// slice copy-free write.
-type snapshotCache struct {
-	mu      sync.RWMutex
-	version uint64
-	valid   bool
-	body    []byte
-}
-
-func (c *snapshotCache) get(version uint64, render func() ([]byte, error)) ([]byte, error) {
-	c.mu.RLock()
-	if c.valid && c.version == version {
-		body := c.body
-		c.mu.RUnlock()
-		return body, nil
-	}
-	c.mu.RUnlock()
-	body, err := render()
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	// Last writer at the newest version wins; stale renders are simply
-	// not cached over a fresher one.
-	if !c.valid || version >= c.version {
-		c.version, c.valid, c.body = version, true, body
-	}
-	c.mu.Unlock()
-	return body, nil
-}
-
-func writeJSON(w http.ResponseWriter, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(body)
-	if len(body) == 0 || body[len(body)-1] != '\n' {
-		w.Write([]byte("\n"))
-	}
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
-	build := obs.BuildInfo()
-	body, _ := json.Marshal(map[string]any{
-		"status":         "ok",
-		"start_time":     s.start.UTC().Format(time.RFC3339),
-		"uptime_seconds": int64(time.Since(s.start).Seconds()),
-		"go_version":     build.GoVersion,
-		"git_sha":        build.GitSHA,
-		"ingested":       st.Ingested,
-		"dropped":        st.Dropped,
-		"alerts":         st.Alerts,
-	})
-	writeJSON(w, body)
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	body, err := s.stats.get(s.eng.Version(), func() ([]byte, error) {
-		return json.MarshalIndent(s.eng.Stats(), "", "  ")
-	})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, body)
-}
-
-// alertsPayload is the /alerts response shape.
-type alertsPayload struct {
-	Count  int           `json:"count"`
-	Alerts []watch.Alert `json:"alerts"`
-}
-
-func (s *server) handleAlerts(w http.ResponseWriter, r *http.Request) {
-	if det := r.URL.Query().Get("detector"); det != "" {
-		// Filtered views are per-query; only the full view is cached.
-		var filtered []watch.Alert
-		for _, a := range s.eng.Alerts() {
-			if a.Detector == det {
-				filtered = append(filtered, a)
-			}
-		}
-		body, err := json.MarshalIndent(alertsPayload{Count: len(filtered), Alerts: filtered}, "", "  ")
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, body)
-		return
-	}
-	body, err := s.alerts.get(s.eng.Version(), func() ([]byte, error) {
-		alerts := s.eng.Alerts()
-		return json.MarshalIndent(alertsPayload{Count: len(alerts), Alerts: alerts}, "", "  ")
-	})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, body)
-}
-
-// dictIndexPayload is the /dict response shape.
-type dictIndexPayload struct {
-	Observations uint64          `json:"observations"`
-	Communities  int             `json:"communities"`
-	ASes         []dictIndexItem `json:"ases"`
-}
-
-type dictIndexItem struct {
-	ASN     uint16 `json:"asn"`
-	Entries int    `json:"entries"`
-}
-
-// handleDictIndex lists every AS with inferred entries — the discovery
-// entry point for /dict/{asn}.
-func (s *server) handleDictIndex(w http.ResponseWriter, r *http.Request) {
-	if s.sem == nil {
-		http.Error(w, "dictionary inference disabled (-dict=false)", http.StatusNotFound)
-		return
-	}
-	snap := s.dictSnapshot()
-	body, err := s.dictIndex.get(snap.Version, func() ([]byte, error) {
-		payload := dictIndexPayload{Observations: snap.Observations, Communities: snap.Len()}
-		for _, asn := range snap.ASNs() {
-			payload.ASes = append(payload.ASes, dictIndexItem{ASN: asn, Entries: len(snap.AS(asn))})
-		}
-		return json.MarshalIndent(payload, "", "  ")
-	})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, body)
-}
-
-func (s *server) handleDictStats(w http.ResponseWriter, r *http.Request) {
-	if s.sem == nil {
-		http.Error(w, "dictionary inference disabled (-dict=false)", http.StatusNotFound)
-		return
-	}
-	snap := s.dictSnapshot()
-	body, err := s.dictStats.get(snap.Version, func() ([]byte, error) {
-		return json.MarshalIndent(s.sem.StatsOf(snap), "", "  ")
-	})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, body)
-}
-
-// dictASPayload is the /dict/{asn} response shape.
-type dictASPayload struct {
-	ASN     uint16             `json:"asn"`
-	Count   int                `json:"count"`
-	Entries []*semantics.Entry `json:"entries"`
-}
-
-func (s *server) handleDictAS(w http.ResponseWriter, r *http.Request) {
-	if s.sem == nil {
-		http.Error(w, "dictionary inference disabled (-dict=false)", http.StatusNotFound)
-		return
-	}
-	raw := strings.TrimPrefix(r.URL.Path, "/dict/")
-	asn, err := strconv.ParseUint(raw, 10, 16)
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad ASN %q: %v", raw, err), http.StatusBadRequest)
-		return
-	}
-	snap := s.dictSnapshot()
-	entries := snap.AS(uint16(asn))
-	if len(entries) == 0 {
-		http.Error(w, fmt.Sprintf("no dictionary entries for AS%d", asn), http.StatusNotFound)
-		return
-	}
-	body, err := json.MarshalIndent(dictASPayload{ASN: uint16(asn), Count: len(entries), Entries: entries}, "", "  ")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, body)
-}
-
-func (s *server) handlePrefix(w http.ResponseWriter, r *http.Request) {
-	raw := strings.TrimPrefix(r.URL.Path, "/prefix/")
-	p, err := netip.ParsePrefix(raw)
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad prefix %q: %v", raw, err), http.StatusBadRequest)
-		return
-	}
-	info, ok := s.eng.PrefixInfo(p)
-	if !ok {
-		http.Error(w, fmt.Sprintf("prefix %s not tracked", p), http.StatusNotFound)
-		return
-	}
-	body, err := json.MarshalIndent(info, "", "  ")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, body)
 }

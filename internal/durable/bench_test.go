@@ -1,0 +1,136 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"bgpworms/internal/bgp"
+	"bgpworms/internal/watch"
+)
+
+// benchEvents synthesizes a uniform announce feed (distinct prefixes,
+// paths, and communities) sized for WAL benchmarks — the churn fixture
+// is too small to show replay scaling.
+func benchEvents(n int) []watch.Event {
+	events := make([]watch.Event, n)
+	for i := range events {
+		idx := i % 4096
+		peer := uint32(100 + i%7)
+		origin := uint32(10000 + idx)
+		events[i] = watch.Event{
+			Source:      "bench",
+			PeerAS:      peer,
+			Prefix:      netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(idx >> 8), byte(idx), 0}), 24),
+			ASPath:      []uint32{peer, 1000 + uint32(i%29), origin},
+			Communities: bgp.NewCommunitySet(bgp.C(uint16(origin), uint16(i%1024))),
+		}
+	}
+	return events
+}
+
+// BenchmarkWALAppend measures raw journal throughput with group-commit
+// fsync disabled: the encode-frame-buffer cost every durable ingest
+// pays before the engine sees the event.
+func BenchmarkWALAppend(b *testing.B) {
+	w, _, err := OpenWAL(b.TempDir(), WALOptions{FsyncInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := bytes.Repeat([]byte("x"), 128)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(uint64(i+1), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := w.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStoreIngest measures the durable ingest path end to end —
+// sequence assignment, event encoding, WAL append, engine ingest —
+// against which BenchmarkWatchIngest (the bare engine) bounds the
+// durability tax.
+func BenchmarkStoreIngest(b *testing.B) {
+	events := benchEvents(4096)
+	eng, sem := newPair(0)
+	defer eng.Close()
+	defer sem.Close()
+	store, _, err := Open(eng, sem, Options{Dir: b.TempDir(), FsyncInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := store.Sink()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink(events[i%len(events)])
+	}
+	b.StopTimer()
+	if err := store.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
+	store.crash()
+}
+
+// BenchmarkRecovery measures cold-start recovery — open, decode, and
+// replay the whole WAL into fresh engines — as a function of WAL size,
+// the number behind the "recovery time vs WAL size" row in
+// BENCHMARKS.md and the reason snapshots bound the tail.
+func BenchmarkRecovery(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 50_000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			{
+				eng, sem := newPair(0)
+				store, _, err := Open(eng, sem, Options{Dir: dir, FsyncInterval: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink := store.Sink()
+				for _, ev := range benchEvents(n) {
+					sink(ev)
+				}
+				if err := store.Err(); err != nil {
+					b.Fatal(err)
+				}
+				if err := store.wal.Sync(); err != nil {
+					b.Fatal(err)
+				}
+				// crash, not Close: a final checkpoint would truncate the
+				// WAL this benchmark exists to replay.
+				store.crash()
+				eng.Close()
+				sem.Close()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, sem := newPair(0)
+				b.StartTimer()
+				store, rec, err := Open(eng, sem, Options{Dir: dir, FsyncInterval: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if rec.Replayed != n || rec.Seq != uint64(n) {
+					b.Fatalf("recovery replayed %d to seq %d, want %d", rec.Replayed, rec.Seq, n)
+				}
+				store.crash()
+				eng.Close()
+				sem.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "replayed/sec")
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"bgpworms/internal/semantics"
+	"bgpworms/internal/watch"
+)
+
+// Checkpoint files: magic "WWSNAP01" (8 bytes) + payload CRC32-IEEE
+// (u32 BE) + JSON payload, written to a temp file and renamed into
+// place so a crash mid-write leaves the previous checkpoint intact.
+// File names carry the covered sequence (snap-%020d.ckpt) so recovery
+// picks the newest without parsing, and WAL truncation knows what a
+// checkpoint covers.
+
+const snapMagic = "WWSNAP01"
+
+// Checkpoint is the durable snapshot payload: both engines' exported
+// state plus the store's global sequence watermark.
+type Checkpoint struct {
+	// Seq is the global event sequence covered: every event with seq <=
+	// Seq is reflected in the states below, so recovery replays the WAL
+	// strictly after it.
+	Seq uint64 `json:"seq"`
+	// Skipped counts events the store consumed but did not own (the
+	// sharded daemon's non-owned feed share); recovery needs it only
+	// for accounting.
+	Skipped uint64 `json:"skipped,omitempty"`
+	// SavedAt is the wall-clock write time (snapshot_age_seconds).
+	SavedAt   time.Time        `json:"saved_at"`
+	Watch     *watch.State     `json:"watch,omitempty"`
+	Semantics *semantics.State `json:"semantics,omitempty"`
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%020d.ckpt", seq) }
+
+// writeSnapshot persists cp atomically into dir and returns the path.
+func writeSnapshot(dir string, cp *Checkpoint) (string, error) {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, 0, len(snapMagic)+4+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	buf = append(buf, payload...)
+
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return "", err
+	}
+	final := filepath.Join(dir, snapName(cp.Seq))
+	if err := os.Rename(tmpName, final); err != nil {
+		cleanup()
+		return "", err
+	}
+	// fsync the directory so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return final, nil
+}
+
+// readSnapshot loads and validates one checkpoint file.
+func readSnapshot(path string) (*Checkpoint, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(snapMagic)+4 {
+		return nil, fmt.Errorf("durable: snapshot %s truncated (%d bytes)", filepath.Base(path), len(raw))
+	}
+	if string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("durable: snapshot %s bad magic", filepath.Base(path))
+	}
+	sum := binary.BigEndian.Uint32(raw[len(snapMagic):])
+	payload := raw[len(snapMagic)+4:]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("durable: snapshot %s checksum mismatch", filepath.Base(path))
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return nil, fmt.Errorf("durable: snapshot %s: %w", filepath.Base(path), err)
+	}
+	return &cp, nil
+}
+
+// snapshotPaths lists checkpoint files, oldest first.
+func snapshotPaths(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "snap-*.ckpt"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// loadLatestSnapshot returns the newest checkpoint that validates,
+// walking backwards past corrupt ones (a torn rename can only affect
+// the newest; older files are immutable). Returns nil when none exist.
+func loadLatestSnapshot(dir string) (*Checkpoint, error) {
+	paths, err := snapshotPaths(dir)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for i := len(paths) - 1; i >= 0; i-- {
+		cp, err := readSnapshot(paths[i])
+		if err == nil {
+			return cp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// pruneSnapshots deletes all but the newest keep checkpoints.
+func pruneSnapshots(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	paths, err := snapshotPaths(dir)
+	if err != nil {
+		return err
+	}
+	for _, p := range paths[:max(0, len(paths)-keep)] {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

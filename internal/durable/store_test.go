@@ -1,0 +1,387 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/fnv"
+	"net/netip"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"bgpworms/internal/gen"
+	"bgpworms/internal/semantics"
+	"bgpworms/internal/watch"
+)
+
+// churnEvents flattens the deterministic churn feed into an event list
+// (the same harness the watch-engine state tests use), so durability
+// tests can cut the stream anywhere and replay the remainder.
+func churnEvents(t testing.TB) []watch.Event {
+	t.Helper()
+	w, err := gen.Build(gen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.RunChurn(); err != nil {
+		t.Fatal(err)
+	}
+	var events []watch.Event
+	for _, c := range w.Collectors {
+		obs := c.Observations()
+		for i := range obs {
+			ob := &obs[i]
+			ev := watch.Event{
+				Time:   ob.Time,
+				Source: c.Name,
+				PeerAS: uint32(ob.PeerAS),
+				Prefix: ob.Prefix,
+			}
+			if ob.Route == nil {
+				ev.Withdraw = true
+			} else {
+				ev.ASPath = ob.Route.ASPath.Sequence()
+				ev.Communities = ob.Route.Communities.Clone()
+			}
+			events = append(events, ev)
+		}
+	}
+	if len(events) < 300 {
+		t.Fatalf("churn feed too small for durability splits: %d events", len(events))
+	}
+	return events
+}
+
+// newPair builds a watch engine with a mirrored semantics engine, the
+// daemon's engine arrangement.
+func newPair(shards int) (*watch.Engine, *semantics.Engine) {
+	sem := semantics.NewEngine(semantics.Config{Workers: 2})
+	eng := watch.NewEngine(watch.Config{Shards: shards, Semantics: sem})
+	return eng, sem
+}
+
+// referenceRun ingests every event into a fresh engine pair and returns
+// the canonical outputs an uninterrupted daemon would serve.
+func referenceRun(t testing.TB, events []watch.Event) (alerts, dict []byte, stats watch.Stats) {
+	t.Helper()
+	eng, sem := newPair(4)
+	defer eng.Close()
+	defer sem.Close()
+	for _, ev := range events {
+		eng.Ingest(ev)
+	}
+	eng.Flush()
+	return alertsJSON(t, eng), dictJSON(t, sem), eng.Stats()
+}
+
+func alertsJSON(t testing.TB, e *watch.Engine) []byte {
+	t.Helper()
+	b, err := json.Marshal(e.Alerts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func dictJSON(t testing.TB, s *semantics.Engine) []byte {
+	t.Helper()
+	s.Flush()
+	b, err := json.Marshal(s.Snapshot().Entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStoreCrashRecoveryResumeSkip is the tentpole proof: feed part of
+// a stream through a durable store, checkpoint mid-way, make the WAL
+// tail durable, then die as a kill -9 would (buffered bytes lost, no
+// final checkpoint). A fresh process recovers and — because the feed is
+// re-readable — re-reads from the start, with the store skipping
+// everything recovery already applied. The final alert set, dictionary,
+// and counters must be byte-identical to a run that never crashed.
+func TestStoreCrashRecoveryResumeSkip(t *testing.T) {
+	events := churnEvents(t)
+	wantAlerts, wantDict, wantStats := referenceRun(t, events)
+	cut := 2 * len(events) / 3
+	snapAt := cut / 2
+	dir := t.TempDir()
+	opts := Options{Dir: dir, ResumeSkip: true, FsyncInterval: noSync}
+
+	eng1, sem1 := newPair(4)
+	st1, rec, err := Open(eng1, sem1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 0 || rec.Replayed != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	sink := st1.Sink()
+	for _, ev := range events[:snapAt] {
+		sink(ev)
+	}
+	if err := st1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[snapAt:cut] {
+		sink(ev)
+	}
+	if err := st1.wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st1.crash()
+	eng1.Close()
+	sem1.Close()
+
+	// Restart: different shard/worker counts on purpose — the alert set
+	// is invariant to both.
+	eng2, sem2 := newPair(7)
+	defer eng2.Close()
+	defer sem2.Close()
+	st2, rec2, err := Open(eng2, sem2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.CheckpointSeq != uint64(snapAt) {
+		t.Fatalf("recovered checkpoint %d, want %d", rec2.CheckpointSeq, snapAt)
+	}
+	if rec2.Seq != uint64(cut) {
+		t.Fatalf("recovered watermark %d, want %d (synced tail)", rec2.Seq, cut)
+	}
+	if rec2.Replayed != cut-snapAt {
+		t.Fatalf("replayed %d WAL records, want %d", rec2.Replayed, cut-snapAt)
+	}
+	// The re-readable feed starts over; the store must skip the first
+	// cut events and splice the rest on.
+	sink2 := st2.Sink()
+	for _, ev := range events {
+		sink2(ev)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := alertsJSON(t, eng2); !bytes.Equal(got, wantAlerts) {
+		t.Fatalf("recovered alert set differs from uninterrupted run (%d vs %d bytes)", len(got), len(wantAlerts))
+	}
+	if got := dictJSON(t, sem2); !bytes.Equal(got, wantDict) {
+		t.Fatalf("recovered dictionary differs from uninterrupted run")
+	}
+	gotStats := eng2.Stats()
+	if gotStats.Ingested != wantStats.Ingested || gotStats.Alerts != wantStats.Alerts ||
+		gotStats.Processed != wantStats.Processed {
+		t.Fatalf("recovered stats %+v, want %+v", gotStats, wantStats)
+	}
+}
+
+// TestStoreLiveResume covers the non-re-readable path: the feed resumes
+// mid-stream after recovery, so the store continues the recovered
+// numbering instead of skipping.
+func TestStoreLiveResume(t *testing.T) {
+	events := churnEvents(t)
+	wantAlerts, wantDict, _ := referenceRun(t, events)
+	cut := len(events) / 2
+	dir := t.TempDir()
+	opts := Options{Dir: dir, FsyncInterval: noSync}
+
+	eng1, sem1 := newPair(3)
+	st1, _, err := Open(eng1, sem1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := st1.Sink()
+	for _, ev := range events[:cut] {
+		sink(ev)
+	}
+	// Checkpoint, then die without it being the final flush: this is a
+	// crash immediately after a snapshot, so nothing is lost and a live
+	// feed can resume exactly at the cut.
+	if err := st1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st1.crash()
+	eng1.Close()
+	sem1.Close()
+
+	eng2, sem2 := newPair(5)
+	defer eng2.Close()
+	defer sem2.Close()
+	st2, rec, err := Open(eng2, sem2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != uint64(cut) {
+		t.Fatalf("recovered watermark %d, want %d", rec.Seq, cut)
+	}
+	sink2 := st2.Sink()
+	for _, ev := range events[cut:] {
+		sink2(ev)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := alertsJSON(t, eng2); !bytes.Equal(got, wantAlerts) {
+		t.Fatal("live-resume alert set differs from uninterrupted run")
+	}
+	if got := dictJSON(t, sem2); !bytes.Equal(got, wantDict) {
+		t.Fatal("live-resume dictionary differs from uninterrupted run")
+	}
+}
+
+// hashOwner partitions the prefix space by FNV hash, the simplest
+// deterministic 1-of-n ownership function.
+func hashOwner(index, of int) func(netip.Prefix) bool {
+	return func(p netip.Prefix) bool {
+		h := fnv.New32a()
+		a := p.Addr().As16()
+		h.Write(a[:])
+		h.Write([]byte{byte(p.Bits())})
+		return int(h.Sum32())%of == index
+	}
+}
+
+// TestStoreShardedByteIdentity proves the scatter-gather claim at the
+// store level: N stores, each owning a slice of the prefix space, all
+// consuming the identical full feed. Because every store assigns the
+// same global sequence numbers, the union of their alert sets — merged
+// by sequence — must be byte-identical to a single-process run.
+func TestStoreShardedByteIdentity(t *testing.T) {
+	events := churnEvents(t)
+	wantAlerts, _, wantStats := referenceRun(t, events)
+
+	const shards = 3
+	var merged []watch.Alert
+	var skippedTotal uint64
+	for k := 0; k < shards; k++ {
+		eng, sem := newPair(2 + k)
+		st, _, err := Open(eng, sem, Options{
+			Dir:           filepath.Join(t.TempDir(), "shard"),
+			Owner:         hashOwner(k, shards),
+			FsyncInterval: noSync,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := st.Sink()
+		for _, ev := range events {
+			sink(ev)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		skippedTotal += st.Status().Skipped
+		merged = append(merged, eng.Alerts()...)
+		eng.Close()
+		sem.Close()
+	}
+	// Prefix ownership is disjoint, so sequence numbers never collide
+	// across shards and a stable sort by Seq is the exact global order.
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Seq < merged[j].Seq })
+	got, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantAlerts) {
+		t.Fatalf("sharded alert union differs from single-process run (%d vs %d bytes)", len(got), len(wantAlerts))
+	}
+	if want := uint64((shards - 1) * len(events)); skippedTotal != want {
+		t.Fatalf("shards skipped %d events in total, want %d", skippedTotal, want)
+	}
+	if wantStats.Dropped != 0 {
+		t.Fatalf("reference run dropped %d events; the identity claim needs a lossless feed", wantStats.Dropped)
+	}
+}
+
+// TestStoreSnapshotRetention pins the garbage-collection behavior:
+// checkpoints prune to KeepSnapshots and fully-covered WAL segments are
+// deleted.
+func TestStoreSnapshotRetention(t *testing.T) {
+	events := churnEvents(t)
+	eng, sem := newPair(2)
+	defer eng.Close()
+	defer sem.Close()
+	dir := t.TempDir()
+	st, _, err := Open(eng, sem, Options{
+		Dir:           dir,
+		SegmentBytes:  4096,
+		KeepSnapshots: 2,
+		FsyncInterval: noSync,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := st.Sink()
+	chunk := len(events) / 4
+	for round := 0; round < 3; round++ {
+		for _, ev := range events[round*chunk : (round+1)*chunk] {
+			sink(ev)
+		}
+		if err := st.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, err := snapshotPaths(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("retained %d checkpoints, want 2", len(snaps))
+	}
+	status := st.Status()
+	if status.SnapshotSeq != uint64(3*chunk) {
+		t.Fatalf("snapshot seq %d, want %d", status.SnapshotSeq, 3*chunk)
+	}
+	// Everything is checkpointed, so only the active segment survives.
+	segs, err := st.wal.segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("WAL kept %d segments after full checkpoint, want 1", len(segs))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreBackgroundLoops smoke-tests the automatic snapshot loop and
+// the WAL group-commit together under a live feed.
+func TestStoreBackgroundLoops(t *testing.T) {
+	events := churnEvents(t)
+	eng, sem := newPair(2)
+	defer eng.Close()
+	defer sem.Close()
+	st, _, err := Open(eng, sem, Options{
+		Dir:              t.TempDir(),
+		FsyncInterval:    2 * time.Millisecond,
+		SnapshotInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := st.Sink()
+	for _, ev := range events {
+		sink(ev)
+		time.Sleep(10 * time.Microsecond)
+		if st.Status().SnapshotSeq > 0 {
+			break
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Status().SnapshotSeq == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background snapshot loop never checkpointed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status().Err != "" {
+		t.Fatalf("store error after background run: %s", st.Status().Err)
+	}
+}

@@ -1,0 +1,318 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// noSync keeps the background group-commit loop effectively inert so
+// tests control durability explicitly.
+const noSync = time.Hour
+
+func appendN(t testing.TB, w *WAL, seqs []uint64) {
+	t.Helper()
+	for _, seq := range seqs {
+		if err := w.Append(seq, []byte(fmt.Sprintf("payload-%d", seq))); err != nil {
+			t.Fatalf("append %d: %v", seq, err)
+		}
+	}
+}
+
+func replayAll(t testing.TB, w *WAL, from uint64) []uint64 {
+	t.Helper()
+	var got []uint64
+	if err := w.Replay(from, func(seq uint64, payload []byte) error {
+		if want := fmt.Sprintf("payload-%d", seq); string(payload) != want {
+			return fmt.Errorf("seq %d payload %q, want %q", seq, payload, want)
+		}
+		got = append(got, seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func seqRange(from, to uint64) []uint64 {
+	out := make([]uint64, 0, to-from+1)
+	for s := from; s <= to; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+func seqsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWALAppendCloseReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, rec, err := OpenWAL(dir, WALOptions{FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LastSeq != 0 || rec.Records != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	// Gapped sequence, like a sharded store's WAL.
+	seqs := []uint64{1, 2, 5, 6, 10, 11, 12, 100}
+	appendN(t, w, seqs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rec2, err := OpenWAL(dir, WALOptions{FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec2.LastSeq != 100 || rec2.Records != len(seqs) {
+		t.Fatalf("recovered %+v, want last=100 records=%d", rec2, len(seqs))
+	}
+	if got := replayAll(t, w2, 0); !seqsEqual(got, seqs) {
+		t.Fatalf("replayed %v, want %v", got, seqs)
+	}
+	if got := replayAll(t, w2, 6); !seqsEqual(got, []uint64{6, 10, 11, 12, 100}) {
+		t.Fatalf("replay from 6 got %v", got)
+	}
+	// Appends must continue after the recovered tail.
+	if err := w2.Append(50, nil); err == nil {
+		t.Fatal("append below recovered last seq succeeded")
+	}
+	appendN(t, w2, []uint64{101})
+	if got := replayAll(t, w2, 100); !seqsEqual(got, []uint64{100, 101}) {
+		t.Fatalf("replay after reopen-append got %v", got)
+	}
+}
+
+func TestWALRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation every few records.
+	w, _, err := OpenWAL(dir, WALOptions{SegmentBytes: 256, FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, seqRange(1, 100))
+	segs, _ := w.segments()
+	if len(segs) < 5 {
+		t.Fatalf("expected many segments at 256B rotation, got %d", len(segs))
+	}
+	if got := replayAll(t, w, 0); !seqsEqual(got, seqRange(1, 100)) {
+		t.Fatalf("replay across segments lost records: %d", len(got))
+	}
+	before := w.SizeBytes()
+
+	// A checkpoint at 60 retires every segment fully below it.
+	if err := w.TruncateBefore(61); err != nil {
+		t.Fatal(err)
+	}
+	if after := w.SizeBytes(); after >= before {
+		t.Fatalf("truncation did not shrink the log: %d -> %d", before, after)
+	}
+	got := replayAll(t, w, 61)
+	if !seqsEqual(got, seqRange(61, 100)) {
+		t.Fatalf("post-truncation replay from 61 got %v", got)
+	}
+	// Records >= 61 in a partially-covered segment must survive; the
+	// replay from 0 may legitimately start earlier than 61 but never
+	// after it.
+	all := replayAll(t, w, 0)
+	if len(all) == 0 || all[0] > 61 {
+		t.Fatalf("truncation deleted covered boundary: first remaining %v", all[:min(len(all), 3)])
+	}
+}
+
+func TestWALTornTailTruncatedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, WALOptions{FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, seqRange(1, 20))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("expected one segment, got %d", len(segs))
+	}
+	// Tear the final record: chop 3 bytes off the file.
+	st, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rec, err := OpenWAL(dir, WALOptions{FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.LastSeq != 19 || rec.TornBytes == 0 {
+		t.Fatalf("recovered %+v, want last=19 with torn bytes", rec)
+	}
+	if got := replayAll(t, w2, 0); !seqsEqual(got, seqRange(1, 19)) {
+		t.Fatalf("post-tear replay got %d records", len(got))
+	}
+	// The torn record is gone from disk too: seq 20 can be re-appended.
+	appendN(t, w2, []uint64{20})
+	if got := replayAll(t, w2, 0); !seqsEqual(got, seqRange(1, 20)) {
+		t.Fatalf("re-append after tear got %v", got)
+	}
+}
+
+func TestWALCorruptMiddleRecordIsTornTail(t *testing.T) {
+	// A CRC mismatch mid-segment truncates from that point: everything
+	// before stays, everything after is discarded (it was never
+	// acknowledged durable in order).
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, WALOptions{FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, seqRange(1, 10))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the 5th record region (well past header).
+	frame := int64(frameHeader + len("payload-1"))
+	off := segHeader + 4*frame + frameHeader
+	raw[off] ^= 0xFF
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, rec, err := OpenWAL(dir, WALOptions{FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.LastSeq != 4 {
+		t.Fatalf("recovered last seq %d, want 4 (corruption at record 5)", rec.LastSeq)
+	}
+}
+
+func TestWALCrashLosesOnlyUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, WALOptions{FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, seqRange(1, 100))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.DurableSeq() != 100 {
+		t.Fatalf("durable seq %d after Sync", w.DurableSeq())
+	}
+	appendN(t, w, seqRange(101, 150)) // buffered, never flushed
+	w.crash()
+
+	w2, rec, err := OpenWAL(dir, WALOptions{FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.LastSeq != 100 {
+		t.Fatalf("crash recovery found seq %d, want exactly the synced 100", rec.LastSeq)
+	}
+}
+
+func TestWALHeaderCorruptionIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, WALOptions{FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, seqRange(1, 3))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	raw, _ := os.ReadFile(segs[0])
+	copy(raw[:8], "NOTAWAL!")
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(dir, WALOptions{FsyncInterval: noSync}); err == nil {
+		t.Fatal("bad segment magic opened cleanly")
+	}
+}
+
+func TestWALGroupCommitAdvancesDurable(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, WALOptions{FsyncInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, seqRange(1, 10))
+	deadline := time.Now().Add(5 * time.Second)
+	for w.DurableSeq() != 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("group commit never advanced durable seq (at %d)", w.DurableSeq())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWALRejectsOversizeRecord(t *testing.T) {
+	w, _, err := OpenWAL(t.TempDir(), WALOptions{FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(1, make([]byte, maxRecord+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+// Frame-header sanity: the on-disk length field really is the payload
+// length (guards against accidental format drift).
+func TestWALFrameLayout(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, WALOptions{FsyncInterval: noSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello wal")
+	if err := w.Append(42, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	raw, _ := os.ReadFile(segs[0])
+	if string(raw[:8]) != segMagic {
+		t.Fatalf("segment magic %q", raw[:8])
+	}
+	if first := binary.BigEndian.Uint64(raw[8:16]); first != 42 {
+		t.Fatalf("header first seq %d", first)
+	}
+	if l := binary.BigEndian.Uint32(raw[segHeader:]); int(l) != len(payload) {
+		t.Fatalf("frame length %d, want %d", l, len(payload))
+	}
+	if seq := binary.BigEndian.Uint64(raw[segHeader+8:]); seq != 42 {
+		t.Fatalf("frame seq %d", seq)
+	}
+}

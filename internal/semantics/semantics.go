@@ -30,6 +30,8 @@
 package semantics
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/netip"
 	"sort"
 	"time"
@@ -82,6 +84,32 @@ func (c Class) String() string {
 
 // MarshalJSON renders the class as its name.
 func (c Class) MarshalJSON() ([]byte, error) { return []byte(`"` + c.String() + `"`), nil }
+
+// UnmarshalJSON parses a class name (the scatter-gather frontend
+// decodes shard dictionary exports).
+func (c *Class) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "unknown":
+		*c = ClassUnknown
+	case "informational":
+		*c = ClassInformational
+	case "action-blackhole":
+		*c = ClassActionBlackhole
+	case "action-steering":
+		*c = ClassActionSteering
+	case "action-prepend":
+		*c = ClassActionPrepend
+	case "well-known":
+		*c = ClassWellKnown
+	default:
+		return fmt.Errorf("semantics: unknown class %q", name)
+	}
+	return nil
+}
 
 // IsAction reports whether the class triggers a routing action.
 func (c Class) IsAction() bool {

@@ -1,0 +1,506 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bgpworms/internal/obs"
+	"bgpworms/internal/semantics"
+	"bgpworms/internal/watch"
+)
+
+// Frontend is the thin scatter-gather tier of the sharded daemon: it
+// owns no engine, only the shard URL list and the same RangeMap the
+// shards run, and merges their version-keyed snapshots.
+//
+//   - /alerts        scatter to every shard, merge by global sequence.
+//     Because shards assign identical global sequence numbers and own
+//     disjoint prefix ranges, the merged body is byte-identical to a
+//     single-process daemon's (TestFrontendByteIdentity).
+//   - /prefix/{p}    route to the owning shard (pure function of the
+//     prefix), proxy its response verbatim.
+//   - /dict, /dict/stats, /dict/{asn}  scatter /dict/export, merge the
+//     partial dictionaries with semantics.MergeEntries. Counters and
+//     classes merge exactly; Peers is an upper bound (one session can
+//     observe several shards' prefixes).
+//   - /stats         scatter, serve per-shard snapshots plus sums.
+//
+// Revalidation rides ETags: every gather remembers each shard's ETag
+// and body, sends If-None-Match, and an unchanged shard answers 304
+// with no payload — so a quiet fleet serves cached merges at the cost
+// of N tiny round trips.
+type Frontend struct {
+	shards []string
+	rm     *RangeMap
+	reg    *obs.Registry
+	client *http.Client
+	start  time.Time
+
+	alerts  gatherCache
+	stats   gatherCache
+	dict    gatherCache
+	dictMu  sync.Mutex
+	dictKey string
+	merged  []*semantics.Entry
+	dictObs uint64
+
+	scatterHist *obs.Histogram
+	upstreamErr *obs.Counter
+}
+
+// NewFrontend builds the scatter-gather tier over the given shard base
+// URLs (e.g. "http://127.0.0.1:8581"). The shard order must match the
+// shard indices the daemons were started with (-shard-index i serves
+// RangeMap slice i and must be the i-th URL).
+func NewFrontend(shardURLs []string, reg *obs.Registry) *Frontend {
+	urls := make([]string, len(shardURLs))
+	for i, u := range shardURLs {
+		urls[i] = strings.TrimRight(u, "/")
+	}
+	f := &Frontend{
+		shards: urls,
+		rm:     NewRangeMap(len(urls)),
+		reg:    reg,
+		client: &http.Client{Timeout: 30 * time.Second},
+		start:  time.Now(),
+	}
+	f.alerts.init(len(urls))
+	f.stats.init(len(urls))
+	f.dict.init(len(urls))
+	f.scatterHist = reg.Histogram("frontend_scatter_seconds",
+		"full scatter-gather round trip latency", obs.DurationBuckets)
+	f.upstreamErr = reg.Counter("frontend_upstream_errors_total",
+		"failed shard sub-requests")
+	return f
+}
+
+// Handler returns the frontend's HTTP surface, instrumented like the
+// shard server's.
+func (f *Frontend) Handler() http.Handler {
+	m := http.NewServeMux()
+	m.HandleFunc("/healthz", f.handleHealthz)
+	m.HandleFunc("/stats", f.handleStats)
+	m.HandleFunc("/alerts", f.handleAlerts)
+	m.HandleFunc("/prefix/", f.handlePrefix)
+	m.HandleFunc("/dict", f.handleDictIndex)
+	m.HandleFunc("/dict/stats", f.handleDictStats)
+	m.HandleFunc("/dict/", f.handleDictAS)
+	m.Handle("/metrics", f.reg.Handler())
+	hist := f.reg.Histogram("http_request_seconds",
+		"HTTP request service time", obs.DurationBuckets)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.ServeHTTP(w, r)
+		hist.ObserveSince(start)
+		f.reg.Counter(`http_requests_total{path="`+routeLabel(r.URL.Path)+`"}`,
+			"HTTP requests by route").Inc()
+	})
+}
+
+// gatherCache remembers, per shard, the last ETag+body a path served,
+// plus one merged render keyed by the joined ETag vector.
+type gatherCache struct {
+	mu     sync.Mutex
+	etags  []string
+	bodies [][]byte
+
+	mergedKey  string
+	mergedBody []byte
+}
+
+func (c *gatherCache) init(n int) {
+	c.etags = make([]string, n)
+	c.bodies = make([][]byte, n)
+}
+
+// shardResult is one shard's contribution to a gather.
+type shardResult struct {
+	body []byte
+	etag string
+	err  error
+}
+
+// gather fetches path from every shard concurrently with ETag
+// revalidation and returns the bodies plus the version-vector key. Any
+// shard error fails the whole gather — a partial merge would silently
+// drop a slice of the prefix space.
+func (f *Frontend) gather(path string, c *gatherCache) ([][]byte, string, error) {
+	start := time.Now()
+	c.mu.Lock()
+	etags := append([]string(nil), c.etags...)
+	cached := append([][]byte(nil), c.bodies...)
+	c.mu.Unlock()
+
+	results := make([]shardResult, len(f.shards))
+	var wg sync.WaitGroup
+	for i := range f.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = f.fetch(f.shards[i]+path, etags[i], cached[i])
+		}(i)
+	}
+	wg.Wait()
+	f.scatterHist.ObserveSince(start)
+
+	bodies := make([][]byte, len(results))
+	keys := make([]string, len(results))
+	for i, res := range results {
+		if res.err != nil {
+			f.upstreamErr.Inc()
+			return nil, "", fmt.Errorf("shard %d (%s): %w", i, f.shards[i], res.err)
+		}
+		bodies[i] = res.body
+		keys[i] = res.etag
+	}
+	c.mu.Lock()
+	copy(c.etags, keys)
+	copy(c.bodies, bodies)
+	c.mu.Unlock()
+	return bodies, strings.Join(keys, "|"), nil
+}
+
+// fetch GETs url, revalidating against etag; a 304 answer reuses the
+// cached body.
+func (f *Frontend) fetch(url, etag string, cached []byte) shardResult {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return shardResult{err: err}
+	}
+	if etag != "" && cached != nil {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return shardResult{err: err}
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return shardResult{body: cached, etag: etag}
+	case http.StatusOK:
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return shardResult{err: err}
+		}
+		return shardResult{body: body, etag: resp.Header.Get("ETag")}
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return shardResult{err: fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))}
+	}
+}
+
+// merged returns the cached render for key, or computes and caches it.
+func (c *gatherCache) mergedFor(key string, render func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	if c.mergedKey == key && c.mergedBody != nil {
+		body := c.mergedBody
+		c.mu.Unlock()
+		return body, nil
+	}
+	c.mu.Unlock()
+	body, err := render()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.mergedKey, c.mergedBody = key, body
+	c.mu.Unlock()
+	return body, nil
+}
+
+func (f *Frontend) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	// Filters are applied after the merge so the filtered view is
+	// consistent with the cached full view.
+	detector := r.URL.Query().Get("detector")
+	bodies, key, err := f.gather("/alerts", &f.alerts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	mergeAll := func() ([]byte, error) {
+		merged, err := mergeAlerts(bodies, "")
+		if err != nil {
+			return nil, err
+		}
+		return json.MarshalIndent(alertsPayload{Count: len(merged), Alerts: merged}, "", "  ")
+	}
+	if detector != "" {
+		merged, err := mergeAlerts(bodies, detector)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		body, err := json.MarshalIndent(alertsPayload{Count: len(merged), Alerts: merged}, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, body)
+		return
+	}
+	body, err := f.alerts.mergedFor(key, mergeAll)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// mergeAlerts decodes per-shard /alerts payloads and merges them by
+// global sequence. Shards own disjoint prefix ranges, so sequence
+// numbers never collide and a stable sort by Seq reconstructs the exact
+// global order a single process would have produced.
+func mergeAlerts(bodies [][]byte, detector string) ([]watch.Alert, error) {
+	var merged []watch.Alert
+	for i, b := range bodies {
+		var p alertsPayload
+		if err := json.Unmarshal(b, &p); err != nil {
+			return nil, fmt.Errorf("shard %d /alerts: %w", i, err)
+		}
+		for _, a := range p.Alerts {
+			if detector == "" || a.Detector == detector {
+				merged = append(merged, a)
+			}
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Seq < merged[j].Seq })
+	return merged, nil
+}
+
+func (f *Frontend) handlePrefix(w http.ResponseWriter, r *http.Request) {
+	raw := strings.TrimPrefix(r.URL.Path, "/prefix/")
+	p, err := netip.ParsePrefix(raw)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad prefix %q: %v", raw, err), http.StatusBadRequest)
+		return
+	}
+	owner := f.rm.Owner(p.Masked())
+	resp, err := f.client.Get(f.shards[owner] + "/prefix/" + raw)
+	if err != nil {
+		f.upstreamErr.Inc()
+		http.Error(w, fmt.Sprintf("shard %d: %v", owner, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	// Proxy verbatim: the owning shard's view IS the global view for
+	// its range.
+	for _, h := range []string{"Content-Type", "ETag"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// frontendStats is the /stats response shape: each shard's snapshot
+// plus the additive totals.
+type frontendStats struct {
+	Shards []watch.Stats `json:"shards"`
+	Total  watch.Stats   `json:"total"`
+}
+
+func (f *Frontend) handleStats(w http.ResponseWriter, r *http.Request) {
+	bodies, key, err := f.gather("/stats", &f.stats)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	body, err := f.stats.mergedFor(key, func() ([]byte, error) {
+		payload := frontendStats{Total: watch.Stats{ByDetector: map[string]uint64{}}}
+		for i, b := range bodies {
+			var st watch.Stats
+			if err := json.Unmarshal(b, &st); err != nil {
+				return nil, fmt.Errorf("shard %d /stats: %w", i, err)
+			}
+			payload.Shards = append(payload.Shards, st)
+			t := &payload.Total
+			t.Ingested += st.Ingested
+			t.Processed += st.Processed
+			t.Dropped += st.Dropped
+			t.Pending += st.Pending
+			t.Alerts += st.Alerts
+			t.AlertsTruncated += st.AlertsTruncated
+			t.TrackedPrefixes += st.TrackedPrefixes
+			t.Shards += st.Shards
+			t.Version += st.Version
+			t.WindowEvents, t.Window = st.WindowEvents, st.Window
+			for k, v := range st.ByDetector {
+				t.ByDetector[k] += v
+			}
+		}
+		return json.MarshalIndent(payload, "", "  ")
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// mergedDict gathers /dict/export from every shard and returns the
+// merged dictionary, cached on the shard version vector.
+func (f *Frontend) mergedDict() ([]*semantics.Entry, uint64, error) {
+	bodies, key, err := f.gather("/dict/export", &f.dict)
+	if err != nil {
+		return nil, 0, err
+	}
+	f.dictMu.Lock()
+	defer f.dictMu.Unlock()
+	if f.dictKey == key {
+		return f.merged, f.dictObs, nil
+	}
+	lists := make([][]*semantics.Entry, len(bodies))
+	var observations uint64
+	for i, b := range bodies {
+		var p dictExportPayload
+		if err := json.Unmarshal(b, &p); err != nil {
+			return nil, 0, fmt.Errorf("shard %d /dict/export: %w", i, err)
+		}
+		lists[i] = p.Entries
+		observations += p.Observations
+	}
+	f.merged = semantics.MergeEntries(lists...)
+	f.dictKey, f.dictObs = key, observations
+	return f.merged, observations, nil
+}
+
+func (f *Frontend) handleDictIndex(w http.ResponseWriter, r *http.Request) {
+	entries, observations, err := f.mergedDict()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	payload := dictIndexPayload{Observations: observations, Communities: len(entries)}
+	perAS := map[uint16]int{}
+	var order []uint16
+	for _, e := range entries {
+		asn := e.Community.ASN()
+		if perAS[asn] == 0 {
+			order = append(order, asn)
+		}
+		perAS[asn]++
+	}
+	// MergeEntries sorts by (ASN, community), so first-appearance order
+	// is ascending ASN — the same order a shard's /dict serves.
+	for _, asn := range order {
+		payload.ASes = append(payload.ASes, dictIndexItem{ASN: asn, Entries: perAS[asn]})
+	}
+	body, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// frontendDictStats is the merged /dict/stats shape: dictionary shape
+// from the merged entries, fleet-wide observation count from the
+// shards.
+type frontendDictStats struct {
+	Observations uint64         `json:"observations"`
+	Communities  int            `json:"communities"`
+	ASes         int            `json:"ases"`
+	ByClass      map[string]int `json:"by_class"`
+}
+
+func (f *Frontend) handleDictStats(w http.ResponseWriter, r *http.Request) {
+	entries, observations, err := f.mergedDict()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	st := frontendDictStats{
+		Observations: observations,
+		Communities:  len(entries),
+		ByClass:      map[string]int{},
+	}
+	seen := map[uint16]bool{}
+	for _, e := range entries {
+		st.ByClass[e.Class.String()]++
+		seen[e.Community.ASN()] = true
+	}
+	st.ASes = len(seen)
+	body, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, body)
+}
+
+func (f *Frontend) handleDictAS(w http.ResponseWriter, r *http.Request) {
+	raw := strings.TrimPrefix(r.URL.Path, "/dict/")
+	asn, err := strconv.ParseUint(raw, 10, 16)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad ASN %q: %v", raw, err), http.StatusBadRequest)
+		return
+	}
+	entries, _, err := f.mergedDict()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	var own []*semantics.Entry
+	for _, e := range entries {
+		if e.Community.ASN() == uint16(asn) {
+			own = append(own, e)
+		}
+	}
+	if len(own) == 0 {
+		http.Error(w, fmt.Sprintf("no dictionary entries for AS%d", asn), http.StatusNotFound)
+		return
+	}
+	body, err := json.MarshalIndent(dictASPayload{ASN: uint16(asn), Count: len(own), Entries: own}, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, body)
+}
+
+func (f *Frontend) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type shardHealth struct {
+		URL    string          `json:"url"`
+		Status string          `json:"status"`
+		Detail json.RawMessage `json:"detail,omitempty"`
+	}
+	payload := struct {
+		Status        string        `json:"status"`
+		Role          string        `json:"role"`
+		UptimeSeconds int64         `json:"uptime_seconds"`
+		ShardCount    int           `json:"shards"`
+		ShardsHealthy int           `json:"shards_healthy"`
+		ShardStatuses []shardHealth `json:"shard_statuses"`
+	}{Status: "ok", Role: "frontend", UptimeSeconds: int64(time.Since(f.start).Seconds()), ShardCount: len(f.shards)}
+	for _, base := range f.shards {
+		h := shardHealth{URL: base, Status: "ok"}
+		res := f.fetch(base+"/healthz", "", nil)
+		if res.err != nil {
+			f.upstreamErr.Inc()
+			h.Status = res.err.Error()
+			payload.Status = "degraded"
+		} else {
+			h.Detail = json.RawMessage(res.body)
+			payload.ShardsHealthy++
+		}
+		payload.ShardStatuses = append(payload.ShardStatuses, h)
+	}
+	body, _ := json.MarshalIndent(payload, "", "  ")
+	if payload.Status != "ok" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write(append(body, '\n'))
+		return
+	}
+	writeJSON(w, body)
+}

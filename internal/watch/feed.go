@@ -29,20 +29,27 @@ func FromUpdate(u *core.Update) Event {
 	}
 }
 
-// IngestMRT streams a BGP4MP update archive (as written by
-// collector.WriteUpdatesMRT) into the engine via the non-materializing
-// reader, returning how many events were ingested. The source label
-// lands on every event.
-func (e *Engine) IngestMRT(r io.Reader, source string) (int, error) {
+// StreamMRT streams a BGP4MP update archive (as written by
+// collector.WriteUpdatesMRT) into sink via the non-materializing
+// reader, returning how many events were delivered. The source label
+// lands on every event. The sink is wherever events should land: an
+// engine's Ingest, or a durable store's (which journals before
+// forwarding).
+func StreamMRT(r io.Reader, source string, sink func(Event)) (int, error) {
 	n := 0
 	_, err := core.StreamMRTUpdates(source, source, r, func(u *core.Update) error {
 		ev := FromUpdate(u)
 		ev.Source = source
-		e.Ingest(ev)
+		sink(ev)
 		n++
 		return nil
 	})
 	return n, err
+}
+
+// IngestMRT is StreamMRT bound to the engine's lossless ingest.
+func (e *Engine) IngestMRT(r io.Reader, source string) (int, error) {
+	return StreamMRT(r, source, e.Ingest)
 }
 
 // IngestObservations replays a collector's recorded observations in
@@ -87,17 +94,21 @@ func eventFromObservation(c *collector.Collector, ob *collector.Observation) Eve
 // Attach via gen.Params.Tap / scenario.Context.Tap to observe a world
 // from its first origin announcement.
 func (e *Engine) LiveTap(source string) simnet.UpdateTap {
-	return e.tap(source, (*Engine).TryIngest)
+	return EventTap(source, e.TryIngest)
 }
 
 // BlockingTap is LiveTap with lossless ingest: the simulation waits for
 // the engine instead of dropping. The scenario ground-truth eval uses
 // it, where feed fidelity outranks simulation latency.
 func (e *Engine) BlockingTap(source string) simnet.UpdateTap {
-	return e.tap(source, (*Engine).Ingest)
+	return EventTap(source, e.Ingest)
 }
 
-func (e *Engine) tap(source string, ingest func(*Engine, Event)) simnet.UpdateTap {
+// EventTap converts simnet session updates into Events and hands them
+// to sink — the routing point for anything that wants to sit between a
+// scenario replay and an engine, like the durable store (which journals
+// each event before forwarding).
+func EventTap(source string, sink func(Event)) simnet.UpdateTap {
 	return func(from, to topo.ASN, prefix netip.Prefix, rt *policy.Route) {
 		ev := Event{Source: source, PeerAS: uint32(from), Prefix: prefix}
 		if rt == nil {
@@ -106,6 +117,6 @@ func (e *Engine) tap(source string, ingest func(*Engine, Event)) simnet.UpdateTa
 			ev.ASPath = rt.ASPath.Sequence()
 			ev.Communities = rt.Communities.Clone()
 		}
-		ingest(e, ev)
+		sink(ev)
 	}
 }

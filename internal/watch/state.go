@@ -1,0 +1,147 @@
+package watch
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// State is the engine's persistable snapshot: everything needed to
+// rebuild an equivalent engine after a restart. The durable store
+// (internal/durable) writes it alongside a WAL position so recovery is
+// restore-from-State plus replay of the WAL tail.
+//
+// Exporting while feeds are live yields a consistent but arbitrary cut;
+// for an exact cut (the durable snapshot discipline) the caller gates
+// ingest around ExportState.
+type State struct {
+	// Seq is the last assigned ingest sequence number.
+	Seq uint64 `json:"seq"`
+	// Ingested / Processed / Dropped / AlertsRaised / AlertsTruncated
+	// mirror the Stats counters at export time.
+	Ingested        uint64 `json:"ingested"`
+	Processed       uint64 `json:"processed"`
+	Dropped         uint64 `json:"dropped"`
+	AlertsRaised    uint64 `json:"alerts_raised"`
+	AlertsTruncated uint64 `json:"alerts_truncated"`
+	// Prefixes holds every tracked prefix's window, sorted by prefix
+	// (address, then length) so the export is byte-stable.
+	Prefixes []PrefixWindow `json:"prefixes,omitempty"`
+	// Alerts is every retained alert, ordered by Seq.
+	Alerts []Alert `json:"alerts,omitempty"`
+	// ByDetector carries the per-detector firing totals (they outlive
+	// retention truncation, so they cannot be rebuilt from Alerts).
+	ByDetector map[string]uint64 `json:"alerts_by_detector,omitempty"`
+}
+
+// PrefixWindow is one prefix's persisted sliding-window state.
+type PrefixWindow struct {
+	Prefix netip.Prefix `json:"prefix"`
+	// Total counts every event ever folded for the prefix.
+	Total uint64 `json:"total"`
+	// Events is the current ring content, oldest first.
+	Events []Event `json:"events,omitempty"`
+}
+
+// ExportState flushes pending work and snapshots the engine's full
+// state. Safe to call while ingesting (it takes the shard locks the way
+// Stats does), but only a quiesced export is an exact cut.
+func (e *Engine) ExportState() *State {
+	e.Flush()
+	e.mu.Lock()
+	seq := e.seq
+	e.mu.Unlock()
+	st := &State{
+		Seq:             seq,
+		Ingested:        e.ingested.Load(),
+		Processed:       e.processed.Load(),
+		Dropped:         e.dropped.Load(),
+		AlertsRaised:    e.alerts.Load(),
+		AlertsTruncated: e.truncated.Load(),
+		ByDetector:      make(map[string]uint64),
+	}
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for p, ps := range s.prefixes {
+			w := PrefixWindow{Prefix: p, Total: ps.total}
+			for i := 0; i < ps.Len(); i++ {
+				w.Events = append(w.Events, *ps.At(i))
+			}
+			st.Prefixes = append(st.Prefixes, w)
+		}
+		st.Alerts = append(st.Alerts, s.alerts...)
+		for k, v := range s.byDetector {
+			st.ByDetector[k] += v
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(st.Prefixes, func(i, j int) bool {
+		a, b := st.Prefixes[i].Prefix, st.Prefixes[j].Prefix
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c < 0
+		}
+		return a.Bits() < b.Bits()
+	})
+	sort.SliceStable(st.Alerts, func(i, j int) bool { return st.Alerts[i].Seq < st.Alerts[j].Seq })
+	return st
+}
+
+// RestoreState loads a previously exported State into a fresh engine
+// (one that has never ingested). Window events are re-pushed through the
+// ring, so the restored engine honors the *current* Config's
+// WindowEvents/Window bounds; with an unchanged Config the restored
+// windows are identical to the exported ones. After restore, ingest
+// resumes from State.Seq+1 and detectors see exactly the windows the
+// crashed engine held.
+func (e *Engine) RestoreState(st *State) error {
+	if st == nil {
+		return nil
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("watch: restore into closed engine")
+	}
+	if e.seq != 0 || e.ingested.Load() != 0 {
+		e.mu.Unlock()
+		return fmt.Errorf("watch: restore into engine that already ingested (seq=%d)", e.seq)
+	}
+	e.seq = st.Seq
+	e.mu.Unlock()
+	e.ingested.Store(st.Ingested)
+	e.processed.Store(st.Processed)
+	e.dropped.Store(st.Dropped)
+	e.alerts.Store(st.AlertsRaised)
+	e.truncated.Store(st.AlertsTruncated)
+	for i := range st.Prefixes {
+		w := &st.Prefixes[i]
+		p := w.Prefix.Masked()
+		s := e.shards[e.shardOf(p)]
+		s.mu.Lock()
+		ps := newPrefixState(p, e.cfg.WindowEvents)
+		for j := range w.Events {
+			ps.push(&w.Events[j], e.cfg.Window)
+		}
+		ps.total = w.Total
+		s.prefixes[p] = ps
+		s.mu.Unlock()
+	}
+	for _, a := range st.Alerts {
+		s := e.shards[e.shardOf(a.Prefix.Masked())]
+		s.mu.Lock()
+		s.alerts = append(s.alerts, a)
+		s.mu.Unlock()
+	}
+	if len(st.ByDetector) > 0 {
+		// Per-detector totals are only ever read summed across shards, so
+		// the whole restored map can live on shard 0.
+		s := e.shards[0]
+		s.mu.Lock()
+		for k, v := range st.ByDetector {
+			s.byDetector[k] += v
+		}
+		s.mu.Unlock()
+	}
+	e.version.Add(1)
+	return nil
+}

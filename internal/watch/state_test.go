@@ -1,0 +1,191 @@
+package watch_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/netip"
+	"testing"
+
+	"bgpworms/internal/collector"
+	"bgpworms/internal/gen"
+	"bgpworms/internal/watch"
+)
+
+// churnEvents flattens the deterministic churn feed into an event list,
+// in exactly the order IngestObservations would deliver it, so tests
+// can split the stream at an arbitrary cut point.
+func churnEvents(t testing.TB) []watch.Event {
+	t.Helper()
+	w, err := gen.Build(gen.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.RunChurn(); err != nil {
+		t.Fatal(err)
+	}
+	var events []watch.Event
+	for _, c := range w.Collectors {
+		obs := c.Observations()
+		for i := range obs {
+			events = append(events, eventFromObs(c, &obs[i]))
+		}
+	}
+	if len(events) < 100 {
+		t.Fatalf("churn feed too small to split: %d events", len(events))
+	}
+	return events
+}
+
+func eventFromObs(c *collector.Collector, ob *collector.Observation) watch.Event {
+	ev := watch.Event{
+		Time:   ob.Time,
+		Source: c.Name,
+		PeerAS: uint32(ob.PeerAS),
+		Prefix: ob.Prefix,
+	}
+	if ob.Route == nil {
+		ev.Withdraw = true
+	} else {
+		ev.ASPath = ob.Route.ASPath.Sequence()
+		ev.Communities = ob.Route.Communities.Clone()
+	}
+	return ev
+}
+
+func mustPrefix(t testing.TB, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func alertsJSON(t testing.TB, e *watch.Engine) []byte {
+	t.Helper()
+	b, err := json.Marshal(e.Alerts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestExportRestoreRoundTrip is the durability equivalence proof at the
+// engine level: run a feed to completion in one engine; run the same
+// feed split at an arbitrary cut through export → JSON → restore → the
+// remaining events; the final alert sets and counters must be
+// byte-identical. The JSON round-trip is deliberate — it is exactly
+// what a durable snapshot file does.
+func TestExportRestoreRoundTrip(t *testing.T) {
+	events := churnEvents(t)
+	cut := len(events) / 3
+
+	// Uninterrupted reference run.
+	ref := watch.NewEngine(watch.Config{Shards: 4})
+	for _, ev := range events {
+		ref.Ingest(ev)
+	}
+	ref.Flush()
+	wantAlerts := alertsJSON(t, ref)
+	wantStats := ref.Stats()
+	ref.Close()
+
+	// First life: ingest up to the cut, export, "crash".
+	first := watch.NewEngine(watch.Config{Shards: 4})
+	for _, ev := range events[:cut] {
+		first.Ingest(ev)
+	}
+	st := first.ExportState()
+	first.Close()
+	if st.Seq != uint64(cut) {
+		t.Fatalf("export seq = %d, want %d", st.Seq, cut)
+	}
+
+	// Snapshot file round trip.
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded watch.State
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: restore with a different shard count (state is
+	// shard-layout independent), then the rest of the feed.
+	second := watch.NewEngine(watch.Config{Shards: 7})
+	defer second.Close()
+	if err := second.RestoreState(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[cut:] {
+		second.Ingest(ev)
+	}
+	second.Flush()
+
+	if got := alertsJSON(t, second); !bytes.Equal(got, wantAlerts) {
+		t.Fatalf("restored run alert set differs from uninterrupted run:\nwant %d bytes\ngot  %d bytes", len(wantAlerts), len(got))
+	}
+	gotStats := second.Stats()
+	if gotStats.Ingested != wantStats.Ingested || gotStats.Alerts != wantStats.Alerts ||
+		gotStats.TrackedPrefixes != wantStats.TrackedPrefixes {
+		t.Fatalf("restored stats differ: got %+v want %+v", gotStats, wantStats)
+	}
+}
+
+// TestExportStateDeterministic pins that two exports of the same
+// quiesced engine state are byte-identical — snapshot files must not
+// depend on map iteration order.
+func TestExportStateDeterministic(t *testing.T) {
+	events := churnEvents(t)
+	e := watch.NewEngine(watch.Config{Shards: 4})
+	defer e.Close()
+	for _, ev := range events {
+		e.Ingest(ev)
+	}
+	a, err := json.Marshal(e.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(e.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("ExportState is not byte-stable across calls")
+	}
+}
+
+// TestRestoreStateGuards pins the fresh-engine-only contract.
+func TestRestoreStateGuards(t *testing.T) {
+	e := watch.NewEngine(watch.Config{Shards: 1})
+	defer e.Close()
+	e.Ingest(watch.Event{Prefix: mustPrefix(t, "10.0.0.0/24"), PeerAS: 65001})
+	if err := e.RestoreState(&watch.State{Seq: 10}); err == nil {
+		t.Fatal("RestoreState accepted an engine that already ingested")
+	}
+	fresh := watch.NewEngine(watch.Config{Shards: 1})
+	defer fresh.Close()
+	if err := fresh.RestoreState(nil); err != nil {
+		t.Fatalf("nil restore: %v", err)
+	}
+}
+
+// TestProvidedSeq pins the pre-assigned sequence path: events carrying
+// their own Seq keep it, the engine clock follows, and interleaved
+// zero-Seq events slot in after.
+func TestProvidedSeq(t *testing.T) {
+	e := watch.NewEngine(watch.Config{Shards: 1})
+	defer e.Close()
+	p := mustPrefix(t, "10.1.0.0/24")
+	e.Ingest(watch.Event{Seq: 41, Prefix: p, PeerAS: 65001, ASPath: []uint32{65001}})
+	e.Ingest(watch.Event{Prefix: p, PeerAS: 65001, ASPath: []uint32{65001}})
+	e.Flush()
+	info, ok := e.PrefixInfo(p)
+	if !ok {
+		t.Fatal("prefix not tracked")
+	}
+	if info.LastSeq != 42 {
+		t.Fatalf("zero-Seq event after Seq=41 got seq %d, want 42", info.LastSeq)
+	}
+}

@@ -42,8 +42,11 @@ import (
 // Event is one normalized routing observation entering the engine: an
 // announcement or withdrawal seen on some feed session.
 type Event struct {
-	// Seq is the engine-assigned ingest sequence number (1-based);
-	// callers leave it zero.
+	// Seq is the ingest sequence number (1-based). Callers normally
+	// leave it zero and the engine assigns it in call order; a non-zero
+	// Seq is trusted verbatim (the durable replay and sharded-feed
+	// paths pre-assign global sequence numbers) and must arrive in
+	// increasing order.
 	Seq uint64 `json:"seq"`
 	// Time is the observation timestamp. Zero means "synthesize": the
 	// engine stamps a logical clock derived from Seq, which keeps
@@ -366,8 +369,15 @@ func (e *Engine) ingest(ev Event, block bool) {
 		e.mu.Unlock()
 		return
 	}
-	e.seq++
-	ev.Seq = e.seq
+	if ev.Seq == 0 {
+		e.seq++
+		ev.Seq = e.seq
+	} else if ev.Seq > e.seq {
+		// Callers may pre-assign sequence numbers (the durable store and
+		// the sharded daemon do, so restarts and shard unions keep the
+		// global order); they must be monotone per engine.
+		e.seq = ev.Seq
+	}
 	if ev.Time.IsZero() {
 		ev.Time = logicalBase.Add(time.Duration(e.seq) * logicalTick)
 	}
