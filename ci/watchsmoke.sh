@@ -103,13 +103,13 @@ start_durable() {
     done
 }
 
-# wait_stable polls /alerts until two consecutive reads agree and show
-# at least one alert, then prints the stable body.
+# wait_stable polls $1/alerts until two consecutive reads agree and
+# show at least one alert, then prints the stable body.
 wait_stable() {
     prev=""
     i=0
     while [ "$i" -lt 150 ]; do
-        body=$(curl -fsS "http://$ADDR2/alerts")
+        body=$(curl -fsS "http://$1/alerts")
         if [ -n "$prev" ] && [ "$body" = "$prev" ]; then
             case "$body" in *'"count": 0'*) ;; *) printf '%s' "$body"; return 0 ;; esac
         fi
@@ -136,7 +136,7 @@ wait "$PID2" 2>/dev/null || true
 
 echo "== durability: restart 1 — recover + resume the feed"
 start_durable
-alerts_a=$(wait_stable)
+alerts_a=$(wait_stable "$ADDR2")
 recovered=$(curl -fsS "http://$ADDR2/durable" | sed -n 's/.*"recovered": *\([0-9]*\).*/\1/p' | head -1)
 if [ "${recovered:-0}" -lt 1 ]; then
     echo "watchsmoke: FAIL — restart did not recover from the WAL"
@@ -149,7 +149,7 @@ wait "$PID2" 2>/dev/null || true
 
 echo "== durability: restart 2 — recovered state must be byte-identical"
 start_durable
-alerts_b=$(wait_stable)
+alerts_b=$(wait_stable "$ADDR2")
 if [ "$alerts_a" != "$alerts_b" ]; then
     echo "watchsmoke: FAIL — alert set changed across kill -9 + recovery"
     exit 1
@@ -215,4 +215,99 @@ for series in frontend_scatter_seconds frontend_upstream_errors_total http_reque
     fi
 done
 
-echo "watchsmoke: OK — stage 1 ($count alerts), stage 2 ($count2 alerts through recovery), stage 3 ($fcount merged alerts from 2 shards)"
+echo "watchsmoke: stage 3 OK — $fcount merged alerts from 2 shards"
+
+# ---------------------------------------------------------------------
+# Stage 4 — fleet reshaping + replication: capture the stable merged
+# surface, stop the 2-shard fleet gracefully (final checkpoints), run
+# walreshard 2→3, boot the new fleet feed-less, and require the
+# byte-identical merge. Then replicate shard 0 ("url|url"), kill -9 one
+# replica, and require the frontend to fail over; kill the whole set
+# and require the honest 502 + degraded /healthz.
+TADDR0="${WATCHSMOKE_TADDR0:-127.0.0.1:8576}"
+TADDR1="${WATCHSMOKE_TADDR1:-127.0.0.1:8577}"
+TADDR2="${WATCHSMOKE_TADDR2:-127.0.0.1:8578}"
+F2ADDR="${WATCHSMOKE_F2ADDR:-127.0.0.1:8579}"
+RADDR="${WATCHSMOKE_RADDR:-127.0.0.1:8580}"
+F3ADDR="${WATCHSMOKE_F3ADDR:-127.0.0.1:8581}"
+TPID0="" TPID1="" TPID2="" F2PID="" RPID="" F3PID=""
+trap 'kill "$SPID0" "$SPID1" "$FPID" "$TPID0" "$TPID1" "$TPID2" "$F2PID" "$RPID" "$F3PID" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$WALDIR" "$SHDIR"' EXIT
+
+echo "== resharding: capture, graceful stop, walreshard 2 -> 3"
+pre=$(wait_stable "$FADDR")
+kill "$SPID0" "$SPID1" 2>/dev/null || true
+wait "$SPID0" "$SPID1" 2>/dev/null || true
+kill "$FPID" 2>/dev/null || true
+wait "$FPID" 2>/dev/null || true
+
+RBIN="${BIN%/*}/walreshard"
+go build -o "$RBIN" ./cmd/walreshard
+mkdir -p "$SHDIR/t0" "$SHDIR/t1" "$SHDIR/t2"
+"$RBIN" -from "$SHDIR/s0,$SHDIR/s1" -to "$SHDIR/t0,$SHDIR/t1,$SHDIR/t2"
+
+# The new fleet boots with no feed at all: recovery is the only source.
+"$BIN" -addr "$TADDR0" -shards 3 -shard-index 0 -wal "$SHDIR/t0" &
+TPID0=$!
+"$BIN" -addr "$TADDR1" -shards 3 -shard-index 1 -wal "$SHDIR/t1" &
+TPID1=$!
+"$BIN" -addr "$TADDR2" -shards 3 -shard-index 2 -wal "$SHDIR/t2" &
+TPID2=$!
+"$BIN" -addr "$F2ADDR" -frontend "http://$TADDR0,http://$TADDR1,http://$TADDR2" &
+F2PID=$!
+i=0
+until healthy=$(curl -fsS "http://$F2ADDR/healthz" 2>/dev/null | sed -n 's/.*"shards_healthy": *\([0-9]*\).*/\1/p' | head -1) \
+    && [ "${healthy:-0}" -eq 3 ]; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && { echo "watchsmoke: FAIL — resharded fleet never became healthy"; exit 1; }
+    sleep 0.2
+done
+post=$(curl -fsS "http://$F2ADDR/alerts")
+if [ "$pre" != "$post" ]; then
+    echo "watchsmoke: FAIL — resharded fleet /alerts diverged from the pre-reshard capture"
+    exit 1
+fi
+kill "$F2PID" 2>/dev/null || true
+wait "$F2PID" 2>/dev/null || true
+
+echo "== replication: shard 0 replica set, kill -9 one replica"
+cp -r "$SHDIR/t0" "$SHDIR/t0b"
+"$BIN" -addr "$RADDR" -shards 3 -shard-index 0 -wal "$SHDIR/t0b" &
+RPID=$!
+"$BIN" -addr "$F3ADDR" -frontend "http://$TADDR0|http://$RADDR,http://$TADDR1,http://$TADDR2" &
+F3PID=$!
+i=0
+until healthy=$(curl -fsS "http://$F3ADDR/healthz" 2>/dev/null | sed -n 's/.*"shards_healthy": *\([0-9]*\).*/\1/p' | head -1) \
+    && [ "${healthy:-0}" -eq 3 ]; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && { echo "watchsmoke: FAIL — replicated fleet never became healthy"; exit 1; }
+    sleep 0.2
+done
+kill -9 "$TPID0"
+wait "$TPID0" 2>/dev/null || true
+r=$(curl -fsS "http://$F3ADDR/alerts")
+if [ "$r" != "$pre" ]; then
+    echo "watchsmoke: FAIL — /alerts changed (or failed) after killing one replica"
+    exit 1
+fi
+failovers=$(curl -fsS "http://$F3ADDR/metrics" | sed -n 's/^frontend_failover_total \([0-9]*\).*/\1/p' | head -1)
+if [ "${failovers:-0}" -lt 1 ]; then
+    echo "watchsmoke: FAIL — replica kill not counted by frontend_failover_total"
+    exit 1
+fi
+hcode=$(curl -s -o /dev/null -w '%{http_code}' "http://$F3ADDR/healthz")
+if [ "$hcode" != "200" ]; then
+    echo "watchsmoke: FAIL — /healthz $hcode with one replica still up, want 200"
+    exit 1
+fi
+
+# Whole set down: no silent partial merge.
+kill -9 "$RPID"
+wait "$RPID" 2>/dev/null || true
+acode=$(curl -s -o /dev/null -w '%{http_code}' "http://$F3ADDR/alerts")
+hcode=$(curl -s -o /dev/null -w '%{http_code}' "http://$F3ADDR/healthz")
+if [ "$acode" != "502" ] || [ "$hcode" != "503" ]; then
+    echo "watchsmoke: FAIL — whole replica set down: /alerts $acode (want 502), /healthz $hcode (want 503)"
+    exit 1
+fi
+
+echo "watchsmoke: OK — stage 1 ($count alerts), stage 2 ($count2 alerts through recovery), stage 3 ($fcount merged alerts from 2 shards), stage 4 (2->3 reshard byte-identical, replica failover with $failovers failover(s))"

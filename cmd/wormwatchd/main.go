@@ -32,12 +32,22 @@
 //	-mrt file|dir       stream MRT update archives (a directory means
 //	                    every updates.*.mrt under it)
 //	-follow             with -mrt FILE: tail the file as it grows
+//	-feed-listen A      accept live MRT update streams on address A
+//	                    (host:port, or a unix socket path containing
+//	                    "/"); every connection feeds the engine
 //
 // Durability (-wal DIR) journals every ingested event to a segmented
 // write-ahead log and checkpoints engine state on -snapshot-interval;
 // a daemon killed mid-feed restarts into restore-from-snapshot plus
 // replay of the WAL tail, with zero loss of durable alerts. Feeds are
 // lossless in durable mode (the WAL is the backpressure point).
+//
+// -scenario and -mrt are re-readable: a restarted daemon re-reads them
+// from the beginning and resume-skips everything recovery already
+// applied. A -feed-listen stream is not — the bytes are gone once
+// read — so with -wal the WAL alone is the recovery source, sequence
+// numbering continues where the previous life stopped, and combining
+// -feed-listen with a re-readable feed under -wal is refused.
 //
 // Sharding splits the prefix space across N processes:
 //
@@ -53,6 +63,12 @@
 // byte-identical to a single-process daemon's (dictionary detectors
 // see per-shard partial dictionaries; run -dict=false for exact
 // cross-shard alert equality).
+//
+// Each -frontend element may list "|"-separated replica URLs for its
+// prefix range (independent shard processes over the same feed slice):
+// the frontend sticks to a healthy replica, fails over on fetch errors
+// and upstream 5xx (counted by frontend_failover_total), and a range
+// degrades /healthz only when every one of its replicas is down.
 //
 // Responses are rendered once per engine change and then served from a
 // cached snapshot, so concurrent readers cost one JSON encoding, not
@@ -97,6 +113,9 @@ type config struct {
 	seed     int64
 	mrtPath  string
 	follow   bool
+	// feedListen accepts live MRT streams on a socket — the one feed
+	// that cannot be re-read after a crash.
+	feedListen string
 
 	engineShards int
 	window       time.Duration
@@ -124,6 +143,8 @@ type config struct {
 	// ready, when set, receives the bound listen address once the HTTP
 	// listener is up (tests bind :0).
 	ready func(addr string)
+	// feedReady mirrors ready for the -feed-listen socket.
+	feedReady func(addr string)
 }
 
 func main() {
@@ -134,6 +155,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 0, "generator seed for -scenario (default 1)")
 	flag.StringVar(&cfg.mrtPath, "mrt", "", "MRT update archive to stream (file, or dir of updates.*.mrt)")
 	flag.BoolVar(&cfg.follow, "follow", false, "with -mrt FILE: keep reading as the file grows")
+	flag.StringVar(&cfg.feedListen, "feed-listen", "", "accept live MRT update streams on this address (host:port, or a unix socket path containing \"/\"); not re-readable — with -wal, recovery replays the WAL alone")
 	flag.IntVar(&cfg.engineShards, "engine-shards", 0, "in-process engine prefix shards (0 = one per CPU)")
 	flag.DurationVar(&cfg.window, "window", 0, "detection window horizon (default 15m)")
 	flag.IntVar(&cfg.windowEvents, "window-events", 0, "per-prefix ring capacity (default 32)")
@@ -254,6 +276,9 @@ func runDaemon(cfg config) error {
 	if cfg.shardCount > 1 && cfg.walDir == "" {
 		return fmt.Errorf("sharded mode needs -wal (shards must journal their slice of the feed)")
 	}
+	if cfg.feedListen != "" && cfg.walDir != "" && (cfg.scenario != "" || cfg.mrtPath != "") {
+		return fmt.Errorf("-feed-listen cannot share -wal with -scenario/-mrt: re-readable feeds resume by re-reading and skipping, the live feed must resume from the WAL alone")
+	}
 
 	reg := cfg.reg
 	wcfg := watch.Config{
@@ -290,9 +315,12 @@ func runDaemon(cfg config) error {
 
 	// The durable store sits between the feeds and the engine: it
 	// assigns global sequence numbers, journals owned events, and (in
-	// sharded mode) filters to this shard's prefix range. The current
-	// feed modes all re-read from their beginning on restart, so the
-	// store resumes by skipping what recovery already applied.
+	// sharded mode) filters to this shard's prefix range. The
+	// re-readable feeds (-scenario, -mrt) re-read from their beginning
+	// on restart, so the store resumes by skipping what recovery
+	// already applied; a -feed-listen stream cannot be re-read, so
+	// there the WAL alone is the recovery source and sequence
+	// numbering continues from the recovered watermark.
 	var store *durable.Store
 	sink := eng.Ingest
 	if cfg.walDir != "" {
@@ -301,7 +329,7 @@ func runDaemon(cfg config) error {
 			FsyncInterval:    cfg.fsync,
 			SegmentBytes:     cfg.walSegment,
 			SnapshotInterval: cfg.snapInterval,
-			ResumeSkip:       true,
+			ResumeSkip:       cfg.feedListen == "",
 			Metrics:          reg,
 		}
 		if cfg.shardCount > 1 {
@@ -404,6 +432,62 @@ func runDaemon(cfg config) error {
 		}()
 	}
 
+	// The live feed: accept raw MRT byte streams on a socket, one
+	// goroutine per connection. Connections are tracked so shutdown can
+	// unblock their reads — a live stream has no item boundary to drain
+	// to, and whatever was journaled by then is exactly what recovery
+	// will serve.
+	var feedLn net.Listener
+	var feedConns connSet
+	if cfg.feedListen != "" {
+		network := "tcp"
+		if strings.Contains(cfg.feedListen, "/") {
+			network = "unix"
+			// A previous life killed hard leaves the socket file behind.
+			os.Remove(cfg.feedListen)
+		}
+		feedLn, err = net.Listen(network, cfg.feedListen)
+		if err != nil {
+			if store != nil {
+				store.Close()
+			}
+			return err
+		}
+		if cfg.feedReady != nil {
+			cfg.feedReady(feedLn.Addr().String())
+		}
+		log.Printf("wormwatchd: live feed listening on %s://%s", network, feedLn.Addr())
+		feeds.Add(1)
+		go func() {
+			defer feeds.Done()
+			for {
+				conn, err := feedLn.Accept()
+				if err != nil {
+					return // listener closed by shutdown
+				}
+				if !feedConns.add(conn) {
+					conn.Close() // raced shutdown
+					continue
+				}
+				feeds.Add(1)
+				go func() {
+					defer feeds.Done()
+					defer feedConns.remove(conn)
+					// The source label is constant across connections so a
+					// reconnecting sender produces the same event bytes a
+					// WAL replay would.
+					n, err := watch.StreamMRT(conn, "mrt:feed", sink)
+					if err != nil && !stopping.Load() {
+						log.Printf("wormwatchd: live feed: %d events, then: %v", n, err)
+					} else {
+						log.Printf("wormwatchd: live feed: %d events ingested", n)
+					}
+					eng.Flush()
+				}()
+			}
+		}()
+	}
+
 	// While any feed is live, surface partial batches on a heartbeat:
 	// without it a slow -follow source could sit under the engine's
 	// batching granularity and never show its alerts.
@@ -435,6 +519,11 @@ func runDaemon(cfg config) error {
 	stopping.Store(true)
 	if tail != nil {
 		tail.Stop()
+	}
+	if feedLn != nil {
+		// Unblock the accept loop, then every in-flight read.
+		feedLn.Close()
+		feedConns.closeAll()
 	}
 	close(flusherDone)
 	// Graceful drain can only stop feeds at their boundaries (a scenario
@@ -504,6 +593,43 @@ func replayScenario(eng *watch.Engine, sink func(watch.Event), durableFeed bool,
 	st := eng.Stats()
 	log.Printf("wormwatchd: scenario %s success=%v; %d events, %d dropped, %d alerts",
 		name, res.Success, st.Ingested, st.Dropped, st.Alerts)
+}
+
+// connSet tracks live feed connections so shutdown can unblock their
+// reads; add refuses new connections once closeAll has run.
+type connSet struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+func (c *connSet) add(conn net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	if c.conns == nil {
+		c.conns = make(map[net.Conn]struct{})
+	}
+	c.conns[conn] = struct{}{}
+	return true
+}
+
+func (c *connSet) remove(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	delete(c.conns, conn)
+	c.mu.Unlock()
+}
+
+func (c *connSet) closeAll() {
+	c.mu.Lock()
+	c.closed = true
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
 }
 
 // mrtInputs expands -mrt into concrete archive paths; tailable reports

@@ -480,7 +480,13 @@ func (w *WAL) Replay(fromSeq uint64, fn func(seq uint64, payload []byte) error) 
 
 // TruncateBefore deletes sealed segments whose every record is below
 // seq — the retention step after a snapshot covers them. The active
-// segment is never deleted.
+// segment is never deleted. A sealed segment is deleted iff its
+// successor's first seq is <= seq: the successor's name is the first
+// sequence after the segment, so every record inside is strictly below
+// it. With gapped sequences (the sharded Owner filter) this is
+// conservative — a segment whose last record is below seq survives
+// when the gap pushes its successor's first seq past seq — but never
+// deletes a record >= seq (TestTruncateBeforeProperty).
 func (w *WAL) TruncateBefore(seq uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -496,7 +502,10 @@ func (w *WAL) TruncateBefore(seq uint64) error {
 		if err != nil {
 			return err
 		}
-		if next == 0 || next-1 >= seq {
+		// next >= 1 always: segment names carry their first record seq,
+		// and Append rejects seq 0 (a fresh WAL starts at lastSeq 0 and
+		// requires seq > lastSeq), so next-1 cannot underflow.
+		if next-1 >= seq {
 			break
 		}
 		st, statErr := os.Stat(p)

@@ -3,8 +3,10 @@ package durable
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"slices"
 	"testing"
 	"time"
 )
@@ -314,5 +316,98 @@ func TestWALFrameLayout(t *testing.T) {
 	}
 	if seq := binary.BigEndian.Uint64(raw[segHeader+8:]); seq != 42 {
 		t.Fatalf("frame seq %d", seq)
+	}
+}
+
+// TestTruncateBeforeProperty is a randomized property test of the
+// retention boundary. For random gapped sequence streams (the sharded
+// Owner filter's shape) cut into small segments, and random truncation
+// points, it asserts the documented contract:
+//
+//   - a sealed segment is deleted iff its successor's first seq <= seq
+//     (the gapped case included: a gap that pushes the successor's
+//     first seq past the truncation point keeps the segment alive even
+//     when its own last record is below it);
+//   - the active segment always survives;
+//   - no record >= seq is ever lost (replay still serves them all).
+func TestTruncateBeforeProperty(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		rng := rand.New(rand.NewSource(int64(round) + 7))
+		dir := t.TempDir()
+		w, _, err := OpenWAL(dir, WALOptions{SegmentBytes: 128, FsyncInterval: noSync})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A gapped monotone stream: each record jumps 1..8 seqs ahead.
+		var seqs []uint64
+		next := uint64(0)
+		n := 10 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			next += uint64(1 + rng.Intn(8))
+			seqs = append(seqs, next)
+			payload := make([]byte, 8+rng.Intn(48))
+			if err := w.Append(next, payload); err != nil {
+				t.Fatalf("round %d: append seq %d: %v", round, next, err)
+			}
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Segment layout before truncation: names are first seqs.
+		paths, err := w.segments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		firsts := make([]uint64, len(paths))
+		for i, p := range paths {
+			if firsts[i], err = parseSegName(filepath.Base(p)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		cut := uint64(rng.Intn(int(next) + 10))
+		if err := w.TruncateBefore(cut); err != nil {
+			t.Fatalf("round %d: TruncateBefore(%d): %v", round, cut, err)
+		}
+		after, err := w.segments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept := map[string]bool{}
+		for _, p := range after {
+			kept[filepath.Base(p)] = true
+		}
+		for i, p := range paths {
+			want := true // the active (last) segment always survives
+			if i+1 < len(paths) {
+				want = firsts[i+1] > cut // deleted iff successor first <= cut
+			}
+			if got := kept[filepath.Base(p)]; got != want {
+				t.Fatalf("round %d cut %d: segment %s (firsts=%v) kept=%v want=%v",
+					round, cut, filepath.Base(p), firsts, got, want)
+			}
+		}
+
+		// Every record >= cut must still replay, in order.
+		var wantTail []uint64
+		for _, s := range seqs {
+			if s >= cut {
+				wantTail = append(wantTail, s)
+			}
+		}
+		var gotTail []uint64
+		if err := w.Replay(cut, func(seq uint64, _ []byte) error {
+			gotTail = append(gotTail, seq)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(gotTail, wantTail) {
+			t.Fatalf("round %d cut %d: replay lost records:\ngot  %v\nwant %v", round, cut, gotTail, wantTail)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

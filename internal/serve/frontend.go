@@ -33,12 +33,14 @@ import (
 //     observe several shards' prefixes).
 //   - /stats         scatter, serve per-shard snapshots plus sums.
 //
-// Revalidation rides ETags: every gather remembers each shard's ETag
-// and body, sends If-None-Match, and an unchanged shard answers 304
+// Revalidation rides ETags: every gather remembers each replica's ETag
+// and body, sends If-None-Match, and an unchanged replica answers 304
 // with no payload — so a quiet fleet serves cached merges at the cost
-// of N tiny round trips.
+// of N tiny round trips. Caches are per-replica because shard ETags are
+// engine version counters, which are not comparable across replicas of
+// the same range.
 type Frontend struct {
-	shards []string
+	sets   []*replicaSet
 	rm     *RangeMap
 	reg    *obs.Registry
 	client *http.Client
@@ -54,31 +56,86 @@ type Frontend struct {
 
 	scatterHist *obs.Histogram
 	upstreamErr *obs.Counter
+	failovers   *obs.Counter
+}
+
+// replicaSet is one prefix range's replicas: every URL serves the same
+// RangeMap slice (daemons fed the same feed with the same -shard-index,
+// or booted from copies of the same durability directory). The
+// preferred index is sticky — it follows the last replica that answered
+// — so a healthy fleet pays no failover probes.
+type replicaSet struct {
+	urls []string
+
+	mu        sync.Mutex
+	preferred int
+	down      []bool
+}
+
+// order returns the replica indices in attempt order: the sticky
+// preferred replica first, then the rest ascending.
+func (rs *replicaSet) order() []int {
+	rs.mu.Lock()
+	p := rs.preferred
+	rs.mu.Unlock()
+	out := make([]int, 0, len(rs.urls))
+	out = append(out, p)
+	for i := range rs.urls {
+		if i != p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// mark records one replica attempt's outcome; a success also makes the
+// replica preferred.
+func (rs *replicaSet) mark(i int, ok bool) {
+	rs.mu.Lock()
+	rs.down[i] = !ok
+	if ok {
+		rs.preferred = i
+	}
+	rs.mu.Unlock()
 }
 
 // NewFrontend builds the scatter-gather tier over the given shard base
 // URLs (e.g. "http://127.0.0.1:8581"). The shard order must match the
 // shard indices the daemons were started with (-shard-index i serves
-// RangeMap slice i and must be the i-th URL).
+// RangeMap slice i and must be the i-th URL). An element may carry
+// several replica URLs separated by "|" ("http://a:8581|http://b:8581");
+// the frontend fails over between them and only reports a range down
+// when every replica is.
 func NewFrontend(shardURLs []string, reg *obs.Registry) *Frontend {
-	urls := make([]string, len(shardURLs))
+	sets := make([]*replicaSet, len(shardURLs))
 	for i, u := range shardURLs {
-		urls[i] = strings.TrimRight(u, "/")
+		var urls []string
+		for _, r := range strings.Split(u, "|") {
+			if r = strings.TrimRight(strings.TrimSpace(r), "/"); r != "" {
+				urls = append(urls, r)
+			}
+		}
+		if len(urls) == 0 {
+			urls = []string{""}
+		}
+		sets[i] = &replicaSet{urls: urls, down: make([]bool, len(urls))}
 	}
 	f := &Frontend{
-		shards: urls,
-		rm:     NewRangeMap(len(urls)),
+		sets:   sets,
+		rm:     NewRangeMap(len(sets)),
 		reg:    reg,
 		client: &http.Client{Timeout: 30 * time.Second},
 		start:  time.Now(),
 	}
-	f.alerts.init(len(urls))
-	f.stats.init(len(urls))
-	f.dict.init(len(urls))
+	f.alerts.init(sets)
+	f.stats.init(sets)
+	f.dict.init(sets)
 	f.scatterHist = reg.Histogram("frontend_scatter_seconds",
 		"full scatter-gather round trip latency", obs.DurationBuckets)
 	f.upstreamErr = reg.Counter("frontend_upstream_errors_total",
 		"failed shard sub-requests")
+	f.failovers = reg.Counter("frontend_failover_total",
+		"replica fetch failures that moved the request to another replica")
 	return f
 }
 
@@ -105,47 +162,52 @@ func (f *Frontend) Handler() http.Handler {
 	})
 }
 
-// gatherCache remembers, per shard, the last ETag+body a path served,
-// plus one merged render keyed by the joined ETag vector.
+// gatherCache remembers, per shard per replica, the last ETag+body a
+// path served, plus one merged render keyed by the joined
+// replica:ETag vector (ETags from different replicas of a range are
+// distinct version-counter spaces, so the replica index is part of the
+// key).
 type gatherCache struct {
 	mu     sync.Mutex
-	etags  []string
-	bodies [][]byte
+	etags  [][]string
+	bodies [][][]byte
 
 	mergedKey  string
 	mergedBody []byte
 }
 
-func (c *gatherCache) init(n int) {
-	c.etags = make([]string, n)
-	c.bodies = make([][]byte, n)
+func (c *gatherCache) init(sets []*replicaSet) {
+	c.etags = make([][]string, len(sets))
+	c.bodies = make([][][]byte, len(sets))
+	for i, s := range sets {
+		c.etags[i] = make([]string, len(s.urls))
+		c.bodies[i] = make([][]byte, len(s.urls))
+	}
 }
 
-// shardResult is one shard's contribution to a gather.
+// shardResult is one fetch's outcome. fetch fills etag with the raw
+// upstream ETag; fetchSet rewrites it to "replica:ETag" before the
+// gather joins it into the merged-render key.
 type shardResult struct {
 	body []byte
 	etag string
 	err  error
 }
 
-// gather fetches path from every shard concurrently with ETag
-// revalidation and returns the bodies plus the version-vector key. Any
-// shard error fails the whole gather — a partial merge would silently
-// drop a slice of the prefix space.
+// gather fetches path from every range concurrently — failing over
+// inside each replica set — and returns the bodies plus the
+// version-vector key. A range whose every replica fails fails the
+// whole gather: a partial merge would silently drop a slice of the
+// prefix space.
 func (f *Frontend) gather(path string, c *gatherCache) ([][]byte, string, error) {
 	start := time.Now()
-	c.mu.Lock()
-	etags := append([]string(nil), c.etags...)
-	cached := append([][]byte(nil), c.bodies...)
-	c.mu.Unlock()
-
-	results := make([]shardResult, len(f.shards))
+	results := make([]shardResult, len(f.sets))
 	var wg sync.WaitGroup
-	for i := range f.shards {
+	for i := range f.sets {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = f.fetch(f.shards[i]+path, etags[i], cached[i])
+			results[i] = f.fetchSet(i, path, c)
 		}(i)
 	}
 	wg.Wait()
@@ -155,17 +217,43 @@ func (f *Frontend) gather(path string, c *gatherCache) ([][]byte, string, error)
 	keys := make([]string, len(results))
 	for i, res := range results {
 		if res.err != nil {
-			f.upstreamErr.Inc()
-			return nil, "", fmt.Errorf("shard %d (%s): %w", i, f.shards[i], res.err)
+			return nil, "", fmt.Errorf("shard %d: %w", i, res.err)
 		}
 		bodies[i] = res.body
 		keys[i] = res.etag
 	}
-	c.mu.Lock()
-	copy(c.etags, keys)
-	copy(c.bodies, bodies)
-	c.mu.Unlock()
 	return bodies, strings.Join(keys, "|"), nil
+}
+
+// fetchSet fetches path for one range, walking its replicas in sticky
+// preferred-first order. Each failed attempt that still has a
+// candidate behind it counts as a failover; the error only surfaces
+// when the whole set is down.
+func (f *Frontend) fetchSet(si int, path string, c *gatherCache) shardResult {
+	set := f.sets[si]
+	attempts := set.order()
+	var errs []string
+	for n, ri := range attempts {
+		c.mu.Lock()
+		etag, cached := c.etags[si][ri], c.bodies[si][ri]
+		c.mu.Unlock()
+		res := f.fetch(set.urls[ri]+path, etag, cached)
+		if res.err != nil {
+			f.upstreamErr.Inc()
+			set.mark(ri, false)
+			errs = append(errs, fmt.Sprintf("%s: %v", set.urls[ri], res.err))
+			if n < len(attempts)-1 {
+				f.failovers.Inc()
+			}
+			continue
+		}
+		set.mark(ri, true)
+		c.mu.Lock()
+		c.etags[si][ri], c.bodies[si][ri] = res.etag, res.body
+		c.mu.Unlock()
+		return shardResult{body: res.body, etag: fmt.Sprintf("%d:%s", ri, res.etag)}
+	}
+	return shardResult{err: fmt.Errorf("all %d replicas failed: %s", len(set.urls), strings.Join(errs, "; "))}
 }
 
 // fetch GETs url, revalidating against etag; a 304 answer reuses the
@@ -284,22 +372,53 @@ func (f *Frontend) handlePrefix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	owner := f.rm.Owner(p.Masked())
-	resp, err := f.client.Get(f.shards[owner] + "/prefix/" + raw)
-	if err != nil {
+	set := f.sets[owner]
+	attempts := set.order()
+	var errs []string
+	for n, ri := range attempts {
+		req, err := http.NewRequest(http.MethodGet, set.urls[ri]+"/prefix/"+raw, nil)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// Forward the client's revalidation. ETags are engine version
+		// counters, which the deterministic replay model makes consistent
+		// across replicas at the same feed position: equal version means
+		// equal bytes, and a lagging replica has a different version, so
+		// the 304 can never lie.
+		if inm := r.Header.Get("If-None-Match"); inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := f.client.Do(req)
+		if err == nil && resp.StatusCode >= 500 {
+			// An erroring replica is indistinguishable from a dead one for
+			// routing purposes: drain the reason and try the next.
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			err = fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		} else if err == nil {
+			// Any non-5xx answer is authoritative for the range — 200, 304,
+			// and 404 (prefix not tracked) all propagate to the client.
+			set.mark(ri, true)
+			for _, h := range []string{"Content-Type", "ETag"} {
+				if v := resp.Header.Get(h); v != "" {
+					w.Header().Set(h, v)
+				}
+			}
+			w.WriteHeader(resp.StatusCode)
+			_, _ = io.Copy(w, resp.Body)
+			resp.Body.Close()
+			return
+		}
 		f.upstreamErr.Inc()
-		http.Error(w, fmt.Sprintf("shard %d: %v", owner, err), http.StatusBadGateway)
-		return
-	}
-	defer resp.Body.Close()
-	// Proxy verbatim: the owning shard's view IS the global view for
-	// its range.
-	for _, h := range []string{"Content-Type", "ETag"} {
-		if v := resp.Header.Get(h); v != "" {
-			w.Header().Set(h, v)
+		set.mark(ri, false)
+		errs = append(errs, fmt.Sprintf("%s: %v", set.urls[ri], err))
+		if n < len(attempts)-1 {
+			f.failovers.Inc()
 		}
 	}
-	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	http.Error(w, fmt.Sprintf("shard %d: all %d replicas failed: %s",
+		owner, len(set.urls), strings.Join(errs, "; ")), http.StatusBadGateway)
 }
 
 // frontendStats is the /stats response shape: each shard's snapshot
@@ -469,10 +588,18 @@ func (f *Frontend) handleDictAS(w http.ResponseWriter, r *http.Request) {
 }
 
 func (f *Frontend) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// A range is healthy while at least one replica answers; the
+	// frontend only degrades (and 503s) when a whole replica set is
+	// down, mirroring the serving paths' failover.
+	type replicaHealth struct {
+		URL    string `json:"url"`
+		Status string `json:"status"`
+	}
 	type shardHealth struct {
-		URL    string          `json:"url"`
-		Status string          `json:"status"`
-		Detail json.RawMessage `json:"detail,omitempty"`
+		URL      string          `json:"url"`
+		Status   string          `json:"status"`
+		Detail   json.RawMessage `json:"detail,omitempty"`
+		Replicas []replicaHealth `json:"replicas,omitempty"`
 	}
 	payload := struct {
 		Status        string        `json:"status"`
@@ -481,17 +608,37 @@ func (f *Frontend) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		ShardCount    int           `json:"shards"`
 		ShardsHealthy int           `json:"shards_healthy"`
 		ShardStatuses []shardHealth `json:"shard_statuses"`
-	}{Status: "ok", Role: "frontend", UptimeSeconds: int64(time.Since(f.start).Seconds()), ShardCount: len(f.shards)}
-	for _, base := range f.shards {
-		h := shardHealth{URL: base, Status: "ok"}
-		res := f.fetch(base+"/healthz", "", nil)
-		if res.err != nil {
-			f.upstreamErr.Inc()
-			h.Status = res.err.Error()
-			payload.Status = "degraded"
-		} else {
-			h.Detail = json.RawMessage(res.body)
+	}{Status: "ok", Role: "frontend", UptimeSeconds: int64(time.Since(f.start).Seconds()), ShardCount: len(f.sets)}
+	for _, set := range f.sets {
+		h := shardHealth{URL: set.urls[0], Status: "ok"}
+		healthy := false
+		var firstErr string
+		for ri, base := range set.urls {
+			res := f.fetch(base+"/healthz", "", nil)
+			status := "ok"
+			if res.err != nil {
+				f.upstreamErr.Inc()
+				set.mark(ri, false)
+				status = res.err.Error()
+				if firstErr == "" {
+					firstErr = status
+				}
+			} else {
+				set.mark(ri, true)
+				if !healthy {
+					h.URL, h.Detail = base, json.RawMessage(res.body)
+				}
+				healthy = true
+			}
+			if len(set.urls) > 1 {
+				h.Replicas = append(h.Replicas, replicaHealth{URL: base, Status: status})
+			}
+		}
+		if healthy {
 			payload.ShardsHealthy++
+		} else {
+			h.Status = firstErr
+			payload.Status = "degraded"
 		}
 		payload.ShardStatuses = append(payload.ShardStatuses, h)
 	}

@@ -30,13 +30,17 @@ func (m *RangeMap) Shards() int { return m.n }
 
 // Owner maps a prefix to its shard index: the top 32 address bits
 // scaled into [0, n). IPv4 uses the whole address; IPv6 uses its top
-// 32 bits (enough spread for range semantics, and cheap). An invalid
-// prefix maps to shard 0 so every event has exactly one owner.
+// 32 bits (enough spread for range semantics, and cheap). An
+// IPv4-mapped IPv6 address (::ffff:a.b.c.d) is unmapped first so it
+// lands on the owner of the equivalent IPv4 prefix — Is4 is false for
+// mapped addresses, and without the unmap their leading zero bytes
+// would send every one of them to shard 0. An invalid prefix maps to
+// shard 0 so every event has exactly one owner.
 func (m *RangeMap) Owner(p netip.Prefix) int {
 	if !p.IsValid() {
 		return 0
 	}
-	addr := p.Addr()
+	addr := p.Addr().Unmap()
 	var top uint32
 	if addr.Is4() {
 		a := addr.As4()

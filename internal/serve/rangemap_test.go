@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// TestRangeMapOwnerUnmapsV4Mapped is the regression test for the
+// IPv4-mapped IPv6 bug: ::ffff:a.b.c.d prefixes must land on the owner
+// of the equivalent IPv4 prefix, not on shard 0 (where the mapped
+// form's leading zero bytes would put them).
+func TestRangeMapOwnerUnmapsV4Mapped(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		m := NewRangeMap(n)
+		cases := []struct{ v4, mapped string }{
+			{"10.0.0.0/8", "::ffff:10.0.0.0/104"},
+			{"85.0.0.0/8", "::ffff:85.0.0.0/104"},
+			{"203.0.113.0/24", "::ffff:203.0.113.0/120"},
+			{"255.255.255.0/24", "::ffff:255.255.255.0/120"},
+		}
+		for _, c := range cases {
+			v4 := m.Owner(netip.MustParsePrefix(c.v4))
+			mapped := m.Owner(netip.MustParsePrefix(c.mapped))
+			if v4 != mapped {
+				t.Errorf("n=%d: Owner(%s)=%d but Owner(%s)=%d", n, c.mapped, mapped, c.v4, v4)
+			}
+		}
+		// The high half of the v4 space must not collapse onto shard 0
+		// via the mapped form.
+		if n > 1 {
+			if got := m.Owner(netip.MustParsePrefix("::ffff:255.0.0.0/104")); got != n-1 {
+				t.Errorf("n=%d: Owner(::ffff:255.0.0.0/104)=%d, want %d", n, got, n-1)
+			}
+		}
+	}
+}
+
+// TestRangeMapOwnerPartition pins that Owner is a total function onto
+// [0, n) and contiguous over the v4 space (range semantics: ascending
+// addresses map to non-decreasing shard indices).
+func TestRangeMapOwnerPartition(t *testing.T) {
+	m := NewRangeMap(3)
+	prev := 0
+	for top := 0; top < 256; top++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(top), 0, 0, 0}), 8)
+		got := m.Owner(p)
+		if got < 0 || got >= 3 {
+			t.Fatalf("Owner(%s)=%d outside [0,3)", p, got)
+		}
+		if got < prev {
+			t.Fatalf("Owner not contiguous: %s maps to %d after %d", p, got, prev)
+		}
+		prev = got
+	}
+	if m.Owner(netip.Prefix{}) != 0 {
+		t.Fatal("invalid prefix must map to shard 0")
+	}
+}

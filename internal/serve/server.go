@@ -417,6 +417,7 @@ func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad prefix %q: %v", raw, err), http.StatusBadRequest)
 		return
 	}
+	version := s.opts.Watch.Version()
 	info, ok := s.opts.Watch.PrefixInfo(p)
 	if !ok {
 		http.Error(w, fmt.Sprintf("prefix %s not tracked", p), http.StatusNotFound)
@@ -427,5 +428,5 @@ func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, body)
+	versionedJSON(w, r, version, body)
 }
